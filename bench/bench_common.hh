@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared command-line handling for the per-table/figure bench binaries.
+ */
+
+#ifndef P5SIM_BENCH_BENCH_COMMON_HH
+#define P5SIM_BENCH_BENCH_COMMON_HH
+
+#include <iostream>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "exp/experiments.hh"
+
+namespace p5bench {
+
+/** Process-wide "--csv" preference, set by parseConfig(). */
+inline bool &
+csvFlag()
+{
+    static bool flag = false;
+    return flag;
+}
+
+/** Parse the standard bench flags and build the experiment config. */
+inline p5::ExpConfig
+parseConfig(int argc, char **argv)
+{
+    p5::Cli cli;
+    cli.declare("fast", "false",
+                "reduced repetitions/benchmarks for a quick smoke run");
+    cli.declare("reps", "10", "minimum FAME repetitions per benchmark");
+    cli.declare("maiv", "0.01", "maximum allowable IPC variation");
+    cli.declare("scale", "1.0", "work multiplier per repetition");
+    cli.declare("all15", "false",
+                "sweep all 15 micro-benchmarks instead of the paper's 6");
+    cli.declare("csv", "false", "emit CSV instead of ASCII tables");
+    cli.parse(argc, argv);
+
+    p5::ExpConfig config;
+    if (cli.boolean("fast"))
+        config = p5::ExpConfig::fast();
+    if (cli.isSet("reps"))
+        config.fame.minRepetitions =
+            static_cast<std::uint64_t>(cli.integer("reps"));
+    if (cli.isSet("maiv"))
+        config.fame.maiv = cli.real("maiv");
+    if (cli.isSet("scale"))
+        config.ubenchScale = cli.real("scale");
+    if (cli.boolean("all15"))
+        config.benchmarks = p5::allUbench();
+
+    csvFlag() = cli.boolean("csv");
+    return config;
+}
+
+/** Print a table per the --csv preference. */
+inline void
+print(const p5::Table &table)
+{
+    if (csvFlag()) {
+        std::cout << "# " << table.title() << '\n';
+        table.printCsv(std::cout);
+    } else {
+        table.printAscii(std::cout);
+    }
+    std::cout << '\n';
+}
+
+inline void
+print(const std::vector<p5::Table> &tables)
+{
+    for (const auto &t : tables)
+        print(t);
+}
+
+} // namespace p5bench
+
+#endif // P5SIM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Regenerates paper Figure 2: PThread performance improvement as its
+ * priority increases relative to the SThread (differences +1..+5).
+ */
+
+#include "bench_common.hh"
+#include "exp/report.hh"
+
+int
+main(int argc, char **argv)
+{
+    p5::ExpConfig config = p5bench::parseConfig(argc, argv);
+    p5bench::print(
+        p5::renderPrioCurves(p5::runFig2(config), "Figure 2"));
+    return 0;
+}

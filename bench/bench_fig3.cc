@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Regenerates paper Figure 3: PThread performance degradation as its
+ * priority decreases relative to the SThread (differences -1..-5).
+ */
+
+#include "bench_common.hh"
+#include "exp/report.hh"
+
+int
+main(int argc, char **argv)
+{
+    p5::ExpConfig config = p5bench::parseConfig(argc, argv);
+    p5bench::print(
+        p5::renderPrioCurves(p5::runFig3(config), "Figure 3"));
+    return 0;
+}

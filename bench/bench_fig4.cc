@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Regenerates paper Figure 4: total IPC throughput with respect to the
+ * (4,4) baseline across priority differences -4..+4.
+ */
+
+#include "bench_common.hh"
+#include "exp/report.hh"
+
+int
+main(int argc, char **argv)
+{
+    p5::ExpConfig config = p5bench::parseConfig(argc, argv);
+    p5bench::print(p5::renderFig4(p5::runFig4(config)));
+    return 0;
+}

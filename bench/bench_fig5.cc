@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Regenerates paper Figure 5: total IPC of the SPEC case-study pairs
+ * (h264ref + mcf, applu + equake) with increasing priorities.
+ */
+
+#include "bench_common.hh"
+#include "exp/report.hh"
+
+int
+main(int argc, char **argv)
+{
+    p5::ExpConfig config = p5bench::parseConfig(argc, argv);
+    p5bench::print(p5::renderFig5(p5::runFig5(
+        p5::SpecProxyId::H264ref, p5::SpecProxyId::Mcf, config)));
+    p5bench::print(p5::renderFig5(p5::runFig5(
+        p5::SpecProxyId::Applu, p5::SpecProxyId::Equake, config)));
+    return 0;
+}

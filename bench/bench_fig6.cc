@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Regenerates paper Figure 6: transparent execution — the effect of a
+ * priority-1 background thread on a foreground thread (panels a/b), the
+ * worst-case background as the foreground priority drops (panel c) and
+ * the background thread's own IPC (panel d).
+ */
+
+#include "bench_common.hh"
+#include "exp/report.hh"
+
+int
+main(int argc, char **argv)
+{
+    p5::ExpConfig config = p5bench::parseConfig(argc, argv);
+    p5bench::print(p5::renderFig6(p5::runFig6(config)));
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the simulator itself: raw cycle
+ * throughput of the core loop under different workloads, and the cost of
+ * the primitives (cache lookups, slot grants, program materialization).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/smt_core.hh"
+#include "mem/cache.hh"
+#include "prio/slot_allocator.hh"
+#include "ubench/ubench.hh"
+
+namespace {
+
+using namespace p5;
+
+void
+BM_CacheLookup(benchmark::State &state)
+{
+    Cache cache(CacheParams{"bench", 32 * 1024, 4, 128, 2, 1});
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.lookup(addr));
+        addr += 128;
+        if (addr >= 64 * 1024)
+            addr = 0;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheLookup);
+
+void
+BM_SlotGrant(benchmark::State &state)
+{
+    DecodeSlotAllocator alloc(5, 2);
+    alloc.setPriorities(6, 2);
+    Cycle c = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(alloc.grantAt(c++));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SlotGrant);
+
+void
+BM_Materialize(benchmark::State &state)
+{
+    const SyntheticProgram prog = makeUbench(UbenchId::CpuInt);
+    SeqNum seq = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(prog.materialize(seq++, 0));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Materialize);
+
+void
+coreCycles(benchmark::State &state, UbenchId p, UbenchId s)
+{
+    const SyntheticProgram pp = makeUbench(p);
+    const SyntheticProgram ps = makeUbench(s);
+    CoreParams params;
+    SmtCore core(params);
+    core.attachThread(0, &pp, 4);
+    core.attachThread(1, &ps, 4);
+    for (auto _ : state)
+        core.tick();
+    state.SetItemsProcessed(state.iterations());
+    state.counters["ipc"] = core.totalIpc();
+}
+
+void
+BM_CoreCpuPair(benchmark::State &state)
+{
+    coreCycles(state, UbenchId::CpuInt, UbenchId::CpuInt);
+}
+BENCHMARK(BM_CoreCpuPair);
+
+void
+BM_CoreMemPair(benchmark::State &state)
+{
+    coreCycles(state, UbenchId::LdintMem, UbenchId::LdintMem);
+}
+BENCHMARK(BM_CoreMemPair);
+
+void
+BM_CoreMixedPair(benchmark::State &state)
+{
+    coreCycles(state, UbenchId::LdintL1, UbenchId::LdintL2);
+}
+BENCHMARK(BM_CoreMixedPair);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Regenerates paper Table 1: the eight software-controlled priorities,
+ * their privilege requirements and or-nop encodings.
+ */
+
+#include "bench_common.hh"
+#include "exp/report.hh"
+
+int
+main(int argc, char **argv)
+{
+    (void)p5bench::parseConfig(argc, argv);
+    p5bench::print(p5::renderTable1());
+    return 0;
+}

@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Regenerates paper Table 2: the micro-benchmark loop bodies.
+ */
+
+#include "bench_common.hh"
+#include "exp/report.hh"
+
+int
+main(int argc, char **argv)
+{
+    (void)p5bench::parseConfig(argc, argv);
+    p5bench::print(p5::renderTable2());
+    return 0;
+}

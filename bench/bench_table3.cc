@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Regenerates paper Table 3: micro-benchmark IPC in ST mode and in all
+ * pairwise SMT combinations at priorities (4,4).
+ */
+
+#include "bench_common.hh"
+#include "exp/report.hh"
+
+int
+main(int argc, char **argv)
+{
+    p5::ExpConfig config = p5bench::parseConfig(argc, argv);
+    p5bench::print(p5::renderTable3(p5::runTable3(config)));
+    return 0;
+}

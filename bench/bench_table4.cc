@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Regenerates paper Table 4: execution time of the FFT and LU pipeline
+ * stages under increasing FFT priority, plus the single-thread
+ * reference.
+ */
+
+#include "bench_common.hh"
+#include "exp/report.hh"
+
+int
+main(int argc, char **argv)
+{
+    p5::ExpConfig config = p5bench::parseConfig(argc, argv);
+    p5bench::print(p5::renderTable4(p5::runTable4(config)));
+    return 0;
+}

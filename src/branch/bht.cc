@@ -1,0 +1,68 @@
+#include "branch/bht.hh"
+
+#include "common/log.hh"
+
+namespace p5 {
+
+Bht::Bht(const BhtParams &params)
+{
+    if (params.entries <= 0 ||
+        (params.entries & (params.entries - 1)) != 0)
+        fatal("BHT entry count must be a positive power of two");
+    counters_.assign(static_cast<std::size_t>(params.entries), 1);
+}
+
+std::size_t
+Bht::indexOf(Addr pc) const
+{
+    return static_cast<std::size_t>((pc >> 2) & (counters_.size() - 1));
+}
+
+bool
+Bht::predict(Addr pc) const
+{
+    ++lookups_;
+    return counters_[indexOf(pc)] >= 2;
+}
+
+bool
+Bht::update(Addr pc, bool taken)
+{
+    std::uint8_t &ctr = counters_[indexOf(pc)];
+    const bool predicted = ctr >= 2;
+    if (predicted == taken)
+        ++correct_;
+    else
+        ++mispredicts_;
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+    return predicted;
+}
+
+void
+Bht::reset()
+{
+    std::fill(counters_.begin(), counters_.end(), 1);
+}
+
+double
+Bht::accuracy() const
+{
+    const std::uint64_t total = correct_.value() + mispredicts_.value();
+    return total ? static_cast<double>(correct_.value()) / total : 0.0;
+}
+
+void
+Bht::registerStats(StatGroup &group) const
+{
+    group.registerCounter("bht.lookups", &lookups_);
+    group.registerCounter("bht.correct", &correct_);
+    group.registerCounter("bht.mispredicts", &mispredicts_);
+}
+
+} // namespace p5

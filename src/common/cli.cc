@@ -1,0 +1,136 @@
+#include "common/cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace p5 {
+
+void
+Cli::declare(const std::string &name, const std::string &default_value,
+             const std::string &help)
+{
+    if (flags_.count(name))
+        panic("CLI flag '--%s' declared twice", name.c_str());
+    Flag f;
+    f.value = default_value;
+    f.help = help;
+    flags_[name] = f;
+    order_.push_back(name);
+}
+
+void
+Cli::parse(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            fatal("unexpected positional argument '%s'", arg.c_str());
+        arg = arg.substr(2);
+
+        if (arg == "help") {
+            std::fputs(usage(argv[0]).c_str(), stdout);
+            std::exit(0);
+        }
+
+        std::string name;
+        std::string value;
+        bool have_value = false;
+        auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+            have_value = true;
+        } else {
+            name = arg;
+        }
+
+        auto it = flags_.find(name);
+        if (it == flags_.end())
+            fatal("unknown flag '--%s' (try --help)", name.c_str());
+
+        if (!have_value) {
+            // "--flag value" if the next token is not a flag, else boolean.
+            if (i + 1 < argc &&
+                std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                value = argv[++i];
+            } else {
+                value = "true";
+            }
+        }
+        it->second.value = value;
+        it->second.set = true;
+    }
+}
+
+const Cli::Flag &
+Cli::find(const std::string &name) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        panic("CLI flag '--%s' read but never declared", name.c_str());
+    return it->second;
+}
+
+std::string
+Cli::str(const std::string &name) const
+{
+    return find(name).value;
+}
+
+std::int64_t
+Cli::integer(const std::string &name) const
+{
+    const std::string &v = find(name).value;
+    char *end = nullptr;
+    long long out = std::strtoll(v.c_str(), &end, 0);
+    if (end == v.c_str() || *end != '\0')
+        fatal("flag '--%s' expects an integer, got '%s'", name.c_str(),
+              v.c_str());
+    return out;
+}
+
+double
+Cli::real(const std::string &name) const
+{
+    const std::string &v = find(name).value;
+    char *end = nullptr;
+    double out = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0')
+        fatal("flag '--%s' expects a number, got '%s'", name.c_str(),
+              v.c_str());
+    return out;
+}
+
+bool
+Cli::boolean(const std::string &name) const
+{
+    const std::string &v = find(name).value;
+    if (v == "true" || v == "1" || v == "yes" || v == "on")
+        return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off")
+        return false;
+    fatal("flag '--%s' expects a boolean, got '%s'", name.c_str(),
+          v.c_str());
+}
+
+bool
+Cli::isSet(const std::string &name) const
+{
+    return find(name).set;
+}
+
+std::string
+Cli::usage(const std::string &prog) const
+{
+    std::string out = "usage: " + prog + " [flags]\n";
+    for (const auto &name : order_) {
+        const Flag &f = flags_.at(name);
+        out += "  --" + name + " (default: " + f.value + ")  " + f.help +
+               "\n";
+    }
+    return out;
+}
+
+} // namespace p5

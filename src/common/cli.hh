@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Minimal command-line flag parser for bench and example binaries.
+ *
+ * Supports flags of the form "--name=value", "--name value" and boolean
+ * "--name". Unknown flags are fatal so that typos in experiment sweeps do
+ * not silently run the wrong configuration.
+ */
+
+#ifndef P5SIM_COMMON_CLI_HH
+#define P5SIM_COMMON_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace p5 {
+
+/** Parsed command line with typed accessors and defaults. */
+class Cli
+{
+  public:
+    /**
+     * Declare a flag before parse().
+     *
+     * @param name flag name without leading dashes.
+     * @param default_value textual default.
+     * @param help one-line description for usage().
+     */
+    void declare(const std::string &name, const std::string &default_value,
+                 const std::string &help);
+
+    /** Parse argv; fatal() on unknown flags. "--help" prints usage. */
+    void parse(int argc, const char *const *argv);
+
+    std::string str(const std::string &name) const;
+    std::int64_t integer(const std::string &name) const;
+    double real(const std::string &name) const;
+    bool boolean(const std::string &name) const;
+
+    /** True iff the flag was explicitly set on the command line. */
+    bool isSet(const std::string &name) const;
+
+    /** Render usage text. */
+    std::string usage(const std::string &prog) const;
+
+  private:
+    struct Flag
+    {
+        std::string value;
+        std::string help;
+        bool set = false;
+    };
+
+    const Flag &find(const std::string &name) const;
+
+    std::map<std::string, Flag> flags_;
+    std::vector<std::string> order_;
+};
+
+} // namespace p5
+
+#endif // P5SIM_COMMON_CLI_HH

@@ -1,0 +1,68 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace p5 {
+
+void
+StatGroup::registerCounter(const std::string &stat_name, const Counter *c)
+{
+    if (entries_.count(stat_name))
+        panic("stat '%s.%s' registered twice", name_.c_str(),
+              stat_name.c_str());
+    Entry e;
+    e.counter = c;
+    entries_[stat_name] = e;
+}
+
+void
+StatGroup::registerDerived(const std::string &stat_name,
+                           double (*fn)(const void *), const void *ctx)
+{
+    if (entries_.count(stat_name))
+        panic("stat '%s.%s' registered twice", name_.c_str(),
+              stat_name.c_str());
+    Entry e;
+    e.fn = fn;
+    e.ctx = ctx;
+    entries_[stat_name] = e;
+}
+
+bool
+StatGroup::has(const std::string &stat_name) const
+{
+    return entries_.count(stat_name) != 0;
+}
+
+double
+StatGroup::value(const std::string &stat_name) const
+{
+    auto it = entries_.find(stat_name);
+    if (it == entries_.end())
+        fatal("unknown stat '%s.%s'", name_.c_str(), stat_name.c_str());
+    const Entry &e = it->second;
+    if (e.counter)
+        return static_cast<double>(e.counter->value());
+    return e.fn(e.ctx);
+}
+
+std::vector<std::string>
+StatGroup::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &kv : entries_)
+        out.push_back(kv.first);
+    return out;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &kv : entries_)
+        os << name_ << '.' << kv.first << ' ' << value(kv.first) << '\n';
+}
+
+} // namespace p5

@@ -1,0 +1,130 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace p5 {
+
+void
+Table::setColumns(std::vector<std::string> headers)
+{
+    if (!rows_.empty())
+        panic("Table::setColumns after rows were added");
+    headers_ = std::move(headers);
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        panic("Table row has %zu cells, expected %zu", cells.size(),
+              headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::fmtFactor(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*fx", precision, v);
+    return buf;
+}
+
+std::string
+Table::fmtPercent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+const std::vector<std::string> &
+Table::row(std::size_t i) const
+{
+    if (i >= rows_.size())
+        panic("Table row index %zu out of range (%zu rows)", i,
+              rows_.size());
+    return rows_[i];
+}
+
+void
+Table::printAscii(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_sep = [&] {
+        os << '+';
+        for (auto w : widths)
+            os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        os << '|';
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << ' ' << cells[c]
+               << std::string(widths[c] - cells[c].size(), ' ') << " |";
+        }
+        os << '\n';
+    };
+
+    if (!title_.empty())
+        os << title_ << '\n';
+    print_sep();
+    print_row(headers_);
+    print_sep();
+    for (const auto &row : rows_)
+        print_row(row);
+    print_sep();
+}
+
+namespace {
+
+std::string
+csvEscape(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char ch : s) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ',';
+            os << csvEscape(cells[c]);
+        }
+        os << '\n';
+    };
+    print_row(headers_);
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+} // namespace p5

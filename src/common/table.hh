@@ -1,0 +1,60 @@
+/**
+ * @file
+ * ASCII and CSV table rendering for experiment output.
+ *
+ * Experiment harnesses build a Table (column headers + rows of cells) and
+ * render it either as an aligned ASCII grid (for terminals, matching the
+ * paper's table layout) or as CSV (for plotting).
+ */
+
+#ifndef P5SIM_COMMON_TABLE_HH
+#define P5SIM_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace p5 {
+
+/** A rectangular table of string cells with named columns. */
+class Table
+{
+  public:
+    explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+    /** Set the column headers. Must be called before addRow(). */
+    void setColumns(std::vector<std::string> headers);
+
+    /** Append a row; must match the column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with @p precision fractional digits. */
+    static std::string fmt(double v, int precision = 3);
+
+    /** Format a double as "1.23x" style factor. */
+    static std::string fmtFactor(double v, int precision = 2);
+
+    /** Format a fraction as a percentage string, e.g. "23.7%". */
+    static std::string fmtPercent(double fraction, int precision = 1);
+
+    std::size_t numRows() const { return rows_.size(); }
+    std::size_t numColumns() const { return headers_.size(); }
+    const std::string &title() const { return title_; }
+    const std::vector<std::string> &header() const { return headers_; }
+    const std::vector<std::string> &row(std::size_t i) const;
+
+    /** Render as an aligned ASCII grid. */
+    void printAscii(std::ostream &os) const;
+
+    /** Render as CSV (RFC-4180-ish quoting for commas/quotes). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace p5
+
+#endif // P5SIM_COMMON_TABLE_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fundamental scalar type aliases used across p5sim.
+ */
+
+#ifndef P5SIM_COMMON_TYPES_HH
+#define P5SIM_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace p5 {
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Simulated (virtual) byte address. */
+using Addr = std::uint64_t;
+
+/** Global dynamic-instruction sequence number (per thread). */
+using SeqNum = std::uint64_t;
+
+/** Hardware thread identifier within one SMT core (0 or 1). */
+using ThreadId = int;
+
+/** Architectural register index. */
+using RegIndex = std::int16_t;
+
+/** Sentinel for "no register operand". */
+constexpr RegIndex invalid_reg = -1;
+
+/** Number of hardware threads per SMT core (POWER5: two). */
+constexpr int num_hw_threads = 2;
+
+/** Sentinel cycle value meaning "never" / "not scheduled". */
+constexpr Cycle never_cycle = ~Cycle{0};
+
+} // namespace p5
+
+#endif // P5SIM_COMMON_TYPES_HH

@@ -1,0 +1,103 @@
+#include "core/balancer.hh"
+
+#include <algorithm>
+
+namespace p5 {
+
+Balancer::Balancer(const BalancerParams &params) : params_(params) {}
+
+void
+Balancer::setPriorityView(const DecodeSlotAllocator *allocator)
+{
+    priorities_ = allocator;
+}
+
+int
+Balancer::lmqThresholdFor(ThreadId tid, int lmq_capacity) const
+{
+    if (!params_.priorityAwareLmq || !priorities_ ||
+        priorities_->mode() != SlotMode::Dual)
+        return params_.lmqThreshold;
+    const double scaled =
+        params_.lmqThreshold * 2.0 * priorities_->shareOf(tid);
+    return std::clamp(static_cast<int>(scaled), 1,
+                      std::max(1, lmq_capacity - 1));
+}
+
+double
+Balancer::gctThresholdFor(ThreadId tid) const
+{
+    if (!params_.priorityAwareGct || !priorities_ ||
+        priorities_->mode() != SlotMode::Dual)
+        return params_.gctShareThreshold;
+    const double scaled =
+        params_.gctShareThreshold * 2.0 * priorities_->shareOf(tid);
+    return std::clamp(scaled, params_.minGctShareThreshold,
+                      params_.maxGctShareThreshold);
+}
+
+BalancerDecision
+Balancer::evaluate(const Gct &gct, Lmq &lmq, const Lsu &lsu,
+                   bool both_running, Cycle now)
+{
+    BalancerDecision d;
+    if (!params_.enabled)
+        return d;
+
+    for (ThreadId t = 0; t < num_hw_threads; ++t) {
+        const auto ti = static_cast<size_t>(t);
+
+        // Resource hogging is only "offending" when there is a sibling
+        // to block.
+        if (!both_running)
+            continue;
+
+        // An outstanding TLB walk blocks further decode of the walking
+        // thread (it would only pile more work behind the walk).
+        if (params_.blockOnTlbMiss && lsu.tlbWalkInProgress(t, now)) {
+            d.block[ti] = true;
+            ++tlbBlocks_[ti];
+            continue;
+        }
+
+        const int gct_held = gct.occupancyOf(t);
+        const bool gct_hog =
+            gct_held > params_.minGctGroups &&
+            static_cast<double>(gct_held) >
+                gctThresholdFor(t) * gct.capacity();
+        if (gct_hog) {
+            d.block[ti] = true;
+            ++gctBlocks_[ti];
+            if (params_.action == BalanceAction::Flush) {
+                d.flush[ti] = true;
+                ++flushes_[ti];
+            }
+            continue;
+        }
+
+        if (lmq.occupancyOf(t, now) >=
+            lmqThresholdFor(t, lmq.capacity())) {
+            d.block[ti] = true;
+            ++lmqBlocks_[ti];
+        }
+    }
+    return d;
+}
+
+void
+Balancer::registerStats(StatGroup &group) const
+{
+    for (int t = 0; t < num_hw_threads; ++t) {
+        auto ts = std::to_string(t);
+        group.registerCounter("balancer.thread" + ts + ".gctBlocks",
+                              &gctBlocks_[static_cast<size_t>(t)]);
+        group.registerCounter("balancer.thread" + ts + ".lmqBlocks",
+                              &lmqBlocks_[static_cast<size_t>(t)]);
+        group.registerCounter("balancer.thread" + ts + ".tlbBlocks",
+                              &tlbBlocks_[static_cast<size_t>(t)]);
+        group.registerCounter("balancer.thread" + ts + ".flushes",
+                              &flushes_[static_cast<size_t>(t)]);
+    }
+}
+
+} // namespace p5

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Dynamic hardware resource balancer (paper Sec. 3.1).
+ *
+ * POWER5 monitors whether one thread is blocking the other and throttles
+ * the offender. The triggers modeled here match the paper's description:
+ * too many GCT (reorder buffer) groups held, too many outstanding L2
+ * misses (LMQ occupancy), or an outstanding TLB miss. The corrective
+ * action is either Stall (stop decoding the offender until the congestion
+ * clears) or Flush (additionally drop the offender's not-yet-issued
+ * instructions).
+ */
+
+#ifndef P5SIM_CORE_BALANCER_HH
+#define P5SIM_CORE_BALANCER_HH
+
+#include <array>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/gct.hh"
+#include "core/lsu.hh"
+#include "core/params.hh"
+#include "mem/lmq.hh"
+#include "prio/slot_allocator.hh"
+
+namespace p5 {
+
+/** Per-cycle balancing decision. */
+struct BalancerDecision
+{
+    /** Block decode of thread t this cycle. */
+    std::array<bool, num_hw_threads> block{};
+
+    /** Additionally flush thread t's not-yet-issued instructions. */
+    std::array<bool, num_hw_threads> flush{};
+};
+
+/** The balancer itself: pure policy over observable core state. */
+class Balancer
+{
+  public:
+    explicit Balancer(const BalancerParams &params);
+
+    /** Priority view for the priority-aware GCT threshold. */
+    void setPriorityView(const DecodeSlotAllocator *allocator);
+
+    /** Effective GCT-share threshold for @p tid under the priorities. */
+    double gctThresholdFor(ThreadId tid) const;
+
+    /** Effective LMQ-occupancy threshold for @p tid. */
+    int lmqThresholdFor(ThreadId tid, int lmq_capacity) const;
+
+    /**
+     * Evaluate the triggers at cycle @p now.
+     *
+     * @param both_running whether both threads are attached and active;
+     *        resource hogging is only "offending" when a sibling exists.
+     */
+    BalancerDecision evaluate(const Gct &gct, Lmq &lmq, const Lsu &lsu,
+                              bool both_running, Cycle now);
+
+    const BalancerParams &params() const { return params_; }
+
+    std::uint64_t
+    gctBlocksOf(ThreadId tid) const
+    {
+        return gctBlocks_[static_cast<size_t>(tid)].value();
+    }
+    std::uint64_t
+    lmqBlocksOf(ThreadId tid) const
+    {
+        return lmqBlocks_[static_cast<size_t>(tid)].value();
+    }
+    std::uint64_t
+    tlbBlocksOf(ThreadId tid) const
+    {
+        return tlbBlocks_[static_cast<size_t>(tid)].value();
+    }
+    std::uint64_t
+    flushesOf(ThreadId tid) const
+    {
+        return flushes_[static_cast<size_t>(tid)].value();
+    }
+
+    void registerStats(StatGroup &group) const;
+
+  private:
+    BalancerParams params_;
+    const DecodeSlotAllocator *priorities_ = nullptr;
+    std::array<Counter, num_hw_threads> gctBlocks_;
+    std::array<Counter, num_hw_threads> lmqBlocks_;
+    std::array<Counter, num_hw_threads> tlbBlocks_;
+    std::array<Counter, num_hw_threads> flushes_;
+};
+
+} // namespace p5
+
+#endif // P5SIM_CORE_BALANCER_HH

@@ -1,0 +1,47 @@
+#include "core/chip.hh"
+
+#include "common/log.hh"
+
+namespace p5 {
+
+Chip::Chip(const CoreParams &base)
+{
+    backside_ = std::make_unique<MemBackside>(base.mem);
+    for (int c = 0; c < num_cores; ++c) {
+        CoreParams p = base;
+        p.coreId = c;
+        cores_[c] = std::make_unique<SmtCore>(p, backside_.get());
+    }
+}
+
+SmtCore &
+Chip::core(int idx)
+{
+    if (idx < 0 || idx >= num_cores)
+        panic("Chip::core(%d) out of range", idx);
+    return *cores_[idx];
+}
+
+const SmtCore &
+Chip::core(int idx) const
+{
+    if (idx < 0 || idx >= num_cores)
+        panic("Chip::core(%d) out of range", idx);
+    return *cores_[idx];
+}
+
+void
+Chip::tick()
+{
+    for (auto &core : cores_)
+        core->tick();
+}
+
+void
+Chip::run(Cycle cycles)
+{
+    for (Cycle i = 0; i < cycles; ++i)
+        tick();
+}
+
+} // namespace p5

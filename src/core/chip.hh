@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Dual-core POWER5 chip: two SMT cores sharing the L2/L3/DRAM backside.
+ *
+ * The paper's methodology pins all OS noise (user-land daemons, IRQs) to
+ * the first core and measures on the second; the Chip class makes that
+ * setup expressible — core 0 can run a noise workload while core 1 runs
+ * the experiment, contending only below L1.
+ */
+
+#ifndef P5SIM_CORE_CHIP_HH
+#define P5SIM_CORE_CHIP_HH
+
+#include <memory>
+
+#include "core/smt_core.hh"
+
+namespace p5 {
+
+/** Number of cores per chip. */
+constexpr int num_cores = 2;
+
+/** The dual-core chip. */
+class Chip
+{
+  public:
+    /** @param base per-core configuration; coreId is set per core. */
+    explicit Chip(const CoreParams &base);
+
+    SmtCore &core(int idx);
+    const SmtCore &core(int idx) const;
+
+    MemBackside &backside() { return *backside_; }
+
+    /** Advance both cores one cycle. */
+    void tick();
+
+    /** Advance both cores @p cycles cycles. */
+    void run(Cycle cycles);
+
+    Cycle cycle() const { return core(0).cycle(); }
+
+  private:
+    std::unique_ptr<MemBackside> backside_;
+    std::unique_ptr<SmtCore> cores_[num_cores];
+};
+
+} // namespace p5
+
+#endif // P5SIM_CORE_CHIP_HH

@@ -1,0 +1,54 @@
+#include "core/decode_arbiter.hh"
+
+namespace p5 {
+
+DecodeArbiter::DecodeArbiter(int decode_width, int minority_width,
+                             bool work_conserving)
+    : allocator_(decode_width, minority_width),
+      workConserving_(work_conserving)
+{
+}
+
+SlotGrant
+DecodeArbiter::decide(Cycle now,
+                      const std::array<bool, num_hw_threads> &can_use)
+{
+    SlotGrant g = allocator_.grantAt(now);
+    if (g.owner < 0)
+        return g;
+
+    const auto owner = static_cast<size_t>(g.owner);
+    if (can_use[owner]) {
+        ++granted_[owner];
+        return g;
+    }
+
+    ++forfeited_[owner];
+    const ThreadId sibling = static_cast<ThreadId>(1 - g.owner);
+    if (workConserving_ && can_use[static_cast<size_t>(sibling)] &&
+        allocator_.threadActive(sibling)) {
+        g.owner = sibling;
+        ++reassigned_[static_cast<size_t>(sibling)];
+        return g;
+    }
+
+    g.owner = -1;
+    g.maxWidth = 0;
+    return g;
+}
+
+void
+DecodeArbiter::registerStats(StatGroup &group) const
+{
+    for (int t = 0; t < num_hw_threads; ++t) {
+        auto ts = std::to_string(t);
+        group.registerCounter("decode.thread" + ts + ".slotsGranted",
+                              &granted_[static_cast<size_t>(t)]);
+        group.registerCounter("decode.thread" + ts + ".slotsForfeited",
+                              &forfeited_[static_cast<size_t>(t)]);
+        group.registerCounter("decode.thread" + ts + ".slotsReassigned",
+                              &reassigned_[static_cast<size_t>(t)]);
+    }
+}
+
+} // namespace p5

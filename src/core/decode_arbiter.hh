@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Decode-slot arbitration.
+ *
+ * Combines the software-priority slot allocator with per-cycle usability
+ * (redirect penalties, balancer blocks, GCT space) and accounts for what
+ * happened to every slot. A slot whose owner cannot use it is forfeited —
+ * POWER5 slots are strictly owned — unless the work-conserving ablation
+ * knob hands it to the sibling.
+ */
+
+#ifndef P5SIM_CORE_DECODE_ARBITER_HH
+#define P5SIM_CORE_DECODE_ARBITER_HH
+
+#include <array>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "prio/slot_allocator.hh"
+
+namespace p5 {
+
+/** The decode arbiter of one SMT core. */
+class DecodeArbiter
+{
+  public:
+    DecodeArbiter(int decode_width, int minority_width,
+                  bool work_conserving);
+
+    /** Access to the underlying priority allocator. */
+    DecodeSlotAllocator &allocator() { return allocator_; }
+    const DecodeSlotAllocator &allocator() const { return allocator_; }
+
+    /**
+     * Decide this cycle's decode grant.
+     *
+     * @param can_use whether each thread could decode this cycle if
+     *        granted the slot (attached, not blocked, has GCT space).
+     */
+    SlotGrant decide(Cycle now,
+                     const std::array<bool, num_hw_threads> &can_use);
+
+    std::uint64_t
+    slotsGrantedTo(ThreadId tid) const
+    {
+        return granted_[static_cast<size_t>(tid)].value();
+    }
+    std::uint64_t
+    slotsForfeitedBy(ThreadId tid) const
+    {
+        return forfeited_[static_cast<size_t>(tid)].value();
+    }
+    std::uint64_t
+    slotsReassignedTo(ThreadId tid) const
+    {
+        return reassigned_[static_cast<size_t>(tid)].value();
+    }
+
+    void registerStats(StatGroup &group) const;
+
+  private:
+    DecodeSlotAllocator allocator_;
+    bool workConserving_;
+
+    std::array<Counter, num_hw_threads> granted_;
+    std::array<Counter, num_hw_threads> forfeited_;
+    std::array<Counter, num_hw_threads> reassigned_;
+};
+
+} // namespace p5
+
+#endif // P5SIM_CORE_DECODE_ARBITER_HH

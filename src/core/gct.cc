@@ -1,0 +1,85 @@
+#include "core/gct.hh"
+
+#include "common/log.hh"
+
+namespace p5 {
+
+Gct::Gct(int num_groups) : capacity_(num_groups)
+{
+    if (num_groups <= 0)
+        fatal("GCT needs at least one group");
+}
+
+void
+Gct::allocate(ThreadId tid, SeqNum start_seq, int count)
+{
+    if (!hasFreeGroup())
+        panic("GCT allocate with no free group");
+    if (count <= 0)
+        panic("GCT allocate with count %d", count);
+    auto &q = groups_[static_cast<size_t>(tid)];
+    if (!q.empty()) {
+        const GctGroup &last = q.back();
+        if (start_seq != last.startSeq + static_cast<SeqNum>(last.count))
+            panic("GCT groups of thread %d not contiguous", tid);
+    }
+    q.push_back({start_seq, count});
+    ++allocated_;
+}
+
+const GctGroup &
+Gct::oldest(ThreadId tid) const
+{
+    const auto &q = groups_[static_cast<size_t>(tid)];
+    if (q.empty())
+        panic("GCT oldest() on empty thread %d", tid);
+    return q.front();
+}
+
+void
+Gct::popOldest(ThreadId tid)
+{
+    auto &q = groups_[static_cast<size_t>(tid)];
+    if (q.empty())
+        panic("GCT popOldest() on empty thread %d", tid);
+    q.pop_front();
+    ++retired_;
+}
+
+void
+Gct::squash(ThreadId tid, SeqNum last_good_seq)
+{
+    squashFrom(tid, last_good_seq + 1);
+}
+
+void
+Gct::squashFrom(ThreadId tid, SeqNum first_bad_seq)
+{
+    auto &q = groups_[static_cast<size_t>(tid)];
+    while (!q.empty()) {
+        GctGroup &g = q.back();
+        if (g.startSeq >= first_bad_seq) {
+            q.pop_back();
+            continue;
+        }
+        const SeqNum end = g.startSeq + static_cast<SeqNum>(g.count);
+        if (end > first_bad_seq)
+            g.count = static_cast<int>(first_bad_seq - g.startSeq);
+        break;
+    }
+}
+
+void
+Gct::clearThread(ThreadId tid)
+{
+    groups_[static_cast<size_t>(tid)].clear();
+}
+
+void
+Gct::registerStats(StatGroup &group) const
+{
+    group.registerCounter("gct.allocated", &allocated_);
+    group.registerCounter("gct.retired", &retired_);
+}
+
+} // namespace p5

@@ -1,0 +1,61 @@
+#include "core/issue_queue.hh"
+
+#include "common/log.hh"
+
+namespace p5 {
+
+void
+IssueQueue::push(FuClass fc, const ReadyRef &ref)
+{
+    queues_[static_cast<int>(fc)].push(ref);
+}
+
+bool
+IssueQueue::empty(FuClass fc) const
+{
+    return queues_[static_cast<int>(fc)].empty();
+}
+
+std::size_t
+IssueQueue::size(FuClass fc) const
+{
+    return queues_[static_cast<int>(fc)].size();
+}
+
+const ReadyRef &
+IssueQueue::top(FuClass fc) const
+{
+    const auto &q = queues_[static_cast<int>(fc)];
+    if (q.empty())
+        panic("IssueQueue::top on empty %s queue", fuClassName(fc));
+    return q.top();
+}
+
+ReadyRef
+IssueQueue::pop(FuClass fc)
+{
+    auto &q = queues_[static_cast<int>(fc)];
+    if (q.empty())
+        panic("IssueQueue::pop on empty %s queue", fuClassName(fc));
+    ReadyRef ref = q.top();
+    q.pop();
+    return ref;
+}
+
+void
+IssueQueue::clear()
+{
+    for (auto &q : queues_)
+        q = Heap{};
+}
+
+std::size_t
+IssueQueue::totalSize() const
+{
+    std::size_t n = 0;
+    for (const auto &q : queues_)
+        n += q.size();
+    return n;
+}
+
+} // namespace p5

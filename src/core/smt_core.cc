@@ -1,0 +1,514 @@
+#include "core/smt_core.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace p5 {
+
+SmtCore::SmtCore(const CoreParams &params, MemBackside *shared_backside)
+    : params_(params), hierarchy_(params.mem, shared_backside),
+      lmq_(params.lmqEntries), lsu_(params_, &hierarchy_, &lmq_),
+      bht_(params.bht), gct_(params.gctGroups), fuPool_(params.fuCount),
+      arbiter_(params.decodeWidth, params.minoritySlotWidth,
+               params.workConservingSlots),
+      balancer_(params.balancer),
+      stats_("core" + std::to_string(params.coreId))
+{
+    params_.validate();
+    for (ThreadId t = 0; t < num_hw_threads; ++t)
+        threads_[static_cast<size_t>(t)] = std::make_unique<ThreadState>(t);
+    // Both threads start shut off; attachThread turns them on.
+    arbiter_.allocator().setPriorities(0, 0);
+    lsu_.setPriorityView(&arbiter_.allocator());
+    balancer_.setPriorityView(&arbiter_.allocator());
+    registerStats();
+}
+
+void
+SmtCore::registerStats()
+{
+    hierarchy_.registerStats(stats_);
+    lmq_.registerStats(stats_);
+    lsu_.registerStats(stats_);
+    bht_.registerStats(stats_);
+    gct_.registerStats(stats_);
+    fuPool_.registerStats(stats_);
+    arbiter_.registerStats(stats_);
+    balancer_.registerStats(stats_);
+    for (int t = 0; t < num_hw_threads; ++t) {
+        const auto ti = static_cast<size_t>(t);
+        auto ts = std::to_string(t);
+        ThreadState &th = *threads_[ti];
+        stats_.registerCounter("thread" + ts + ".committed",
+                               &th.committedCtr);
+        stats_.registerCounter("thread" + ts + ".squashed",
+                               &th.squashedCtr);
+        stats_.registerCounter("thread" + ts + ".mispredicts",
+                               &th.mispredictsCtr);
+        stats_.registerCounter("thread" + ts + ".prioNopsApplied",
+                               &th.prioNopsApplied);
+        stats_.registerCounter("thread" + ts + ".prioNopsIgnored",
+                               &th.prioNopsIgnored);
+        stats_.registerCounter("thread" + ts + ".decoded", &decoded_[ti]);
+        stats_.registerCounter("thread" + ts + ".stallBalancer",
+                               &stallBalancer_[ti]);
+        stats_.registerCounter("thread" + ts + ".stallRedirect",
+                               &stallRedirect_[ti]);
+        stats_.registerCounter("thread" + ts + ".stallGct",
+                               &stallGct_[ti]);
+        stats_.registerCounter("thread" + ts + ".flushedInstrs",
+                               &flushedInstrs_[ti]);
+    }
+}
+
+// --- thread management ----------------------------------------------
+
+void
+SmtCore::attachThread(ThreadId tid, const SyntheticProgram *program,
+                      int priority, PrivilegeLevel privilege)
+{
+    if (tid < 0 || tid >= num_hw_threads)
+        panic("attachThread: bad tid %d", tid);
+    ThreadState &ts = *threads_[static_cast<size_t>(tid)];
+    ts.attach(program);
+    ts.privilege = privilege;
+    arbiter_.allocator().setPriority(tid, priority);
+}
+
+void
+SmtCore::detachThread(ThreadId tid)
+{
+    ThreadState &ts = *threads_[static_cast<size_t>(tid)];
+    ts.detach();
+    lmq_.releaseThread(tid);
+    gct_.clearThread(tid);
+    arbiter_.allocator().setPriority(tid, 0);
+}
+
+bool
+SmtCore::threadAttached(ThreadId tid) const
+{
+    return threads_[static_cast<size_t>(tid)]->attached();
+}
+
+// --- priorities -------------------------------------------------------
+
+void
+SmtCore::setPriorityPair(int prio_p, int prio_s)
+{
+    arbiter_.allocator().setPriorities(prio_p, prio_s);
+}
+
+bool
+SmtCore::requestPriority(ThreadId tid, int prio, PrivilegeLevel priv)
+{
+    if (!isValidPriority(prio))
+        return false;
+    if (!canSetPriority(priv, prio))
+        return false;
+    arbiter_.allocator().setPriority(tid, prio);
+    return true;
+}
+
+int
+SmtCore::priorityOf(ThreadId tid) const
+{
+    return arbiter_.allocator().priorityOf(tid);
+}
+
+void
+SmtCore::setPrivilege(ThreadId tid, PrivilegeLevel priv)
+{
+    threads_[static_cast<size_t>(tid)]->privilege = priv;
+}
+
+void
+SmtCore::setPrioNopListener(PrioNopListener fn)
+{
+    prioNopListener_ = std::move(fn);
+}
+
+// --- observation -----------------------------------------------------
+
+ThreadState &
+SmtCore::thread(ThreadId tid)
+{
+    return *threads_[static_cast<size_t>(tid)];
+}
+
+const ThreadState &
+SmtCore::thread(ThreadId tid) const
+{
+    return *threads_[static_cast<size_t>(tid)];
+}
+
+std::uint64_t
+SmtCore::committedOf(ThreadId tid) const
+{
+    return threads_[static_cast<size_t>(tid)]->committed;
+}
+
+std::uint64_t
+SmtCore::executionsOf(ThreadId tid) const
+{
+    return threads_[static_cast<size_t>(tid)]->executionsCompleted;
+}
+
+Cycle
+SmtCore::lastExecutionCycleOf(ThreadId tid) const
+{
+    return threads_[static_cast<size_t>(tid)]->lastExecutionCycle;
+}
+
+double
+SmtCore::ipcOf(ThreadId tid) const
+{
+    if (cycle_ == 0)
+        return 0.0;
+    return static_cast<double>(committedOf(tid)) /
+           static_cast<double>(cycle_);
+}
+
+double
+SmtCore::totalIpc() const
+{
+    return ipcOf(0) + ipcOf(1);
+}
+
+// --- simulation loop --------------------------------------------------
+
+void
+SmtCore::tick()
+{
+    processCompletions();
+    issueStage();
+    commitStage();
+    decodeStage();
+    ++cycle_;
+}
+
+void
+SmtCore::run(Cycle cycles)
+{
+    for (Cycle i = 0; i < cycles; ++i)
+        tick();
+}
+
+bool
+SmtCore::runUntilExecutions(ThreadId tid, std::uint64_t executions,
+                            Cycle max_cycles)
+{
+    const Cycle limit = cycle_ + max_cycles;
+    while (cycle_ < limit) {
+        if (executionsOf(tid) >= executions)
+            return true;
+        tick();
+    }
+    return executionsOf(tid) >= executions;
+}
+
+// --- pipeline stages ---------------------------------------------------
+
+void
+SmtCore::processCompletions()
+{
+    while (!completions_.empty() && completions_.top().cycle <= cycle_) {
+        Completion c = completions_.top();
+        completions_.pop();
+        ThreadState &ts = *threads_[static_cast<size_t>(c.tid)];
+        InFlight *e = ts.find(c.seq, c.epoch);
+        if (!e || e->phase != InstrPhase::Issued)
+            continue; // squashed since issue
+        e->phase = InstrPhase::Finished;
+
+        if (e->di.isBranch()) {
+            bht_.update(e->di.pc, e->di.branchTaken);
+            if (e->di.mispredicted()) {
+                ++ts.mispredictsCtr;
+                squashAfter(ts, e->di.seq, true);
+                // NOTE: squashAfter only removes *younger* entries, so
+                // the pointer e (the branch itself) stays valid.
+            }
+        }
+        wakeDependents(ts, *e);
+    }
+}
+
+void
+SmtCore::wakeDependents(ThreadState &ts, InFlight &e)
+{
+    for (const auto &[dseq, depoch] : e.dependents) {
+        InFlight *d = ts.find(dseq, depoch);
+        if (!d || d->phase != InstrPhase::Dispatched)
+            continue;
+        if (d->pendingSrcs > 0 && --d->pendingSrcs == 0)
+            pushReady(ts, *d);
+    }
+    e.dependents.clear();
+}
+
+void
+SmtCore::pushReady(ThreadState &ts, InFlight &e)
+{
+    if (e.inReadyQueue)
+        return;
+    e.inReadyQueue = true;
+    ReadyRef ref;
+    ref.stamp = e.stamp;
+    ref.tid = ts.tid();
+    ref.seq = e.di.seq;
+    ref.epoch = e.epoch;
+    readyQ_.push(fuClassOf(e.di.op), ref);
+}
+
+void
+SmtCore::issueStage()
+{
+    static constexpr FuClass kClasses[] = {FuClass::FX, FuClass::FP,
+                                           FuClass::LS, FuClass::BR};
+    for (FuClass fc : kClasses) {
+        while (!readyQ_.empty(fc) && fuPool_.freeUnits(fc, cycle_) > 0) {
+            ReadyRef ref = readyQ_.pop(fc);
+            ThreadState &ts = *threads_[static_cast<size_t>(ref.tid)];
+            InFlight *e = ts.find(ref.seq, ref.epoch);
+            if (!e || e->phase != InstrPhase::Dispatched ||
+                e->pendingSrcs > 0)
+                continue; // stale reference
+            e->inReadyQueue = false;
+
+            Cycle done;
+            if (e->di.isLoad()) {
+                MemAccessResult res =
+                    lsu_.issueLoad(ref.tid, e->di.addr, cycle_);
+                done = res.doneCycle;
+            } else if (e->di.isStore()) {
+                lsu_.issueStore(ref.tid, e->di.addr, cycle_);
+                done = cycle_ + static_cast<Cycle>(opLatency(e->di.op));
+            } else {
+                done = cycle_ + static_cast<Cycle>(opLatency(e->di.op));
+            }
+
+            if (!fuPool_.tryAcquire(fc, cycle_,
+                                    params_.fuOccupancy(e->di.op)))
+                panic("FU acquire failed with free units available");
+
+            e->phase = InstrPhase::Issued;
+            e->di.completeCycle = done;
+            completions_.push({done, ref.tid, ref.seq, ref.epoch});
+        }
+    }
+}
+
+void
+SmtCore::commitStage()
+{
+    for (ThreadId t = 0; t < num_hw_threads; ++t) {
+        ThreadState &ts = *threads_[static_cast<size_t>(t)];
+        if (!ts.attached() || gct_.empty(t))
+            continue;
+
+        const GctGroup group = gct_.oldest(t);
+        bool all_finished = true;
+        for (int i = 0; i < group.count; ++i) {
+            InFlight *e = ts.find(group.startSeq +
+                                  static_cast<SeqNum>(i));
+            if (!e)
+                panic("GCT group references missing instruction");
+            if (e->phase != InstrPhase::Finished) {
+                all_finished = false;
+                break;
+            }
+        }
+        if (!all_finished)
+            continue;
+
+        for (int i = 0; i < group.count; ++i) {
+            InFlight &e = ts.window.front();
+            if (e.di.seq != group.startSeq + static_cast<SeqNum>(i))
+                panic("commit: window head out of sync with GCT");
+            if (e.di.op == OpClass::PrioNop) {
+                const int level = priorityFromOrNop(e.di.prioNopReg);
+                bool applied = false;
+                if (level >= 0)
+                    applied = requestPriority(t, level, ts.privilege);
+                if (applied)
+                    ++ts.prioNopsApplied;
+                else
+                    ++ts.prioNopsIgnored;
+                if (prioNopListener_)
+                    prioNopListener_(t, level, applied);
+            }
+            ts.window.pop_front();
+            ++ts.committed;
+            ++ts.committedCtr;
+        }
+        gct_.popOldest(t);
+
+        const std::uint64_t execs =
+            ts.stream().program().executionsAt(ts.committed);
+        if (execs > ts.executionsCompleted) {
+            ts.executionsCompleted = execs;
+            ts.lastExecutionCycle = cycle_ + 1;
+        }
+    }
+}
+
+void
+SmtCore::decodeStage()
+{
+    const bool both_running = threads_[0]->attached() &&
+                              threads_[1]->attached() &&
+                              arbiter_.allocator().threadActive(0) &&
+                              arbiter_.allocator().threadActive(1);
+    BalancerDecision bd =
+        balancer_.evaluate(gct_, lmq_, lsu_, both_running, cycle_);
+
+    std::array<bool, num_hw_threads> can_use{};
+    for (ThreadId t = 0; t < num_hw_threads; ++t) {
+        const auto ti = static_cast<size_t>(t);
+        ThreadState &ts = *threads_[ti];
+        if (!ts.attached())
+            continue;
+        if (bd.flush[ti])
+            flushDispatched(ts);
+        if (bd.block[ti]) {
+            ++stallBalancer_[ti];
+            continue;
+        }
+        if (cycle_ < ts.decodeBlockedUntil) {
+            ++stallRedirect_[ti];
+            continue;
+        }
+        // GCT admission: the bigger holder must leave one free group
+        // for the sibling, or a fast thread walls the slow one out of
+        // the machine entirely.
+        const ThreadId sib = static_cast<ThreadId>(1 - t);
+        const bool bigger_holder =
+            threads_[static_cast<size_t>(sib)]->attached() &&
+            gct_.occupancyOf(t) > gct_.occupancyOf(sib);
+        const int needed = bigger_holder ? 2 : 1;
+        if (gct_.capacity() - gct_.occupancy() < needed) {
+            ++stallGct_[ti];
+            continue;
+        }
+        can_use[ti] = true;
+    }
+
+    SlotGrant grant = arbiter_.decide(cycle_, can_use);
+    if (grant.owner < 0)
+        return;
+
+    ThreadState &ts = *threads_[static_cast<size_t>(grant.owner)];
+    const int width = std::min(grant.maxWidth, params_.groupSize);
+
+    std::vector<DynInstr> group;
+    group.reserve(static_cast<size_t>(width));
+    while (static_cast<int>(group.size()) < width) {
+        DynInstr di = ts.stream().fetch();
+        if (di.isBranch())
+            di.branchPredictedTaken = bht_.predict(di.pc);
+        const bool ends_group = di.isBranch();
+        group.push_back(di);
+        if (ends_group)
+            break; // branches end dispatch groups
+    }
+
+    gct_.allocate(grant.owner, group.front().seq,
+                  static_cast<int>(group.size()));
+    for (const DynInstr &di : group)
+        dispatchOne(ts, di);
+    decoded_[static_cast<size_t>(grant.owner)] +=
+        static_cast<std::uint64_t>(group.size());
+}
+
+void
+SmtCore::dispatchOne(ThreadState &ts, const DynInstr &di)
+{
+    InFlight e;
+    e.di = di;
+    e.epoch = ts.epoch;
+    e.stamp = dispatchStamp_++;
+
+    int pending = 0;
+    for (RegIndex src : {di.src0, di.src1}) {
+        if (src == invalid_reg)
+            continue;
+        const RenameEntry &re = ts.renameMap[src];
+        if (!re.valid)
+            continue;
+        InFlight *producer = ts.find(re.seq, re.epoch);
+        if (producer && producer->phase != InstrPhase::Finished) {
+            ++pending;
+            producer->dependents.emplace_back(di.seq, e.epoch);
+        }
+    }
+    e.pendingSrcs = pending;
+
+    if (di.dst != invalid_reg) {
+        RenameEntry &re = ts.renameMap[di.dst];
+        re.valid = true;
+        re.seq = di.seq;
+        re.epoch = e.epoch;
+    }
+
+    ts.window.push_back(std::move(e));
+    InFlight &placed = ts.window.back();
+
+    if (fuClassOf(di.op) == FuClass::None) {
+        // Nops and priority nops consume decode/commit bandwidth only.
+        placed.phase = InstrPhase::Finished;
+    } else if (placed.pendingSrcs == 0) {
+        pushReady(ts, placed);
+    }
+}
+
+void
+SmtCore::squashAfter(ThreadState &ts, SeqNum last_good_seq,
+                     bool redirect_penalty)
+{
+    std::uint64_t squashed = 0;
+    while (!ts.window.empty() &&
+           ts.window.back().di.seq > last_good_seq) {
+        ts.window.pop_back();
+        ++squashed;
+    }
+    if (squashed > 0) {
+        ts.squashedCtr += squashed;
+        ++ts.epoch;
+        gct_.squashFrom(ts.tid(), last_good_seq + 1);
+        ts.rebuildRenameMap();
+        ts.stream().rewindTo(last_good_seq + 1);
+    }
+    if (redirect_penalty) {
+        const Cycle until = cycle_ + 1 +
+                            static_cast<Cycle>(params_.mispredictPenalty);
+        if (until > ts.decodeBlockedUntil)
+            ts.decodeBlockedUntil = until;
+    }
+}
+
+void
+SmtCore::flushDispatched(ThreadState &ts)
+{
+    if (ts.window.empty())
+        return;
+    SeqNum first_bad = never_cycle;
+    std::uint64_t flushed = 0;
+    while (!ts.window.empty() &&
+           ts.window.back().phase == InstrPhase::Dispatched) {
+        first_bad = ts.window.back().di.seq;
+        ts.window.pop_back();
+        ++flushed;
+    }
+    if (flushed == 0)
+        return;
+    flushedInstrs_[static_cast<size_t>(ts.tid())] += flushed;
+    ts.squashedCtr += flushed;
+    ++ts.epoch;
+    gct_.squashFrom(ts.tid(), first_bad);
+    ts.rebuildRenameMap();
+    ts.stream().rewindTo(first_bad);
+}
+
+} // namespace p5

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * The POWER5-like two-way SMT core.
+ *
+ * A cycle-driven out-of-order core with the structure the paper's effects
+ * hinge on:
+ *
+ *  - decode: 5-wide, one thread per cycle, slots allocated by the
+ *    software-controlled priority mechanism (R-1:1 of R), gated by the
+ *    dynamic resource balancer and by GCT space;
+ *  - dispatch in groups into the shared Global Completion Table;
+ *  - out-of-order issue, oldest-first, to 2 FX + 2 LS + 2 FP + 1 BR
+ *    units; loads need LMQ entries when they miss L1;
+ *  - branch resolution at execute with stream rewind + redirect penalty;
+ *  - in-order group commit per thread, where "or X,X,X" priority nops
+ *    take effect subject to privilege (Table 1).
+ */
+
+#ifndef P5SIM_CORE_SMT_CORE_HH
+#define P5SIM_CORE_SMT_CORE_HH
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <queue>
+
+#include "branch/bht.hh"
+#include "common/stats.hh"
+#include "core/balancer.hh"
+#include "core/decode_arbiter.hh"
+#include "core/fu_pool.hh"
+#include "core/gct.hh"
+#include "core/issue_queue.hh"
+#include "core/lsu.hh"
+#include "core/params.hh"
+#include "core/thread_state.hh"
+#include "mem/hierarchy.hh"
+#include "mem/lmq.hh"
+
+namespace p5 {
+
+/** One SMT core. */
+class SmtCore
+{
+  public:
+    /**
+     * @param shared_backside chip-shared L2/L3/DRAM; nullptr gives the
+     *        core a private one (single-core experiments).
+     */
+    explicit SmtCore(const CoreParams &params,
+                     MemBackside *shared_backside = nullptr);
+
+    SmtCore(const SmtCore &) = delete;
+    SmtCore &operator=(const SmtCore &) = delete;
+
+    // --- thread management -------------------------------------------
+
+    /**
+     * Bind @p program to hardware thread @p tid and give it priority
+     * @p priority. A freshly constructed core has both threads shut off
+     * (priority 0), so attaching a single thread yields ST mode.
+     */
+    void attachThread(ThreadId tid, const SyntheticProgram *program,
+                      int priority = default_priority,
+                      PrivilegeLevel privilege = PrivilegeLevel::User);
+
+    /** Shut the thread off (priority 0) and drop its state. */
+    void detachThread(ThreadId tid);
+
+    bool threadAttached(ThreadId tid) const;
+
+    // --- priorities ---------------------------------------------------
+
+    /** Set both priorities directly (the hypervisor/experiment path). */
+    void setPriorityPair(int prio_p, int prio_s);
+
+    /**
+     * Checked priority request on behalf of @p tid's software at
+     * privilege @p priv; a nop (returns false) when not permitted —
+     * exactly the or-nop semantics.
+     */
+    bool requestPriority(ThreadId tid, int prio, PrivilegeLevel priv);
+
+    int priorityOf(ThreadId tid) const;
+
+    void setPrivilege(ThreadId tid, PrivilegeLevel priv);
+
+    /** Called after every committed PrioNop: (tid, level, applied). */
+    using PrioNopListener = std::function<void(ThreadId, int, bool)>;
+    void setPrioNopListener(PrioNopListener fn);
+
+    // --- simulation ---------------------------------------------------
+
+    /** Advance one cycle. */
+    void tick();
+
+    /** Advance @p cycles cycles. */
+    void run(Cycle cycles);
+
+    /**
+     * Run until thread @p tid has completed @p executions program
+     * executions, or @p max_cycles elapse.
+     *
+     * @return true when the target was reached.
+     */
+    bool runUntilExecutions(ThreadId tid, std::uint64_t executions,
+                            Cycle max_cycles);
+
+    Cycle cycle() const { return cycle_; }
+
+    // --- observation ----------------------------------------------------
+
+    std::uint64_t committedOf(ThreadId tid) const;
+    std::uint64_t executionsOf(ThreadId tid) const;
+    Cycle lastExecutionCycleOf(ThreadId tid) const;
+
+    /** Committed instructions of @p tid per elapsed cycle. */
+    double ipcOf(ThreadId tid) const;
+
+    /** Sum of both threads' IPC. */
+    double totalIpc() const;
+
+    const CoreParams &params() const { return params_; }
+    ThreadState &thread(ThreadId tid);
+    const ThreadState &thread(ThreadId tid) const;
+    Gct &gct() { return gct_; }
+    Lmq &lmq() { return lmq_; }
+    Lsu &lsu() { return lsu_; }
+    Bht &bht() { return bht_; }
+    CacheHierarchy &hierarchy() { return hierarchy_; }
+    DecodeArbiter &arbiter() { return arbiter_; }
+    Balancer &balancer() { return balancer_; }
+    StatGroup &stats() { return stats_; }
+
+    std::uint64_t
+    decodedOf(ThreadId tid) const
+    {
+        return decoded_[static_cast<size_t>(tid)].value();
+    }
+
+  private:
+    struct Completion
+    {
+        Cycle cycle;
+        ThreadId tid;
+        SeqNum seq;
+        std::uint64_t epoch;
+    };
+    struct CompletionLater
+    {
+        bool
+        operator()(const Completion &a, const Completion &b) const
+        {
+            return a.cycle > b.cycle;
+        }
+    };
+
+    void processCompletions();
+    void issueStage();
+    void commitStage();
+    void decodeStage();
+
+    void dispatchOne(ThreadState &ts, const DynInstr &di);
+    void pushReady(ThreadState &ts, InFlight &e);
+    void wakeDependents(ThreadState &ts, InFlight &e);
+    void squashAfter(ThreadState &ts, SeqNum last_good_seq,
+                     bool redirect_penalty);
+    void flushDispatched(ThreadState &ts);
+    void registerStats();
+
+    CoreParams params_;
+    CacheHierarchy hierarchy_;
+    Lmq lmq_;
+    Lsu lsu_;
+    Bht bht_;
+    Gct gct_;
+    FuPool fuPool_;
+    IssueQueue readyQ_;
+    DecodeArbiter arbiter_;
+    Balancer balancer_;
+    std::array<std::unique_ptr<ThreadState>, num_hw_threads> threads_;
+
+    Cycle cycle_ = 0;
+    std::uint64_t dispatchStamp_ = 0;
+    std::priority_queue<Completion, std::vector<Completion>,
+                        CompletionLater>
+        completions_;
+
+    PrioNopListener prioNopListener_;
+
+    StatGroup stats_;
+    std::array<Counter, num_hw_threads> decoded_;
+    std::array<Counter, num_hw_threads> stallBalancer_;
+    std::array<Counter, num_hw_threads> stallRedirect_;
+    std::array<Counter, num_hw_threads> stallGct_;
+    std::array<Counter, num_hw_threads> flushedInstrs_;
+};
+
+} // namespace p5
+
+#endif // P5SIM_CORE_SMT_CORE_HH

@@ -1,0 +1,70 @@
+#include "core/thread_state.hh"
+
+#include "common/log.hh"
+
+namespace p5 {
+
+void
+ThreadState::attach(const SyntheticProgram *program)
+{
+    if (!program)
+        panic("ThreadState::attach(null program)");
+    stream_ = std::make_unique<InstrStream>(program, tid_);
+    window.clear();
+    for (auto &e : renameMap)
+        e = RenameEntry{};
+    epoch = 0;
+    decodeBlockedUntil = 0;
+    committed = 0;
+    executionsCompleted = 0;
+    lastExecutionCycle = 0;
+}
+
+void
+ThreadState::detach()
+{
+    stream_.reset();
+    window.clear();
+    for (auto &e : renameMap)
+        e = RenameEntry{};
+}
+
+InFlight *
+ThreadState::find(SeqNum seq)
+{
+    if (window.empty())
+        return nullptr;
+    const SeqNum head = window.front().di.seq;
+    if (seq < head)
+        return nullptr;
+    const std::uint64_t idx = seq - head;
+    if (idx >= window.size())
+        return nullptr;
+    return &window[static_cast<std::size_t>(idx)];
+}
+
+InFlight *
+ThreadState::find(SeqNum seq, std::uint64_t expected_epoch)
+{
+    InFlight *e = find(seq);
+    if (!e || e->epoch != expected_epoch)
+        return nullptr;
+    return e;
+}
+
+void
+ThreadState::rebuildRenameMap()
+{
+    for (auto &e : renameMap)
+        e = RenameEntry{};
+    for (const auto &entry : window) {
+        if (entry.di.dst != invalid_reg) {
+            RenameEntry &re = renameMap[entry.di.dst];
+            re.valid = true;
+            re.seq = entry.di.seq;
+            re.epoch = entry.epoch;
+        }
+    }
+}
+
+} // namespace p5

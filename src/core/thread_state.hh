@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Per-hardware-thread state: instruction window, rename map, stream
+ * position, squash epoch and retirement accounting.
+ */
+
+#ifndef P5SIM_CORE_THREAD_STATE_HH
+#define P5SIM_CORE_THREAD_STATE_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/instruction.hh"
+#include "prio/priority.hh"
+#include "program/stream.hh"
+
+namespace p5 {
+
+/** One in-flight instruction plus its dataflow bookkeeping. */
+struct InFlight
+{
+    DynInstr di;
+    InstrPhase phase = InstrPhase::Dispatched;
+
+    /** Source operands still waiting for a producer. */
+    int pendingSrcs = 0;
+
+    /** Squash epoch this entry was dispatched in. */
+    std::uint64_t epoch = 0;
+
+    /** Global dispatch stamp: age priority for oldest-first issue. */
+    std::uint64_t stamp = 0;
+
+    /** Guard against double-insertion into the ready queues. */
+    bool inReadyQueue = false;
+
+    /** Same-thread consumers to wake on completion: (seq, epoch). */
+    std::vector<std::pair<SeqNum, std::uint64_t>> dependents;
+};
+
+/** Rename-map entry: the youngest producer of an architectural reg. */
+struct RenameEntry
+{
+    bool valid = false;
+    SeqNum seq = 0;
+    std::uint64_t epoch = 0;
+};
+
+/** All per-thread state of one SMT core. */
+class ThreadState
+{
+  public:
+    explicit ThreadState(ThreadId tid) : tid_(tid) {}
+
+    /** Bind a program; resets window, rename state and accounting. */
+    void attach(const SyntheticProgram *program);
+
+    /** Unbind; the thread decodes nothing afterwards. */
+    void detach();
+
+    bool attached() const { return stream_ != nullptr; }
+    InstrStream &stream() { return *stream_; }
+    const InstrStream &stream() const { return *stream_; }
+    ThreadId tid() const { return tid_; }
+
+    /** The in-flight window, oldest first. */
+    std::deque<InFlight> window;
+
+    /** Rename map over the flat architectural register space. */
+    RenameEntry renameMap[num_arch_regs];
+
+    /** Current squash epoch (bumped by every squash). */
+    std::uint64_t epoch = 0;
+
+    /** Decode is blocked until this cycle (redirect penalty). */
+    Cycle decodeBlockedUntil = 0;
+
+    /** Privilege the thread's software runs at (for or-nops). */
+    PrivilegeLevel privilege = PrivilegeLevel::User;
+
+    /** Find the in-flight entry with @p seq, or nullptr. */
+    InFlight *find(SeqNum seq);
+
+    /** find() with an epoch identity check. */
+    InFlight *find(SeqNum seq, std::uint64_t expected_epoch);
+
+    /**
+     * Rebuild the rename map from the surviving window after a squash
+     * (youngest surviving producer of each register wins).
+     */
+    void rebuildRenameMap();
+
+    /** Retirement accounting. */
+    std::uint64_t committed = 0;
+
+    /** Completed program executions (committed / instrsPerExecution). */
+    std::uint64_t executionsCompleted = 0;
+
+    /** Cycle at which the last completed execution retired. */
+    Cycle lastExecutionCycle = 0;
+
+    /** Counters for stats. */
+    Counter committedCtr;
+    Counter squashedCtr;
+    Counter mispredictsCtr;
+    Counter prioNopsApplied;
+    Counter prioNopsIgnored;
+
+  private:
+    ThreadId tid_;
+    std::unique_ptr<InstrStream> stream_;
+};
+
+} // namespace p5
+
+#endif // P5SIM_CORE_THREAD_STATE_HH

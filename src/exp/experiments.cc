@@ -1,0 +1,345 @@
+#include "exp/experiments.hh"
+
+#include <map>
+#include <tuple>
+
+#include "common/log.hh"
+
+namespace p5 {
+
+ExpConfig
+ExpConfig::fast()
+{
+    ExpConfig c;
+    c.fame.minRepetitions = 3;
+    c.fame.warmupRepetitions = 1;
+    c.fame.maiv = 0.05;
+    c.fame.warmupTolerance = 0.25;
+    c.ubenchScale = 0.5;
+    c.benchmarks = {UbenchId::CpuInt, UbenchId::LdintMem};
+    return c;
+}
+
+std::pair<int, int>
+prioPairForDiff(int diff)
+{
+    if (diff == 0)
+        return {default_priority, default_priority};
+    const int mag = diff > 0 ? diff : -diff;
+    if (mag > 5)
+        fatal("priority difference %d out of range", diff);
+    // +1 -> (5,4); larger differences pin the high side at 6 and walk
+    // the low side down to 1, all within the supervisor range.
+    const int high = mag == 1 ? 5 : 6;
+    const int low = high - mag;
+    return diff > 0 ? std::make_pair(high, low)
+                    : std::make_pair(low, high);
+}
+
+namespace {
+
+/** Build-once program cache for one experiment sweep. */
+class ProgramSet
+{
+  public:
+    ProgramSet(const std::vector<UbenchId> &ids, double scale)
+    {
+        for (UbenchId id : ids)
+            programs_.emplace(id, makeUbench(id, scale));
+    }
+
+    const SyntheticProgram &
+    get(UbenchId id) const
+    {
+        auto it = programs_.find(id);
+        if (it == programs_.end())
+            panic("program set missing benchmark %d",
+                  static_cast<int>(id));
+        return it->second;
+    }
+
+  private:
+    std::map<UbenchId, SyntheticProgram> programs_;
+};
+
+/** FAME-run one pair (or ST when s is null). */
+FameResult
+famePair(const ExpConfig &config, const SyntheticProgram *p,
+         const SyntheticProgram *s, int prio_p, int prio_s)
+{
+    return runFame(config.core, p, s, prio_p, prio_s, config.fame);
+}
+
+} // namespace
+
+Table3Data
+runTable3(const ExpConfig &config)
+{
+    Table3Data data;
+    data.benchmarks = config.benchmarks;
+    const std::size_t n = data.benchmarks.size();
+    ProgramSet progs(data.benchmarks, config.ubenchScale);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        FameResult st = famePair(config, &progs.get(data.benchmarks[i]),
+                                 nullptr, default_priority, 0);
+        data.stIpc.push_back(st.thread[0].avgIpc());
+    }
+
+    data.pt.assign(n, std::vector<double>(n, 0.0));
+    data.tt.assign(n, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            FameResult r = famePair(
+                config, &progs.get(data.benchmarks[i]),
+                &progs.get(data.benchmarks[j]), default_priority,
+                default_priority);
+            data.pt[i][j] = r.thread[0].avgIpc();
+            data.tt[i][j] = r.totalIpc();
+        }
+    }
+    return data;
+}
+
+namespace {
+
+PrioCurveData
+runPrioCurve(const ExpConfig &config, const std::vector<int> &diffs)
+{
+    PrioCurveData data;
+    data.benchmarks = config.benchmarks;
+    data.diffs = diffs;
+    const std::size_t n = data.benchmarks.size();
+    ProgramSet progs(data.benchmarks, config.ubenchScale);
+
+    data.rel.assign(
+        n, std::vector<std::vector<double>>(
+               n, std::vector<double>(diffs.size(), 0.0)));
+
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            const SyntheticProgram &p = progs.get(data.benchmarks[i]);
+            const SyntheticProgram &s = progs.get(data.benchmarks[j]);
+            FameResult base = famePair(config, &p, &s, default_priority,
+                                       default_priority);
+            const double base_time = base.thread[0].avgExecTime();
+            for (std::size_t d = 0; d < diffs.size(); ++d) {
+                auto [pp, ps] = prioPairForDiff(diffs[d]);
+                FameResult r = famePair(config, &p, &s, pp, ps);
+                const double t = r.thread[0].avgExecTime();
+                data.rel[i][j][d] = t > 0.0 ? base_time / t : 0.0;
+            }
+        }
+    }
+    return data;
+}
+
+} // namespace
+
+PrioCurveData
+runFig2(const ExpConfig &config)
+{
+    return runPrioCurve(config, {1, 2, 3, 4, 5});
+}
+
+PrioCurveData
+runFig3(const ExpConfig &config)
+{
+    return runPrioCurve(config, {-1, -2, -3, -4, -5});
+}
+
+ThroughputData
+runFig4(const ExpConfig &config)
+{
+    ThroughputData data;
+    data.benchmarks = config.benchmarks;
+    data.diffs = {-4, -3, -2, -1, 0, 1, 2, 3, 4};
+    const std::size_t n = data.benchmarks.size();
+    ProgramSet progs(data.benchmarks, config.ubenchScale);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        FameResult st = famePair(config, &progs.get(data.benchmarks[i]),
+                                 nullptr, default_priority, 0);
+        data.stIpc.push_back(st.thread[0].avgIpc());
+    }
+
+    data.ratio.assign(
+        n, std::vector<std::vector<double>>(
+               n, std::vector<double>(data.diffs.size(), 0.0)));
+
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            const SyntheticProgram &p = progs.get(data.benchmarks[i]);
+            const SyntheticProgram &s = progs.get(data.benchmarks[j]);
+            FameResult base = famePair(config, &p, &s, default_priority,
+                                       default_priority);
+            const double base_tt = base.totalIpc();
+            for (std::size_t d = 0; d < data.diffs.size(); ++d) {
+                if (data.diffs[d] == 0) {
+                    data.ratio[i][j][d] = 1.0;
+                    continue;
+                }
+                auto [pp, ps] = prioPairForDiff(data.diffs[d]);
+                FameResult r = famePair(config, &p, &s, pp, ps);
+                data.ratio[i][j][d] =
+                    base_tt > 0.0 ? r.totalIpc() / base_tt : 0.0;
+            }
+        }
+    }
+    return data;
+}
+
+CaseStudyData
+runFig5(SpecProxyId primary, SpecProxyId secondary,
+        const ExpConfig &config)
+{
+    CaseStudyData data;
+    data.primary = primary;
+    data.secondary = secondary;
+    data.diffs = {0, 1, 2, 3, 4, 5};
+
+    const SyntheticProgram p = makeSpecProxy(primary, config.ubenchScale);
+    const SyntheticProgram s =
+        makeSpecProxy(secondary, config.ubenchScale);
+
+    for (int d : data.diffs) {
+        auto [pp, ps] = prioPairForDiff(d);
+        FameResult r = famePair(config, &p, &s, pp, ps);
+        data.ipcPrimary.push_back(r.thread[0].avgIpc());
+        data.ipcSecondary.push_back(r.thread[1].avgIpc());
+        data.ipcTotal.push_back(r.totalIpc());
+    }
+    return data;
+}
+
+Table4Data
+runTable4(const ExpConfig &config)
+{
+    Table4Data data;
+
+    const std::vector<std::pair<int, int>> prio_rows = {
+        {4, 4}, {5, 4}, {6, 4}, {6, 3}};
+
+    {
+        PipelineParams pp;
+        pp.scale = config.ubenchScale;
+        PipelineApp app(pp);
+        PipelineResult st = app.runSingleThread(config.core);
+        Table4Row row;
+        row.singleThread = true;
+        row.fftCycles = st.fftCycles;
+        row.luCycles = st.luCycles;
+        row.iterationCycles = st.iterationCycles;
+        data.rows.push_back(row);
+    }
+
+    for (auto [pf, pl] : prio_rows) {
+        PipelineParams pp;
+        pp.prioFft = pf;
+        pp.prioLu = pl;
+        pp.scale = config.ubenchScale;
+        PipelineApp app(pp);
+        PipelineResult r = app.runSmt(config.core);
+        Table4Row row;
+        row.prioFft = pf;
+        row.prioLu = pl;
+        row.fftCycles = r.fftCycles;
+        row.luCycles = r.luCycles;
+        row.iterationCycles = r.iterationCycles;
+        data.rows.push_back(row);
+    }
+    return data;
+}
+
+TransparencyData
+runFig6(const ExpConfig &config)
+{
+    TransparencyData data;
+    data.foregrounds = config.benchmarks;
+    data.backgrounds = config.benchmarks;
+    data.panelCPriorities = {6, 5, 4, 3, 2};
+
+    const std::size_t nf = data.foregrounds.size();
+    const std::size_t nb = data.backgrounds.size();
+    ProgramSet progs(config.benchmarks, config.ubenchScale);
+
+    // Panels (a)/(b)/(d) share most (fg, bg, prio) runs: memoize.
+    std::map<std::tuple<UbenchId, UbenchId, int>, FameResult> cache;
+    auto cached = [&](UbenchId f, UbenchId bg, int fg_prio) {
+        auto key = std::make_tuple(f, bg, fg_prio);
+        auto it = cache.find(key);
+        if (it == cache.end()) {
+            it = cache
+                     .emplace(key, famePair(config, &progs.get(f),
+                                            &progs.get(bg), fg_prio, 1))
+                     .first;
+        }
+        return it->second;
+    };
+
+    // ST execution-time baselines for the foregrounds.
+    std::vector<double> st_time(nf, 0.0);
+    for (std::size_t f = 0; f < nf; ++f) {
+        FameResult st = famePair(config, &progs.get(data.foregrounds[f]),
+                                 nullptr, default_priority, 0);
+        st_time[f] = st.thread[0].avgExecTime();
+    }
+
+    // Panels (a)/(b): foreground at priority 6 / 5, background at 1.
+    for (int pi = 0; pi < 2; ++pi) {
+        const int fg_prio = pi == 0 ? 6 : 5;
+        data.relExec[static_cast<size_t>(pi)].assign(
+            nf, std::vector<double>(nb, 0.0));
+        for (std::size_t f = 0; f < nf; ++f) {
+            for (std::size_t b = 0; b < nb; ++b) {
+                FameResult r = cached(data.foregrounds[f],
+                                      data.backgrounds[b], fg_prio);
+                data.relExec[static_cast<size_t>(pi)][f][b] =
+                    r.thread[0].avgExecTime() / st_time[f];
+            }
+        }
+    }
+
+    // Panel (c): worst-case background (ldint_mem) as fg prio drops.
+    data.panelCForegrounds = {UbenchId::LdintL2, UbenchId::CpuFp,
+                              UbenchId::LngChainCpuint,
+                              UbenchId::LdintMem};
+    ProgramSet cprogs(data.panelCForegrounds, config.ubenchScale);
+    const SyntheticProgram mem_bg =
+        makeUbench(UbenchId::LdintMem, config.ubenchScale);
+    data.panelCRelExec.assign(
+        data.panelCPriorities.size(),
+        std::vector<double>(data.panelCForegrounds.size(), 0.0));
+    for (std::size_t p = 0; p < data.panelCPriorities.size(); ++p) {
+        for (std::size_t f = 0; f < data.panelCForegrounds.size(); ++f) {
+            const UbenchId fg = data.panelCForegrounds[f];
+            FameResult st =
+                famePair(config, &cprogs.get(fg), nullptr,
+                         default_priority, 0);
+            FameResult r =
+                famePair(config, &cprogs.get(fg), &mem_bg,
+                         data.panelCPriorities[p], 1);
+            data.panelCRelExec[p][f] = r.thread[0].avgExecTime() /
+                                       st.thread[0].avgExecTime();
+        }
+    }
+
+    // Panel (d): average background IPC over the foreground partners.
+    data.bgIpc.assign(data.panelCPriorities.size(),
+                      std::vector<double>(nb, 0.0));
+    for (std::size_t p = 0; p < data.panelCPriorities.size(); ++p) {
+        for (std::size_t b = 0; b < nb; ++b) {
+            double sum = 0.0;
+            for (std::size_t f = 0; f < nf; ++f) {
+                FameResult r =
+                    cached(data.foregrounds[f], data.backgrounds[b],
+                           data.panelCPriorities[p]);
+                sum += r.thread[1].avgIpc();
+            }
+            data.bgIpc[p][b] = sum / static_cast<double>(nf);
+        }
+    }
+    return data;
+}
+
+} // namespace p5

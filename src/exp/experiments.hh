@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Experiment harness: one producer per table/figure of the paper's
+ * evaluation (Sec. 5). Each producer returns plain data; exp/report.hh
+ * renders it in the paper's row/series layout.
+ */
+
+#ifndef P5SIM_EXP_EXPERIMENTS_HH
+#define P5SIM_EXP_EXPERIMENTS_HH
+
+#include <array>
+#include <vector>
+
+#include "core/params.hh"
+#include "fame/fame.hh"
+#include "ubench/ubench.hh"
+#include "workloads/pipeline_app.hh"
+#include "workloads/spec_proxy.hh"
+
+namespace p5 {
+
+/** Shared experiment configuration. */
+struct ExpConfig
+{
+    CoreParams core;
+    FameParams fame;
+
+    /** Work multiplier for micro-benchmark executions. */
+    double ubenchScale = 1.0;
+
+    /** Micro-benchmarks to sweep (defaults to the paper's six). */
+    std::vector<UbenchId> benchmarks = presentedUbench();
+
+    /** Reduced-accuracy configuration for smoke tests. */
+    static ExpConfig fast();
+};
+
+/**
+ * Map a priority difference to the (PrioP, PrioS) pair used in the
+ * sweeps: +1 -> (5,4), +2 -> (6,4), +3 -> (6,3), +4 -> (6,2),
+ * +5 -> (6,1); negative differences mirror. Difference 0 is (4,4).
+ * Stays within the supervisor range 1..6 like the paper's kernel patch.
+ */
+std::pair<int, int> prioPairForDiff(int diff);
+
+// --- Table 3 ----------------------------------------------------------
+
+/** ST IPC plus the pairwise SMT(4,4) IPC matrix. */
+struct Table3Data
+{
+    std::vector<UbenchId> benchmarks;
+
+    /** Single-thread IPC per benchmark. */
+    std::vector<double> stIpc;
+
+    /** pt[i][j]: IPC of benchmark i when co-run with j at (4,4). */
+    std::vector<std::vector<double>> pt;
+
+    /** tt[i][j]: total IPC of the (i, j) pair at (4,4). */
+    std::vector<std::vector<double>> tt;
+};
+
+Table3Data runTable3(const ExpConfig &config);
+
+// --- Figures 2 and 3 ---------------------------------------------------
+
+/**
+ * Relative performance of the PThread as its priority moves away from
+ * the SThread's (Fig. 2: positive, Fig. 3: negative).
+ */
+struct PrioCurveData
+{
+    std::vector<UbenchId> benchmarks;
+
+    /** Priority differences, e.g. {+1..+5} or {-1..-5}. */
+    std::vector<int> diffs;
+
+    /**
+     * rel[p][s][d]: PThread p's performance with SThread s at diff
+     * diffs[d], relative to the (4,4) baseline (execution-time ratio
+     * baseline/current; >1 is speedup, <1 slowdown).
+     */
+    std::vector<std::vector<std::vector<double>>> rel;
+};
+
+PrioCurveData runFig2(const ExpConfig &config);
+PrioCurveData runFig3(const ExpConfig &config);
+
+// --- Figure 4 ----------------------------------------------------------
+
+/** Total IPC across priority differences, relative to (4,4). */
+struct ThroughputData
+{
+    std::vector<UbenchId> benchmarks;
+    std::vector<int> diffs; ///< -4..+4
+
+    /** ratio[p][s][d]: total IPC at diffs[d] / total IPC at (4,4). */
+    std::vector<std::vector<std::vector<double>>> ratio;
+
+    /** stIpc[p]: single-thread IPC (the figure's legend). */
+    std::vector<double> stIpc;
+};
+
+ThroughputData runFig4(const ExpConfig &config);
+
+// --- Figure 5 ----------------------------------------------------------
+
+/** Case-study IPCs as the high-IPC thread's priority increases. */
+struct CaseStudyData
+{
+    SpecProxyId primary;
+    SpecProxyId secondary;
+    std::vector<int> diffs; ///< 0..+5
+
+    std::vector<double> ipcPrimary;
+    std::vector<double> ipcSecondary;
+    std::vector<double> ipcTotal;
+};
+
+CaseStudyData runFig5(SpecProxyId primary, SpecProxyId secondary,
+                      const ExpConfig &config);
+
+// --- Table 4 -----------------------------------------------------------
+
+/** FFT/LU pipeline timings per priority configuration. */
+struct Table4Row
+{
+    bool singleThread = false;
+    int prioFft = default_priority;
+    int prioLu = default_priority;
+    double fftCycles = 0.0;
+    double luCycles = 0.0;
+    double iterationCycles = 0.0;
+};
+
+struct Table4Data
+{
+    std::vector<Table4Row> rows;
+};
+
+Table4Data runTable4(const ExpConfig &config);
+
+// --- Figure 6 ----------------------------------------------------------
+
+/** Transparent-execution study. */
+struct TransparencyData
+{
+    /** Foreground benchmarks of panels (a)/(b). */
+    std::vector<UbenchId> foregrounds;
+
+    /** Background benchmarks (legend of panels (a)/(b)). */
+    std::vector<UbenchId> backgrounds;
+
+    /**
+     * relExec[fgPrioIdx][f][b]: foreground f's execution time with
+     * background b at priority 1, relative to f's ST execution time
+     * (1.0 = fully transparent). fgPrioIdx 0 -> priority 6, 1 -> 5.
+     */
+    std::array<std::vector<std::vector<double>>, 2> relExec;
+
+    /** Panel (c): worst-case background (ldint_mem) as the foreground
+     *  priority drops 6,5,4,3,2 (background stays at 1). */
+    std::vector<UbenchId> panelCForegrounds;
+    std::vector<int> panelCPriorities;
+    std::vector<std::vector<double>> panelCRelExec; ///< [prio][fg]
+
+    /** Panel (d): average background IPC per (fgPrio, bg). */
+    std::vector<std::vector<double>> bgIpc; ///< [prio][bg]
+};
+
+TransparencyData runFig6(const ExpConfig &config);
+
+} // namespace p5
+
+#endif // P5SIM_EXP_EXPERIMENTS_HH

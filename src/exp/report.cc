@@ -1,0 +1,237 @@
+#include "exp/report.hh"
+
+#include <string>
+
+#include "prio/priority.hh"
+
+namespace p5 {
+
+namespace {
+
+std::string
+privilegeFor(int prio)
+{
+    switch (prio) {
+      case 0:
+      case 7:
+        return "Hypervisor";
+      case 1:
+      case 5:
+      case 6:
+        return "Supervisor";
+      default:
+        return "User/Supervisor";
+    }
+}
+
+} // namespace
+
+Table
+renderTable1()
+{
+    Table t("Table 1: software-controlled thread priorities");
+    t.setColumns({"Priority", "Priority level", "Privilege level",
+                  "or-nop inst."});
+    for (int prio = min_priority; prio <= max_priority; ++prio) {
+        t.addRow({std::to_string(prio), priorityName(prio),
+                  privilegeFor(prio), orNopMnemonic(prio)});
+    }
+    return t;
+}
+
+Table
+renderTable2()
+{
+    Table t("Table 2: loop body of the micro-benchmarks");
+    t.setColumns({"Name", "Group", "Loop body"});
+    for (UbenchId id : allUbench()) {
+        const UbenchInfo &info = ubenchInfo(id);
+        t.addRow({info.name, ubenchGroupName(info.group),
+                  info.loopBody});
+    }
+    return t;
+}
+
+Table
+renderTable3(const Table3Data &data)
+{
+    Table t("Table 3: IPC in ST mode and in SMT with priorities (4,4)");
+    std::vector<std::string> cols = {"Micro-benchmark", "IPC ST"};
+    for (UbenchId j : data.benchmarks) {
+        cols.push_back(std::string(ubenchName(j)) + " pt");
+        cols.push_back(std::string(ubenchName(j)) + " tt");
+    }
+    t.setColumns(cols);
+    for (std::size_t i = 0; i < data.benchmarks.size(); ++i) {
+        std::vector<std::string> row;
+        row.push_back(ubenchName(data.benchmarks[i]));
+        row.push_back(Table::fmt(data.stIpc[i], 2));
+        for (std::size_t j = 0; j < data.benchmarks.size(); ++j) {
+            row.push_back(Table::fmt(data.pt[i][j], 2));
+            row.push_back(Table::fmt(data.tt[i][j], 2));
+        }
+        t.addRow(row);
+    }
+    return t;
+}
+
+std::vector<Table>
+renderPrioCurves(const PrioCurveData &data, const char *caption_prefix)
+{
+    std::vector<Table> tables;
+    for (std::size_t i = 0; i < data.benchmarks.size(); ++i) {
+        Table t(std::string(caption_prefix) + " — PThread: " +
+                ubenchName(data.benchmarks[i]) +
+                " (performance factor vs (4,4))");
+        std::vector<std::string> cols = {"SThread"};
+        for (int d : data.diffs)
+            cols.push_back((d > 0 ? "+" : "") + std::to_string(d));
+        t.setColumns(cols);
+        for (std::size_t j = 0; j < data.benchmarks.size(); ++j) {
+            std::vector<std::string> row = {
+                ubenchName(data.benchmarks[j])};
+            for (std::size_t d = 0; d < data.diffs.size(); ++d)
+                row.push_back(Table::fmt(data.rel[i][j][d], 2));
+            t.addRow(row);
+        }
+        tables.push_back(std::move(t));
+    }
+    return tables;
+}
+
+std::vector<Table>
+renderFig4(const ThroughputData &data)
+{
+    std::vector<Table> tables;
+    for (std::size_t i = 0; i < data.benchmarks.size(); ++i) {
+        Table t(std::string("Figure 4 — PThread: ") +
+                ubenchName(data.benchmarks[i]) + " (ST IPC " +
+                Table::fmt(data.stIpc[i], 2) +
+                "): total IPC w.r.t. (4,4)");
+        std::vector<std::string> cols = {"SThread"};
+        for (int d : data.diffs)
+            cols.push_back((d > 0 ? "+" : "") + std::to_string(d));
+        t.setColumns(cols);
+        for (std::size_t j = 0; j < data.benchmarks.size(); ++j) {
+            std::vector<std::string> row = {
+                ubenchName(data.benchmarks[j])};
+            for (std::size_t d = 0; d < data.diffs.size(); ++d)
+                row.push_back(Table::fmt(data.ratio[i][j][d], 2));
+            t.addRow(row);
+        }
+        tables.push_back(std::move(t));
+    }
+    return tables;
+}
+
+Table
+renderFig5(const CaseStudyData &data)
+{
+    Table t(std::string("Figure 5: ") + specProxyName(data.primary) +
+            " + " + specProxyName(data.secondary) +
+            " — IPC with increasing priorities");
+    t.setColumns({"Priority diff", std::string(specProxyName(
+                                       data.primary)) + " IPC",
+                  std::string(specProxyName(data.secondary)) + " IPC",
+                  "Total IPC", "Total vs (4,4)"});
+    const double base = data.ipcTotal.empty() ? 0.0 : data.ipcTotal[0];
+    for (std::size_t d = 0; d < data.diffs.size(); ++d) {
+        t.addRow({"+" + std::to_string(data.diffs[d]),
+                  Table::fmt(data.ipcPrimary[d], 3),
+                  Table::fmt(data.ipcSecondary[d], 3),
+                  Table::fmt(data.ipcTotal[d], 3),
+                  base > 0.0
+                      ? Table::fmtPercent(data.ipcTotal[d] / base - 1.0)
+                      : "-"});
+    }
+    return t;
+}
+
+Table
+renderTable4(const Table4Data &data)
+{
+    Table t("Table 4: execution time of FFT and LU (cycles)");
+    t.setColumns({"Priority", "Priority diff", "FFT exec time",
+                  "LU exec time", "Iteration exec time"});
+    for (const Table4Row &row : data.rows) {
+        if (row.singleThread) {
+            t.addRow({"single-thread mode", "-",
+                      Table::fmt(row.fftCycles, 0),
+                      Table::fmt(row.luCycles, 0),
+                      Table::fmt(row.iterationCycles, 0)});
+        } else {
+            const int diff = row.prioFft - row.prioLu;
+            t.addRow({std::to_string(row.prioFft) + "," +
+                          std::to_string(row.prioLu),
+                      (diff >= 0 ? "+" : "") + std::to_string(diff),
+                      Table::fmt(row.fftCycles, 0),
+                      Table::fmt(row.luCycles, 0),
+                      Table::fmt(row.iterationCycles, 0)});
+        }
+    }
+    return t;
+}
+
+std::vector<Table>
+renderFig6(const TransparencyData &data)
+{
+    std::vector<Table> tables;
+
+    for (int pi = 0; pi < 2; ++pi) {
+        const int prio = pi == 0 ? 6 : 5;
+        Table t("Figure 6(" + std::string(pi == 0 ? "a" : "b") +
+                "): foreground exec time vs ST, PrioP=" +
+                std::to_string(prio) + ", PrioS=1");
+        std::vector<std::string> cols = {"Foreground"};
+        for (UbenchId b : data.backgrounds)
+            cols.push_back(std::string("bg ") + ubenchName(b));
+        t.setColumns(cols);
+        for (std::size_t f = 0; f < data.foregrounds.size(); ++f) {
+            std::vector<std::string> row = {
+                ubenchName(data.foregrounds[f])};
+            for (std::size_t b = 0; b < data.backgrounds.size(); ++b)
+                row.push_back(Table::fmt(
+                    data.relExec[static_cast<size_t>(pi)][f][b], 3));
+            t.addRow(row);
+        }
+        tables.push_back(std::move(t));
+    }
+
+    {
+        Table t("Figure 6(c): worst-case background (ldint_mem) effect "
+                "as the foreground priority drops");
+        std::vector<std::string> cols = {"(PrioP,1)"};
+        for (UbenchId f : data.panelCForegrounds)
+            cols.push_back(ubenchName(f));
+        t.setColumns(cols);
+        for (std::size_t p = 0; p < data.panelCPriorities.size(); ++p) {
+            std::vector<std::string> row = {
+                "(" + std::to_string(data.panelCPriorities[p]) + ",1)"};
+            for (std::size_t f = 0; f < data.panelCForegrounds.size();
+                 ++f)
+                row.push_back(Table::fmt(data.panelCRelExec[p][f], 3));
+            t.addRow(row);
+        }
+        tables.push_back(std::move(t));
+    }
+
+    {
+        Table t("Figure 6(d): average IPC of the background thread");
+        std::vector<std::string> cols = {"(PrioP,1)"};
+        for (UbenchId b : data.backgrounds)
+            cols.push_back(std::string("bg ") + ubenchName(b));
+        t.setColumns(cols);
+        for (std::size_t p = 0; p < data.panelCPriorities.size(); ++p) {
+            std::vector<std::string> row = {
+                "(" + std::to_string(data.panelCPriorities[p]) + ",1)"};
+            for (std::size_t b = 0; b < data.backgrounds.size(); ++b)
+                row.push_back(Table::fmt(data.bgIpc[p][b], 3));
+            t.addRow(row);
+        }
+        tables.push_back(std::move(t));
+    }
+
+    return tables;
+}
+
+} // namespace p5

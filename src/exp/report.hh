@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Renderers that lay experiment data out in the paper's table/figure
+ * format (plus CSV for plotting).
+ */
+
+#ifndef P5SIM_EXP_REPORT_HH
+#define P5SIM_EXP_REPORT_HH
+
+#include <vector>
+
+#include "common/table.hh"
+#include "exp/experiments.hh"
+
+namespace p5 {
+
+/** Paper Table 1: priority levels, privilege, or-nop encodings. */
+Table renderTable1();
+
+/** Paper Table 2: the micro-benchmark loop bodies. */
+Table renderTable2();
+
+/** Paper Table 3: ST IPC + SMT(4,4) matrix (pt and tt columns). */
+Table renderTable3(const Table3Data &data);
+
+/** Figures 2/3: one table per PThread, series = SThreads. */
+std::vector<Table> renderPrioCurves(const PrioCurveData &data,
+                                    const char *caption_prefix);
+
+/** Figure 4: throughput w.r.t. (4,4), one table per PThread. */
+std::vector<Table> renderFig4(const ThroughputData &data);
+
+/** Figure 5: case-study IPC series. */
+Table renderFig5(const CaseStudyData &data);
+
+/** Table 4: FFT/LU pipeline timings (cycles and normalized). */
+Table renderTable4(const Table4Data &data);
+
+/** Figure 6 panels (a)-(d). */
+std::vector<Table> renderFig6(const TransparencyData &data);
+
+} // namespace p5
+
+#endif // P5SIM_EXP_REPORT_HH

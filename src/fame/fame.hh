@@ -1,0 +1,136 @@
+/**
+ * @file
+ * FAME (FAirly MEasuring Multithreaded Architectures) methodology.
+ *
+ * Per the paper (Sec. 4.1, after Vera et al. [24][25]): every benchmark
+ * in the workload re-executes until each has completed at least a minimum
+ * number of repetitions *and* its accumulated average IPC has stabilized
+ * to within MAIV (Maximum Allowable IPC Variation, 1% by default). The
+ * average execution time of a thread is its total accounted time divided
+ * by the number of *complete* repetitions — time in the trailing
+ * incomplete repetition is discarded (the paper's Figure 1).
+ */
+
+#ifndef P5SIM_FAME_FAME_HH
+#define P5SIM_FAME_FAME_HH
+
+#include <array>
+
+#include "core/smt_core.hh"
+#include "program/program.hh"
+
+namespace p5 {
+
+/** FAME configuration. */
+struct FameParams
+{
+    /** Minimum complete executions per thread (paper: 10 for MAIV 1%). */
+    std::uint64_t minRepetitions = 10;
+
+    /** Maximum allowable IPC variation between consecutive checks. */
+    double maiv = 0.01;
+
+    /**
+     * Warm-up repetitions before the measurement window opens. The
+     * warm-up additionally extends itself until each thread's
+     * per-repetition IPC has stabilized (caches/predictors trained),
+     * which is what lets the measured average approximate steady state.
+     */
+    std::uint64_t warmupRepetitions = 2;
+
+    /** Relative per-repetition IPC change below which warm-up ends. */
+    double warmupTolerance = 0.05;
+
+    /** Hard cycle guard so degenerate configs cannot hang. */
+    Cycle maxCycles = 500'000'000;
+
+    /** Simulation chunk between convergence checks. */
+    Cycle checkPeriod = 1024;
+};
+
+/** Per-thread measurement produced by a FAME run. */
+struct ThreadMeasurement
+{
+    bool present = false;
+    std::uint64_t executions = 0;
+
+    /** Cycles up to the end of the last complete execution. */
+    Cycle accountedCycles = 0;
+
+    /** Instructions in the complete executions. */
+    std::uint64_t accountedInstrs = 0;
+
+    /** Average execution (repetition) time in cycles. */
+    double
+    avgExecTime() const
+    {
+        return executions
+                   ? static_cast<double>(accountedCycles) /
+                         static_cast<double>(executions)
+                   : 0.0;
+    }
+
+    /** Average IPC over the accounted window. */
+    double
+    avgIpc() const
+    {
+        return accountedCycles
+                   ? static_cast<double>(accountedInstrs) /
+                         static_cast<double>(accountedCycles)
+                   : 0.0;
+    }
+};
+
+/** Result of one FAME run. */
+struct FameResult
+{
+    std::array<ThreadMeasurement, num_hw_threads> thread;
+    Cycle totalCycles = 0;
+    bool converged = false;
+    bool hitCycleLimit = false;
+
+    /** Combined IPC of all present threads. */
+    double
+    totalIpc() const
+    {
+        double sum = 0.0;
+        for (const auto &t : thread)
+            if (t.present)
+                sum += t.avgIpc();
+        return sum;
+    }
+};
+
+/** Drives an already-configured core per the FAME methodology. */
+class FameRunner
+{
+  public:
+    explicit FameRunner(const FameParams &params = FameParams{});
+
+    /**
+     * Run the workload attached to @p core until every attached thread
+     * satisfies FAME (min repetitions + MAIV convergence).
+     */
+    FameResult run(SmtCore &core);
+
+    const FameParams &params() const { return params_; }
+
+  private:
+    FameParams params_;
+};
+
+/**
+ * Convenience wrapper used throughout the experiments: build a fresh
+ * core, attach @p prog_p (and @p prog_s unless null) with the given
+ * priorities, and FAME-run it.
+ *
+ * Passing prog_s == nullptr measures prog_p in single-thread mode.
+ */
+FameResult runFame(const CoreParams &core_params,
+                   const SyntheticProgram *prog_p,
+                   const SyntheticProgram *prog_s, int prio_p, int prio_s,
+                   const FameParams &fame_params = FameParams{});
+
+} // namespace p5
+
+#endif // P5SIM_FAME_FAME_HH

@@ -1,0 +1,28 @@
+#include "isa/instruction.hh"
+
+#include <cstdio>
+
+namespace p5 {
+
+std::string
+DynInstr::toString() const
+{
+    char buf[128];
+    if (isLoad() || isStore()) {
+        std::snprintf(buf, sizeof(buf), "t%d#%llu %s r%d @0x%llx", tid,
+                      static_cast<unsigned long long>(seq), opClassName(op),
+                      dst, static_cast<unsigned long long>(addr));
+    } else if (isBranch()) {
+        std::snprintf(buf, sizeof(buf), "t%d#%llu Branch %s pred=%s", tid,
+                      static_cast<unsigned long long>(seq),
+                      branchTaken ? "T" : "N",
+                      branchPredictedTaken ? "T" : "N");
+    } else {
+        std::snprintf(buf, sizeof(buf), "t%d#%llu %s r%d<-r%d,r%d", tid,
+                      static_cast<unsigned long long>(seq), opClassName(op),
+                      dst, src0, src1);
+    }
+    return buf;
+}
+
+} // namespace p5

@@ -1,0 +1,125 @@
+#include "isa/op_class.hh"
+
+#include "common/log.hh"
+
+namespace p5 {
+
+const char *
+opClassName(OpClass oc)
+{
+    switch (oc) {
+      case OpClass::IntAlu:
+        return "IntAlu";
+      case OpClass::IntMul:
+        return "IntMul";
+      case OpClass::IntDiv:
+        return "IntDiv";
+      case OpClass::FpAlu:
+        return "FpAlu";
+      case OpClass::FpMul:
+        return "FpMul";
+      case OpClass::FpDiv:
+        return "FpDiv";
+      case OpClass::Load:
+        return "Load";
+      case OpClass::Store:
+        return "Store";
+      case OpClass::Branch:
+        return "Branch";
+      case OpClass::Nop:
+        return "Nop";
+      case OpClass::PrioNop:
+        return "PrioNop";
+      default:
+        panic("opClassName: bad op class %d", static_cast<int>(oc));
+    }
+}
+
+FuClass
+fuClassOf(OpClass oc)
+{
+    switch (oc) {
+      case OpClass::IntAlu:
+      case OpClass::IntMul:
+      case OpClass::IntDiv:
+        return FuClass::FX;
+      case OpClass::FpAlu:
+      case OpClass::FpMul:
+      case OpClass::FpDiv:
+        return FuClass::FP;
+      case OpClass::Load:
+      case OpClass::Store:
+        return FuClass::LS;
+      case OpClass::Branch:
+        return FuClass::BR;
+      case OpClass::Nop:
+      case OpClass::PrioNop:
+        return FuClass::None;
+      default:
+        panic("fuClassOf: bad op class %d", static_cast<int>(oc));
+    }
+}
+
+const char *
+fuClassName(FuClass fc)
+{
+    switch (fc) {
+      case FuClass::FX:
+        return "FX";
+      case FuClass::FP:
+        return "FP";
+      case FuClass::LS:
+        return "LS";
+      case FuClass::BR:
+        return "BR";
+      case FuClass::None:
+        return "None";
+      default:
+        panic("fuClassName: bad FU class %d", static_cast<int>(fc));
+    }
+}
+
+int
+opLatency(OpClass oc)
+{
+    // POWER5-flavoured latencies; loads report the L1-hit minimum and get
+    // their real latency from the cache hierarchy at issue time.
+    switch (oc) {
+      case OpClass::IntAlu:
+        return 1;
+      case OpClass::IntMul:
+        return 7;
+      case OpClass::IntDiv:
+        return 36;
+      case OpClass::FpAlu:
+        return 6;
+      case OpClass::FpMul:
+        return 6;
+      case OpClass::FpDiv:
+        return 33;
+      case OpClass::Load:
+        return 2;
+      case OpClass::Store:
+        return 1;
+      case OpClass::Branch:
+        return 1;
+      case OpClass::Nop:
+      case OpClass::PrioNop:
+        return 1;
+      default:
+        panic("opLatency: bad op class %d", static_cast<int>(oc));
+    }
+}
+
+OpClass
+opClassFromName(const std::string &name)
+{
+    for (int i = 0; i < num_op_classes; ++i) {
+        auto oc = static_cast<OpClass>(i);
+        if (name == opClassName(oc))
+            return oc;
+    }
+    fatal("unknown op class name '%s'", name.c_str());
+}
+
+} // namespace p5

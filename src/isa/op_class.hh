@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Operation classes of the modeled POWER5-like ISA.
+ *
+ * p5sim is a performance model, not a functional simulator: instructions
+ * carry an operation class (which selects functional unit and latency),
+ * register operands (for dependence tracking) and, where relevant, a memory
+ * address or branch behaviour. The op classes below cover everything the
+ * paper's micro-benchmarks and case studies exercise.
+ */
+
+#ifndef P5SIM_ISA_OP_CLASS_HH
+#define P5SIM_ISA_OP_CLASS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace p5 {
+
+/** Operation class of a (static or dynamic) instruction. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,   ///< integer add/sub/logic (1-cycle fixed point)
+    IntMul,   ///< integer multiply (multi-cycle fixed point)
+    IntDiv,   ///< integer divide (long fixed point)
+    FpAlu,    ///< floating add/sub (FPU pipeline)
+    FpMul,    ///< floating multiply / FMA
+    FpDiv,    ///< floating divide (long FPU)
+    Load,     ///< memory load (LSU; latency from the cache hierarchy)
+    Store,    ///< memory store (LSU; retires without dependents waiting)
+    Branch,   ///< conditional branch (BR unit)
+    Nop,      ///< no-operation (decode/commit bandwidth only)
+    PrioNop,  ///< "or X,X,X" priority-setting nop (Table 1 of the paper)
+    NumOpClasses
+};
+
+/** Functional-unit class an op issues to. */
+enum class FuClass : std::uint8_t
+{
+    FX,   ///< fixed point
+    FP,   ///< floating point
+    LS,   ///< load/store
+    BR,   ///< branch
+    None, ///< consumes no issue slot (plain nops)
+    NumFuClasses
+};
+
+/** Number of distinct op classes. */
+constexpr int num_op_classes = static_cast<int>(OpClass::NumOpClasses);
+
+/** Human-readable name of an op class. */
+const char *opClassName(OpClass oc);
+
+/** The functional-unit class @p oc issues to. */
+FuClass fuClassOf(OpClass oc);
+
+/** Human-readable name of a FU class. */
+const char *fuClassName(FuClass fc);
+
+/**
+ * Fixed execution latency of @p oc in cycles.
+ *
+ * Loads are the exception: their latency comes from the cache hierarchy,
+ * and this function returns the minimum (L1-hit) latency for them.
+ */
+int opLatency(OpClass oc);
+
+/** True for loads and stores. */
+constexpr bool
+isMemOp(OpClass oc)
+{
+    return oc == OpClass::Load || oc == OpClass::Store;
+}
+
+/** True for FP computation classes. */
+constexpr bool
+isFpOp(OpClass oc)
+{
+    return oc == OpClass::FpAlu || oc == OpClass::FpMul ||
+           oc == OpClass::FpDiv;
+}
+
+/** Parse an op class name (as produced by opClassName); fatal on error. */
+OpClass opClassFromName(const std::string &name);
+
+} // namespace p5
+
+#endif // P5SIM_ISA_OP_CLASS_HH

@@ -1,0 +1,190 @@
+#include "mem/hierarchy.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace p5 {
+
+const char *
+memLevelName(MemLevel level)
+{
+    switch (level) {
+      case MemLevel::L1:
+        return "L1";
+      case MemLevel::L2:
+        return "L2";
+      case MemLevel::L3:
+        return "L3";
+      case MemLevel::Mem:
+        return "Mem";
+      default:
+        panic("memLevelName: bad level %d", static_cast<int>(level));
+    }
+}
+
+MemBackside::MemBackside(const HierarchyParams &params)
+    : params_(params), l2_(params.l2), l3_(params.l3)
+{
+}
+
+MemAccessResult
+MemBackside::access(Addr addr, Cycle now, Cycle ready, bool *beyond_l2)
+{
+    MemAccessResult res;
+    *beyond_l2 = false;
+
+    if (l2_.lookup(addr)) {
+        res.level = MemLevel::L2;
+        Cycle start = l2_.reserveService(now, ready);
+        res.doneCycle = start + static_cast<Cycle>(params_.l2.hitLatency);
+        return res;
+    }
+    *beyond_l2 = true;
+
+    if (l3_.lookup(addr)) {
+        res.level = MemLevel::L3;
+        Cycle start = l3_.reserveService(now, ready);
+        res.doneCycle = start + static_cast<Cycle>(params_.l3.hitLatency);
+        l2_.insert(addr);
+        return res;
+    }
+
+    res.level = MemLevel::Mem;
+    Cycle start = std::max(ready, dramNextFree_);
+    // As in Cache::reserveService: consume DRAM bandwidth in request
+    // order so future-scheduled accesses don't block earlier ones.
+    dramNextFree_ = std::min(start, std::max(now, dramNextFree_)) +
+                    static_cast<Cycle>(params_.dramServiceGap);
+    res.doneCycle = start + static_cast<Cycle>(params_.dramLatency);
+    l3_.insert(addr);
+    l2_.insert(addr);
+    return res;
+}
+
+MemLevel
+MemBackside::probeLevel(Addr addr) const
+{
+    if (l2_.probe(addr))
+        return MemLevel::L2;
+    if (l3_.probe(addr))
+        return MemLevel::L3;
+    return MemLevel::Mem;
+}
+
+void
+MemBackside::flushAll()
+{
+    l2_.flushAll();
+    l3_.flushAll();
+    dramNextFree_ = 0;
+}
+
+void
+MemBackside::registerStats(StatGroup &group) const
+{
+    l2_.registerStats(group);
+    l3_.registerStats(group);
+}
+
+CacheHierarchy::CacheHierarchy(const HierarchyParams &params,
+                               MemBackside *shared)
+    : params_(params), l1d_(params.l1d)
+{
+    if (shared) {
+        backside_ = shared;
+    } else {
+        ownedBackside_ = std::make_unique<MemBackside>(params);
+        backside_ = ownedBackside_.get();
+    }
+    for (int t = 0; t < num_hw_threads; ++t) {
+        TlbParams tp = params.tlb;
+        tp.name = tp.name + std::to_string(t);
+        tlbs_[static_cast<size_t>(t)] = std::make_unique<Tlb>(tp);
+    }
+}
+
+MemAccessResult
+CacheHierarchy::access(ThreadId tid, Addr addr, bool is_store, Cycle now)
+{
+    auto &tlb = *tlbs_[static_cast<size_t>(tid)];
+
+    Cycle t = now;
+    bool tlb_miss = false;
+    TlbResult tr = tlb.access(addr);
+    if (!tr.hit) {
+        tlb_miss = true;
+        ++tlbMisses_[static_cast<size_t>(tid)];
+        t += static_cast<Cycle>(tr.latency);
+    }
+
+    MemAccessResult res = accessCaches(tid, addr, is_store, now, t);
+    res.tlbMiss = tlb_miss;
+    return res;
+}
+
+MemAccessResult
+CacheHierarchy::accessCaches(ThreadId tid, Addr addr, bool is_store,
+                             Cycle now, Cycle ready)
+{
+    (void)is_store; // write-allocate: stores follow the load path
+
+    if (l1d_.lookup(addr)) {
+        MemAccessResult res;
+        res.level = MemLevel::L1;
+        res.doneCycle =
+            ready + static_cast<Cycle>(params_.l1d.hitLatency);
+        return res;
+    }
+    ++l1Misses_[static_cast<size_t>(tid)];
+
+    bool beyond_l2 = false;
+    MemAccessResult res = backside_->access(addr, now, ready, &beyond_l2);
+    if (beyond_l2)
+        ++beyondL2_[static_cast<size_t>(tid)];
+    l1d_.insert(addr);
+    return res;
+}
+
+MemLevel
+CacheHierarchy::probeLevel(Addr addr) const
+{
+    if (l1d_.probe(addr))
+        return MemLevel::L1;
+    return backside_->probeLevel(addr);
+}
+
+bool
+CacheHierarchy::wouldTlbMiss(ThreadId tid, Addr addr) const
+{
+    return !tlbs_[static_cast<size_t>(tid)]->probe(addr);
+}
+
+void
+CacheHierarchy::flushAll()
+{
+    l1d_.flushAll();
+    backside_->flushAll();
+    for (auto &tlb : tlbs_)
+        tlb->flushAll();
+}
+
+void
+CacheHierarchy::registerStats(StatGroup &group) const
+{
+    l1d_.registerStats(group);
+    if (ownedBackside_)
+        ownedBackside_->registerStats(group);
+    for (int t = 0; t < num_hw_threads; ++t) {
+        auto ts = std::to_string(t);
+        tlbs_[static_cast<size_t>(t)]->registerStats(group);
+        group.registerCounter("thread" + ts + ".tlbMisses",
+                              &tlbMisses_[static_cast<size_t>(t)]);
+        group.registerCounter("thread" + ts + ".l1Misses",
+                              &l1Misses_[static_cast<size_t>(t)]);
+        group.registerCounter("thread" + ts + ".beyondL2",
+                              &beyondL2_[static_cast<size_t>(t)]);
+    }
+}
+
+} // namespace p5

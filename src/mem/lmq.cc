@@ -1,0 +1,124 @@
+#include "mem/lmq.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace p5 {
+
+Lmq::Lmq(int entries) : capacity_(entries)
+{
+    if (entries <= 0)
+        fatal("LMQ needs at least one entry");
+    windows_.reserve(static_cast<std::size_t>(entries) * 2);
+}
+
+void
+Lmq::recycle(Cycle now)
+{
+    std::erase_if(windows_,
+                  [now](const Window &w) { return w.releaseCycle <= now; });
+}
+
+int
+Lmq::overlapping(Cycle start_cycle, Cycle release_cycle) const
+{
+    int n = 0;
+    for (const auto &w : windows_)
+        if (w.startCycle < release_cycle && w.releaseCycle > start_cycle)
+            ++n;
+    return n;
+}
+
+Cycle
+Lmq::reserve(ThreadId tid, Cycle now, Cycle start_cycle,
+             Cycle release_cycle)
+{
+    recycle(now);
+    if (release_cycle <= start_cycle)
+        panic("LMQ window must have positive duration");
+
+    const Cycle requested = start_cycle;
+    while (overlapping(start_cycle, release_cycle) >=
+           capacity_) {
+        // Push the window to the earliest release among the windows
+        // blocking it; each step retires at least one blocker, so the
+        // loop terminates.
+        Cycle next = never_cycle;
+        for (const auto &w : windows_) {
+            if (w.startCycle < release_cycle &&
+                w.releaseCycle > start_cycle &&
+                w.releaseCycle < next) {
+                next = w.releaseCycle;
+            }
+        }
+        if (next == never_cycle)
+            panic("LMQ overflow with no blocking window");
+        release_cycle += next - start_cycle;
+        start_cycle = next;
+    }
+
+    if (start_cycle > requested) {
+        ++queuedMisses_;
+        queuedCycles_ += start_cycle - requested;
+    }
+    windows_.push_back({tid, start_cycle, release_cycle});
+    ++allocations_;
+    return start_cycle;
+}
+
+void
+Lmq::updateLastRelease(Cycle release_cycle)
+{
+    if (windows_.empty())
+        panic("LMQ updateLastRelease with no windows");
+    Window &w = windows_.back();
+    if (release_cycle <= w.startCycle)
+        panic("LMQ release before start");
+    w.releaseCycle = release_cycle;
+}
+
+int
+Lmq::occupancy(Cycle now)
+{
+    recycle(now);
+    int n = 0;
+    for (const auto &w : windows_)
+        if (w.startCycle <= now)
+            ++n;
+    return n;
+}
+
+int
+Lmq::occupancyOf(ThreadId tid, Cycle now)
+{
+    recycle(now);
+    int n = 0;
+    for (const auto &w : windows_)
+        if (w.tid == tid && w.startCycle <= now)
+            ++n;
+    return n;
+}
+
+void
+Lmq::releaseThread(ThreadId tid)
+{
+    std::erase_if(windows_,
+                  [tid](const Window &w) { return w.tid == tid; });
+}
+
+void
+Lmq::reset()
+{
+    windows_.clear();
+}
+
+void
+Lmq::registerStats(StatGroup &group) const
+{
+    group.registerCounter("lmq.allocations", &allocations_);
+    group.registerCounter("lmq.queuedMisses", &queuedMisses_);
+    group.registerCounter("lmq.queuedCycles", &queuedCycles_);
+}
+
+} // namespace p5

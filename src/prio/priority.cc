@@ -1,0 +1,99 @@
+#include "prio/priority.hh"
+
+#include "common/log.hh"
+
+namespace p5 {
+
+namespace {
+
+// Table 1: priority level -> or-nop register number. Priority 0 has no
+// or-nop form (hypervisor call only).
+constexpr int or_nop_regs[8] = {-1, 31, 1, 6, 2, 5, 3, 7};
+
+} // namespace
+
+const char *
+priorityName(int prio)
+{
+    switch (prio) {
+      case 0:
+        return "Thread shut off";
+      case 1:
+        return "Very low";
+      case 2:
+        return "Low";
+      case 3:
+        return "Medium-Low";
+      case 4:
+        return "Medium";
+      case 5:
+        return "Medium-high";
+      case 6:
+        return "High";
+      case 7:
+        return "Very high";
+      default:
+        panic("priorityName: bad priority %d", prio);
+    }
+}
+
+const char *
+privilegeName(PrivilegeLevel priv)
+{
+    switch (priv) {
+      case PrivilegeLevel::User:
+        return "User";
+      case PrivilegeLevel::Supervisor:
+        return "Supervisor";
+      case PrivilegeLevel::Hypervisor:
+        return "Hypervisor";
+      default:
+        panic("privilegeName: bad privilege %d", static_cast<int>(priv));
+    }
+}
+
+bool
+canSetPriority(PrivilegeLevel priv, int prio)
+{
+    if (!isValidPriority(prio))
+        return false;
+    switch (priv) {
+      case PrivilegeLevel::User:
+        return prio >= 2 && prio <= 4;
+      case PrivilegeLevel::Supervisor:
+        return prio >= 1 && prio <= 6;
+      case PrivilegeLevel::Hypervisor:
+        return true;
+      default:
+        panic("canSetPriority: bad privilege %d", static_cast<int>(priv));
+    }
+}
+
+int
+orNopRegister(int prio)
+{
+    if (!isValidPriority(prio))
+        panic("orNopRegister: bad priority %d", prio);
+    return or_nop_regs[prio];
+}
+
+int
+priorityFromOrNop(int reg)
+{
+    for (int prio = 0; prio <= max_priority; ++prio)
+        if (or_nop_regs[prio] == reg)
+            return prio;
+    return -1;
+}
+
+std::string
+orNopMnemonic(int prio)
+{
+    int reg = orNopRegister(prio);
+    if (reg < 0)
+        return "-";
+    std::string r = std::to_string(reg);
+    return "or " + r + "," + r + "," + r;
+}
+
+} // namespace p5

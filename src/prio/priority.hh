@@ -1,0 +1,67 @@
+/**
+ * @file
+ * POWER5 software-controlled thread priorities (paper Table 1).
+ *
+ * Eight levels, 0..7. User code may set 2..4, supervisor code 1..6, the
+ * hypervisor anything. Levels are requested either through a direct call
+ * (the OS path) or by executing an "or X,X,X" nop whose register number X
+ * encodes the level; with insufficient privilege the or-nop is simply a
+ * nop, exactly as on real hardware.
+ */
+
+#ifndef P5SIM_PRIO_PRIORITY_HH
+#define P5SIM_PRIO_PRIORITY_HH
+
+#include <string>
+
+namespace p5 {
+
+/** Privilege level of the software requesting a priority change. */
+enum class PrivilegeLevel { User, Supervisor, Hypervisor };
+
+/** Lowest and highest priority values. */
+constexpr int min_priority = 0;
+constexpr int max_priority = 7;
+
+/** The default priority (MEDIUM) the kernel resets threads to. */
+constexpr int default_priority = 4;
+
+/** True iff @p prio is one of the eight architected levels. */
+constexpr bool
+isValidPriority(int prio)
+{
+    return prio >= min_priority && prio <= max_priority;
+}
+
+/** Human-readable level name, e.g. "Medium-high" (Table 1). */
+const char *priorityName(int prio);
+
+/** Name of a privilege level. */
+const char *privilegeName(PrivilegeLevel priv);
+
+/**
+ * May software at privilege @p priv set priority @p prio?
+ *
+ * User: 2..4. Supervisor: 1..6. Hypervisor: 0..7. (Table 1.)
+ */
+bool canSetPriority(PrivilegeLevel priv, int prio);
+
+/**
+ * The register number X of the "or X,X,X" nop that requests @p prio,
+ * or -1 if the level has no or-nop encoding (priority 0 is set through
+ * a hypervisor call only).
+ */
+int orNopRegister(int prio);
+
+/**
+ * The priority level requested by "or X,X,X" with register @p reg,
+ * or -1 if @p reg is not a priority-setting encoding.
+ */
+int priorityFromOrNop(int reg);
+
+/** "or X,X,X" textual form for documentation output, e.g. "or 31,31,31". */
+std::string orNopMnemonic(int prio);
+
+} // namespace p5
+
+#endif // P5SIM_PRIO_PRIORITY_HH

@@ -1,0 +1,203 @@
+#include "prio/slot_allocator.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace p5 {
+
+const char *
+slotModeName(SlotMode mode)
+{
+    switch (mode) {
+      case SlotMode::Dual:
+        return "Dual";
+      case SlotMode::SingleP:
+        return "SingleP";
+      case SlotMode::SingleS:
+        return "SingleS";
+      case SlotMode::LowPower:
+        return "LowPower";
+      case SlotMode::AllOff:
+        return "AllOff";
+      default:
+        panic("slotModeName: bad mode %d", static_cast<int>(mode));
+    }
+}
+
+DecodeSlotAllocator::DecodeSlotAllocator(int decode_width,
+                                         int minority_width)
+    : decodeWidth_(decode_width),
+      minorityWidth_(minority_width > 0 ? minority_width : decode_width)
+{
+    if (decode_width <= 0)
+        fatal("decode width must be positive");
+    recompute();
+}
+
+void
+DecodeSlotAllocator::setPriorities(int prio_p, int prio_s)
+{
+    if (!isValidPriority(prio_p) || !isValidPriority(prio_s))
+        fatal("invalid priority pair (%d,%d)", prio_p, prio_s);
+    prioP_ = prio_p;
+    prioS_ = prio_s;
+    recompute();
+}
+
+void
+DecodeSlotAllocator::setPriority(ThreadId tid, int prio)
+{
+    if (tid == 0)
+        setPriorities(prio, prioS_);
+    else if (tid == 1)
+        setPriorities(prioP_, prio);
+    else
+        panic("setPriority: bad thread id %d", tid);
+}
+
+int
+DecodeSlotAllocator::priorityOf(ThreadId tid) const
+{
+    if (tid == 0)
+        return prioP_;
+    if (tid == 1)
+        return prioS_;
+    panic("priorityOf: bad thread id %d", tid);
+}
+
+int
+DecodeSlotAllocator::computeR(int prio_p, int prio_s)
+{
+    int diff = std::abs(prio_p - prio_s);
+    return 1 << (diff + 1);
+}
+
+void
+DecodeSlotAllocator::recompute()
+{
+    if (prioP_ == 0 && prioS_ == 0) {
+        mode_ = SlotMode::AllOff;
+        window_ = 0;
+        return;
+    }
+    // Priority 7 means "run in single-thread mode" (sibling off); the
+    // same happens when the sibling is shut off with priority 0.
+    if (prioP_ == 7 || prioS_ == 0) {
+        mode_ = SlotMode::SingleP;
+        window_ = 1;
+        return;
+    }
+    if (prioS_ == 7 || prioP_ == 0) {
+        mode_ = SlotMode::SingleS;
+        window_ = 1;
+        return;
+    }
+    if (prioP_ == 1 && prioS_ == 1) {
+        mode_ = SlotMode::LowPower;
+        window_ = 32;
+        return;
+    }
+    mode_ = SlotMode::Dual;
+    window_ = computeR(prioP_, prioS_);
+}
+
+int
+DecodeSlotAllocator::slotWindow() const
+{
+    return window_;
+}
+
+bool
+DecodeSlotAllocator::threadActive(ThreadId tid) const
+{
+    switch (mode_) {
+      case SlotMode::Dual:
+      case SlotMode::LowPower:
+        return tid == 0 || tid == 1;
+      case SlotMode::SingleP:
+        return tid == 0;
+      case SlotMode::SingleS:
+        return tid == 1;
+      case SlotMode::AllOff:
+        return false;
+      default:
+        panic("threadActive: bad mode %d", static_cast<int>(mode_));
+    }
+}
+
+SlotGrant
+DecodeSlotAllocator::grantAt(Cycle cycle) const
+{
+    SlotGrant g;
+    switch (mode_) {
+      case SlotMode::AllOff:
+        return g;
+      case SlotMode::SingleP:
+        g.owner = 0;
+        g.maxWidth = decodeWidth_;
+        return g;
+      case SlotMode::SingleS:
+        g.owner = 1;
+        g.maxWidth = decodeWidth_;
+        return g;
+      case SlotMode::LowPower:
+        // One instruction decoded every 32 cycles in total; the single
+        // slot alternates between the threads.
+        if (cycle % 32 == 0) {
+            g.owner = static_cast<ThreadId>((cycle / 32) % 2);
+            g.maxWidth = 1;
+        }
+        return g;
+      case SlotMode::Dual: {
+        const Cycle pos = cycle % static_cast<Cycle>(window_);
+        ThreadId high;
+        if (prioP_ > prioS_) {
+            high = 0;
+        } else if (prioS_ > prioP_) {
+            high = 1;
+        } else {
+            // Equal priorities: R == 2, strict alternation.
+            g.owner = static_cast<ThreadId>(cycle % 2);
+            g.maxWidth = decodeWidth_;
+            return g;
+        }
+        if (pos < static_cast<Cycle>(window_ - 1)) {
+            g.owner = high;
+            g.maxWidth = decodeWidth_;
+        } else {
+            g.owner = static_cast<ThreadId>(1 - high);
+            g.maxWidth = minorityWidth_;
+        }
+        return g;
+      }
+      default:
+        panic("grantAt: bad mode %d", static_cast<int>(mode_));
+    }
+}
+
+double
+DecodeSlotAllocator::primaryShare() const
+{
+    switch (mode_) {
+      case SlotMode::AllOff:
+        return 0.0;
+      case SlotMode::SingleP:
+        return 1.0;
+      case SlotMode::SingleS:
+        return 0.0;
+      case SlotMode::LowPower:
+        return 0.5;
+      case SlotMode::Dual:
+        if (prioP_ == prioS_)
+            return 0.5;
+        if (prioP_ > prioS_)
+            return static_cast<double>(window_ - 1) / window_;
+        return 1.0 / window_;
+      default:
+        panic("primaryShare: bad mode %d", static_cast<int>(mode_));
+    }
+}
+
+} // namespace p5

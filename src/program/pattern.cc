@@ -1,0 +1,52 @@
+#include "program/pattern.hh"
+
+#include <cstdio>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace p5 {
+
+bool
+BranchPattern::directionAt(std::uint64_t k) const
+{
+    switch (kind) {
+      case BranchKind::AlwaysTaken:
+        return true;
+      case BranchKind::NeverTaken:
+        return false;
+      case BranchKind::Periodic:
+        return period != 0 && (k % period) == period - 1;
+      case BranchKind::Random: {
+        // Map the hash to [0,1) and compare against the taken
+        // probability; stable across rewinds by construction.
+        std::uint64_t h = hashCombine(seed, k);
+        double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+        return u < takenProb;
+      }
+      default:
+        panic("BranchPattern: bad kind %d", static_cast<int>(kind));
+    }
+}
+
+std::string
+BranchPattern::toString() const
+{
+    char buf[64];
+    switch (kind) {
+      case BranchKind::AlwaysTaken:
+        return "always-taken";
+      case BranchKind::NeverTaken:
+        return "never-taken";
+      case BranchKind::Periodic:
+        std::snprintf(buf, sizeof(buf), "periodic %u", period);
+        return buf;
+      case BranchKind::Random:
+        std::snprintf(buf, sizeof(buf), "random p=%.2f", takenProb);
+        return buf;
+      default:
+        panic("BranchPattern: bad kind %d", static_cast<int>(kind));
+    }
+}
+
+} // namespace p5

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Memory-access and branch-direction patterns for synthetic programs.
+ *
+ * Patterns are pure functions of the dynamic execution count of the static
+ * instruction they are attached to. This is what makes the instruction
+ * stream rewindable after a pipeline squash: re-materializing instruction
+ * @c k always yields the same address / direction.
+ */
+
+#ifndef P5SIM_PROGRAM_PATTERN_HH
+#define P5SIM_PROGRAM_PATTERN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace p5 {
+
+/**
+ * Strided memory-access pattern over a bounded footprint.
+ *
+ * The k-th dynamic access touches
+ *   base + ((start + k * stride) mod footprint)
+ * so the touched working set is exactly @c footprint bytes. Choosing
+ * footprint relative to the cache sizes targets a hit level (the paper's
+ * ldint_l1 / ldint_l2 / ldint_mem), and choosing stride relative to the
+ * line and page sizes controls spatial locality and TLB behaviour.
+ */
+struct MemPattern
+{
+    Addr base = 0;
+    std::uint64_t stride = 8;
+    std::uint64_t footprint = 4096;
+    std::uint64_t start = 0;
+
+    /** Effective address of the k-th dynamic access. */
+    Addr
+    addressAt(std::uint64_t k) const
+    {
+        return base + (start + k * stride) % footprint;
+    }
+};
+
+/** Kinds of branch-direction behaviour. */
+enum class BranchKind : std::uint8_t
+{
+    AlwaysTaken,  ///< e.g. a loop back-edge
+    NeverTaken,
+    Periodic,     ///< taken once every @c period executions
+    Random        ///< taken with probability @c takenProb (hashed, stable)
+};
+
+/**
+ * Branch-direction pattern.
+ *
+ * Random directions are derived from hashMix(seed, k) so they are a pure
+ * function of the execution count — required for squash/rewind, and it is
+ * also what makes br_miss defeat the bimodal BHT just like the paper's
+ * "a filled randomly (modulo 2)" array does.
+ */
+struct BranchPattern
+{
+    BranchKind kind = BranchKind::AlwaysTaken;
+    std::uint32_t period = 1;
+    double takenProb = 0.5;
+    std::uint64_t seed = 1;
+
+    /** Actual direction of the k-th dynamic execution. */
+    bool directionAt(std::uint64_t k) const;
+
+    /** Human-readable description ("random p=0.50", ...). */
+    std::string toString() const;
+};
+
+} // namespace p5
+
+#endif // P5SIM_PROGRAM_PATTERN_HH

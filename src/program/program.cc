@@ -1,0 +1,106 @@
+#include "program/program.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace p5 {
+
+SyntheticProgram::SyntheticProgram(std::string name,
+                                   std::vector<ProgramPhase> phases,
+                                   std::vector<MemPattern> mem_patterns,
+                                   std::vector<BranchPattern>
+                                       branch_patterns)
+    : name_(std::move(name)), phases_(std::move(phases)),
+      memPatterns_(std::move(mem_patterns)),
+      branchPatterns_(std::move(branch_patterns))
+{
+    if (phases_.empty())
+        fatal("program '%s' has no phases", name_.c_str());
+
+    // Assign synthetic PCs: a name-derived base keeps distinct programs
+    // in distinct BHT regions, matching distinct processes on real HW.
+    Addr pc = hashMix(std::hash<std::string>{}(name_)) & ~Addr{0xffff};
+    for (auto &phase : phases_)
+        for (auto &si : phase.body) {
+            si.pc = pc;
+            pc += 4;
+        }
+
+    phaseStart_.push_back(0);
+    for (const auto &phase : phases_) {
+        if (phase.body.empty())
+            fatal("program '%s' has an empty phase body", name_.c_str());
+        if (phase.iterations == 0)
+            fatal("program '%s' has a zero-iteration phase",
+                  name_.c_str());
+        for (const auto &si : phase.body) {
+            if (isMemOp(si.op)) {
+                if (si.memPattern < 0 ||
+                    static_cast<std::size_t>(si.memPattern) >=
+                        memPatterns_.size()) {
+                    fatal("program '%s': bad mem pattern id %d",
+                          name_.c_str(), si.memPattern);
+                }
+            }
+            if (si.op == OpClass::Branch) {
+                if (si.branchPattern < 0 ||
+                    static_cast<std::size_t>(si.branchPattern) >=
+                        branchPatterns_.size()) {
+                    fatal("program '%s': bad branch pattern id %d",
+                          name_.c_str(), si.branchPattern);
+                }
+            }
+        }
+        phaseStart_.push_back(phaseStart_.back() + phase.instructions());
+    }
+    instrsPerExec_ = phaseStart_.back();
+}
+
+DynInstr
+SyntheticProgram::materialize(SeqNum seq, ThreadId tid) const
+{
+    const std::uint64_t exec = seq / instrsPerExec_;
+    const std::uint64_t in_exec = seq % instrsPerExec_;
+
+    // Locate the phase containing in_exec (few phases: linear scan).
+    std::size_t p = 0;
+    while (in_exec >= phaseStart_[p + 1])
+        ++p;
+    const ProgramPhase &phase = phases_[p];
+    const std::uint64_t in_phase = in_exec - phaseStart_[p];
+    const std::uint64_t iter = in_phase / phase.body.size();
+    const std::uint64_t body_idx = in_phase % phase.body.size();
+    const StaticInstr &si = phase.body[body_idx];
+
+    // Dynamic occurrence count of this static instruction.
+    const std::uint64_t k = exec * phase.iterations + iter;
+
+    DynInstr di;
+    di.tid = tid;
+    di.seq = seq;
+    di.op = si.op;
+    di.dst = si.dst;
+    di.src0 = si.src0;
+    di.src1 = si.src1;
+    di.prioNopReg = si.prioNopReg;
+    di.pc = si.pc;
+    if (isMemOp(si.op))
+        di.addr = memPatterns_[si.memPattern].addressAt(k);
+    if (si.op == OpClass::Branch)
+        di.branchTaken = branchPatterns_[si.branchPattern].directionAt(k);
+    return di;
+}
+
+std::vector<std::uint64_t>
+SyntheticProgram::opClassMix() const
+{
+    std::vector<std::uint64_t> mix(num_op_classes, 0);
+    for (const auto &phase : phases_)
+        for (const auto &si : phase.body)
+            mix[static_cast<int>(si.op)] += phase.iterations;
+    return mix;
+}
+
+} // namespace p5

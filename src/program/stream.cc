@@ -1,0 +1,36 @@
+#include "program/stream.hh"
+
+#include "common/log.hh"
+
+namespace p5 {
+
+InstrStream::InstrStream(const SyntheticProgram *program, ThreadId tid)
+    : program_(program), tid_(tid)
+{
+    if (!program_)
+        panic("InstrStream constructed with null program");
+}
+
+DynInstr
+InstrStream::fetch()
+{
+    return program_->materialize(pos_++, tid_);
+}
+
+DynInstr
+InstrStream::peek() const
+{
+    return program_->materialize(pos_, tid_);
+}
+
+void
+InstrStream::rewindTo(SeqNum seq)
+{
+    if (seq > pos_)
+        panic("InstrStream rewind forward: %llu > %llu",
+              static_cast<unsigned long long>(seq),
+              static_cast<unsigned long long>(pos_));
+    pos_ = seq;
+}
+
+} // namespace p5

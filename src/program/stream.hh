@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Rewindable per-thread instruction stream.
+ *
+ * The core's decode stage pulls dynamic instructions from an InstrStream.
+ * On a branch mispredict or balancer flush the core rewinds the stream to
+ * the sequence number following the last surviving instruction; because
+ * programs are pure functions of the index, re-fetched instructions are
+ * identical to the squashed ones.
+ */
+
+#ifndef P5SIM_PROGRAM_STREAM_HH
+#define P5SIM_PROGRAM_STREAM_HH
+
+#include "program/program.hh"
+
+namespace p5 {
+
+/** A thread's position in its (infinitely repeating) program. */
+class InstrStream
+{
+  public:
+    /** @param program must outlive the stream. */
+    InstrStream(const SyntheticProgram *program, ThreadId tid);
+
+    /** Materialize the instruction at the current position and advance. */
+    DynInstr fetch();
+
+    /** Peek without advancing. */
+    DynInstr peek() const;
+
+    /** Sequence number the next fetch() will return. */
+    SeqNum nextSeq() const { return pos_; }
+
+    /** Rewind so the next fetch() returns @p seq. @pre seq <= nextSeq. */
+    void rewindTo(SeqNum seq);
+
+    /** Completed program executions within the first @p seq instrs. */
+    std::uint64_t
+    executionsAt(SeqNum seq) const
+    {
+        return program_->executionsAt(seq);
+    }
+
+    const SyntheticProgram &program() const { return *program_; }
+    ThreadId tid() const { return tid_; }
+
+  private:
+    const SyntheticProgram *program_;
+    ThreadId tid_;
+    SeqNum pos_ = 0;
+};
+
+} // namespace p5
+
+#endif // P5SIM_PROGRAM_STREAM_HH

@@ -1,0 +1,359 @@
+#include "ubench/ubench.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+#include "program/builder.hh"
+
+namespace p5 {
+
+namespace {
+
+// Register conventions (flat space, see isa/static_instr.hh):
+// integer registers 0..31, floating-point registers 32..63.
+constexpr RegIndex rA = 0;    // integer accumulator
+constexpr RegIndex rIter = 1; // loop induction value
+constexpr RegIndex rXi = 2;   // the xi constants
+constexpr RegIndex rT0 = 3;
+constexpr RegIndex rT1 = 4;
+constexpr RegIndex rT2 = 5;
+constexpr RegIndex rP = 6;    // iterp of cpu_int_add
+constexpr RegIndex rV = 11;   // load destination (self-chained)
+constexpr RegIndex rW = 12;   // incremented value
+constexpr RegIndex rIdx = 13; // index update
+constexpr RegIndex fA = 32;   // FP accumulator
+constexpr RegIndex fIter = 33;
+constexpr RegIndex fXi = 34;
+constexpr RegIndex fT0 = 35;
+constexpr RegIndex fT1 = 36;
+constexpr RegIndex fV = 43;   // FP load destination
+
+const UbenchInfo kInfos[num_ubench] = {
+    {UbenchId::CpuInt, "cpu_int", UbenchGroup::Integer,
+     "a += (iter * (iter - 1)) - xi * iter : xi in {1..54}"},
+    {UbenchId::CpuIntAdd, "cpu_int_add", UbenchGroup::Integer,
+     "a += (iter + (iterp)) - xi + iter : xi in {1..54}; "
+     "iterp = iter - 1 + a"},
+    {UbenchId::CpuIntMul, "cpu_int_mul", UbenchGroup::Integer,
+     "a = (iter * iter) * xi * iter : xi in {1..54}"},
+    {UbenchId::LngChainCpuint, "lng_chain_cpuint", UbenchGroup::Integer,
+     "a += (iter * (iter - 1)) - x0 * iter; b += ... + a; "
+     "50-line cross-statement dependence chain"},
+    {UbenchId::CpuFp, "cpu_fp", UbenchGroup::FloatingPoint,
+     "a += (tmp * (tmp - 1.0)) - xi * tmp : xi in {1.0..54.0}"},
+    {UbenchId::BrHit, "br_hit", UbenchGroup::Branch,
+     "if (a[s]==0) a=a+1; else a=a-1; a filled with all 0's"},
+    {UbenchId::BrMiss, "br_miss", UbenchGroup::Branch,
+     "if (a[s]==0) a=a+1; else a=a-1; a filled randomly (modulo 2)"},
+    {UbenchId::LdintL1, "ldint_l1", UbenchGroup::Memory,
+     "a[i+s] = a[i+s]+1; s set so accesses always hit L1"},
+    {UbenchId::LdintL2, "ldint_l2", UbenchGroup::Memory,
+     "a[i+s] = a[i+s]+1; s set so accesses always hit L2"},
+    {UbenchId::LdintL3, "ldint_l3", UbenchGroup::Memory,
+     "a[i+s] = a[i+s]+1; s set so accesses always hit L3"},
+    {UbenchId::LdintMem, "ldint_mem", UbenchGroup::Memory,
+     "a[i+s] = a[i+s]+1; s set so accesses always miss all caches"},
+    {UbenchId::LdfpL1, "ldfp_l1", UbenchGroup::Memory,
+     "float a[i+s] = a[i+s]+1.0; accesses hit L1"},
+    {UbenchId::LdfpL2, "ldfp_l2", UbenchGroup::Memory,
+     "float a[i+s] = a[i+s]+1.0; accesses hit L2"},
+    {UbenchId::LdfpL3, "ldfp_l3", UbenchGroup::Memory,
+     "float a[i+s] = a[i+s]+1.0; accesses hit L3"},
+    {UbenchId::LdfpMem, "ldfp_mem", UbenchGroup::Memory,
+     "float a[i+s] = a[i+s]+1.0; accesses miss all caches"},
+};
+
+std::uint64_t
+scaledIters(std::uint64_t base, double scale)
+{
+    auto v = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(base) * scale));
+    return std::max<std::uint64_t>(1, v);
+}
+
+/** Close the loop body: induction update + predictable back-edge. */
+void
+closeLoop(ProgramBuilder &b, int back_edge, RegIndex induction)
+{
+    b.intAlu(induction, induction);
+    b.branch(back_edge);
+}
+
+SyntheticProgram
+makeCpuInt(double scale)
+{
+    ProgramBuilder b("cpu_int");
+    int back = b.alwaysTaken();
+    b.beginPhase(scaledIters(12, scale));
+    for (int s = 0; s < 54; ++s) {
+        b.intMul(rT0, rIter, rIter); // iter * (iter - 1)
+        b.intMul(rT1, rXi, rIter);   // xi * iter
+        b.intAlu(rT2, rT0, rT1);     // difference
+        b.intAlu(rA, rA, rT2);       // a += ... (dependence chain)
+    }
+    closeLoop(b, back, rIter);
+    return b.build();
+}
+
+SyntheticProgram
+makeCpuIntAdd(double scale)
+{
+    ProgramBuilder b("cpu_int_add");
+    int back = b.alwaysTaken();
+    b.beginPhase(scaledIters(12, scale));
+    for (int s = 0; s < 54; ++s) {
+        b.intAlu(rT0, rIter, rP); // iter + iterp
+        b.intAlu(rT1, rT0, rXi);  // - xi + iter
+        b.intAlu(rP, rIter, rA);  // iterp = iter - 1 + a
+        b.intAlu(rA, rA, rT1);    // a += ...
+    }
+    closeLoop(b, back, rIter);
+    return b.build();
+}
+
+SyntheticProgram
+makeCpuIntMul(double scale)
+{
+    ProgramBuilder b("cpu_int_mul");
+    int back = b.alwaysTaken();
+    b.beginPhase(scaledIters(12, scale));
+    for (int s = 0; s < 54; ++s) {
+        b.intMul(rT0, rIter, rIter); // iter * iter
+        b.intMul(rT1, rT0, rXi);     // * xi
+        b.intMul(rA, rT1, rIter);    // * iter (a overwritten: no
+                                     //  cross-statement chain)
+    }
+    closeLoop(b, back, rIter);
+    return b.build();
+}
+
+SyntheticProgram
+makeLngChainCpuint(double scale)
+{
+    ProgramBuilder b("lng_chain_cpuint");
+    int back = b.alwaysTaken();
+    b.beginPhase(scaledIters(12, scale));
+    for (int s = 0; s < 50; ++s) {
+        // The multiply sits *inside* the cross-line dependence chain:
+        // each line consumes the previous line's accumulator.
+        b.intMul(rT0, rA, rXi);
+        b.intAlu(rT1, rIter, rXi);
+        b.intAlu(rT2, rT1, rIter);
+        b.intAlu(rA, rA, rT0);
+    }
+    closeLoop(b, back, rIter);
+    return b.build();
+}
+
+SyntheticProgram
+makeCpuFp(double scale)
+{
+    ProgramBuilder b("cpu_fp");
+    int back = b.alwaysTaken();
+    b.beginPhase(scaledIters(15, scale));
+    for (int s = 0; s < 54; ++s) {
+        // a += (tmp*(tmp-1.0)) - xi*tmp: the accumulator add is a 6-cycle
+        // FP chain; the products overlap underneath it.
+        b.fpMul(fT0, fIter, fIter);
+        if (s % 2 == 0) {
+            b.fpAlu(fA, fA, fT0);
+        } else {
+            b.fpAlu(fT1, fT0, fXi);
+            b.fpAlu(fA, fA, fT1);
+        }
+    }
+    closeLoop(b, back, rIter);
+    return b.build();
+}
+
+SyntheticProgram
+makeBranchBench(bool predictable, double scale)
+{
+    ProgramBuilder b(predictable ? "br_hit" : "br_miss");
+    int back = b.alwaysTaken();
+    b.beginPhase(scaledIters(25, scale));
+    for (int s = 0; s < 28; ++s) {
+        int dir = predictable
+                      ? b.neverTaken()
+                      : b.randomBranch(0.5, 0x9e00 + static_cast<
+                                                std::uint64_t>(s));
+        // The paper's condition array a[1..28]: a fixed, L1-hot set of
+        // entries (stride 0: each static load rereads its own slot).
+        int slot = b.memPattern(0, 0, 28 * 128,
+                                static_cast<std::uint64_t>(s) * 128);
+        b.load(rV, slot);
+        b.branch(dir, rV);     // if (a[s] == 0)
+        b.intAlu(rA, rA, rV);  // a = a +/- 1
+    }
+    closeLoop(b, back, rIter);
+    return b.build();
+}
+
+/** Elements (distinct lines) touched per micro-iteration. */
+constexpr int kLoadElems = 16;
+
+/**
+ * Common shape of the eight ldint/ldfp benchmarks: per micro-iteration,
+ * a[i+s] = a[i+s] + 1 over kLoadElems consecutive cache lines, the whole
+ * array of @p footprint bytes being swept cyclically (each element s has
+ * its own pattern offset s*stride and advances by a full iteration's
+ * footprint per execution of the static instruction).
+ */
+SyntheticProgram
+makeLoadBench(const char *name, bool fp, bool chained,
+              std::uint64_t stride, std::uint64_t footprint,
+              std::uint64_t iters, double scale)
+{
+    ProgramBuilder b(name);
+    int back = b.alwaysTaken();
+    const std::uint64_t iter_advance = kLoadElems * stride;
+    const RegIndex val = fp ? fV : rV;
+    const RegIndex inc = fp ? fT0 : rW;
+    b.beginPhase(scaledIters(iters, scale));
+    for (int s = 0; s < kLoadElems; ++s) {
+        int elem = b.memPattern(0, iter_advance, footprint,
+                                static_cast<std::uint64_t>(s) * stride);
+        // Cache-missing variants self-chain the loads (src == dst):
+        // access k+1 depends on access k, so the element time is the
+        // hit latency of the targeted level — the "always hit in the
+        // desired cache level" behaviour. The L1 variant issues its
+        // loads independently (they all hit) and is bound by LS-unit
+        // bandwidth instead, like the high-IPC original.
+        b.load(val, elem, chained ? val : invalid_reg);
+        if (fp)
+            b.fpAlu(inc, val);
+        else
+            b.intAlu(inc, val);
+        b.store(elem, inc);
+        b.intAlu(rIdx, rIdx); // index bookkeeping, overlaps the loads
+    }
+    closeLoop(b, back, rIter);
+    return b.build();
+}
+
+} // namespace
+
+const UbenchInfo &
+ubenchInfo(UbenchId id)
+{
+    const int idx = static_cast<int>(id);
+    if (idx < 0 || idx >= num_ubench)
+        panic("ubenchInfo: bad id %d", idx);
+    return kInfos[idx];
+}
+
+const char *
+ubenchName(UbenchId id)
+{
+    return ubenchInfo(id).name;
+}
+
+const char *
+ubenchGroupName(UbenchGroup group)
+{
+    switch (group) {
+      case UbenchGroup::Integer:
+        return "Integer";
+      case UbenchGroup::FloatingPoint:
+        return "Floating Point";
+      case UbenchGroup::Memory:
+        return "Memory";
+      case UbenchGroup::Branch:
+        return "Branch";
+      default:
+        panic("ubenchGroupName: bad group %d", static_cast<int>(group));
+    }
+}
+
+UbenchId
+ubenchFromName(const std::string &name)
+{
+    for (const auto &info : kInfos)
+        if (name == info.name)
+            return info.id;
+    fatal("unknown micro-benchmark '%s'", name.c_str());
+}
+
+SyntheticProgram
+makeUbench(UbenchId id, double scale)
+{
+    // Footprints select the servicing level relative to the default
+    // hierarchy: L1 32 KiB, L2 1.875 MiB, L3 36 MiB.
+    constexpr std::uint64_t kKi = 1024;
+    constexpr std::uint64_t kMi = 1024 * 1024;
+    switch (id) {
+      case UbenchId::CpuInt:
+        return makeCpuInt(scale);
+      case UbenchId::CpuIntAdd:
+        return makeCpuIntAdd(scale);
+      case UbenchId::CpuIntMul:
+        return makeCpuIntMul(scale);
+      case UbenchId::LngChainCpuint:
+        return makeLngChainCpuint(scale);
+      case UbenchId::CpuFp:
+        return makeCpuFp(scale);
+      case UbenchId::BrHit:
+        return makeBranchBench(true, scale);
+      case UbenchId::BrMiss:
+        return makeBranchBench(false, scale);
+      // Footprints: L1 variant fits L1; L2 variant exceeds L1, fits L2
+      // and one execution sweeps the whole array (steady state from the
+      // second repetition); L3 variant exceeds L2, fits L3; mem variant
+      // exceeds L3, so every line's reuse distance beats every cache and
+      // each access goes to DRAM — cold and steady state coincide.
+      case UbenchId::LdintL1:
+        return makeLoadBench("ldint_l1", false, false, 128, 16 * kKi, 30,
+                             scale);
+      case UbenchId::LdintL2:
+        return makeLoadBench("ldint_l2", false, true, 128, 256 * kKi,
+                             128, scale);
+      case UbenchId::LdintL3:
+        return makeLoadBench("ldint_l3", false, true, 128, 4 * kMi, 2048,
+                             scale);
+      case UbenchId::LdintMem:
+        // Page-crossing stride: every element misses the TLB as well as
+        // every cache, so the element rate is set by the shared table
+        // walker — the behaviour behind the paper's mem-vs-mem results.
+        return makeLoadBench("ldint_mem", false, false, 4224, 64 * kMi,
+                             16, scale);
+      case UbenchId::LdfpL1:
+        return makeLoadBench("ldfp_l1", true, false, 128, 16 * kKi, 30,
+                             scale);
+      case UbenchId::LdfpL2:
+        return makeLoadBench("ldfp_l2", true, true, 128, 256 * kKi, 128,
+                             scale);
+      case UbenchId::LdfpL3:
+        return makeLoadBench("ldfp_l3", true, true, 128, 4 * kMi, 2048,
+                             scale);
+      case UbenchId::LdfpMem:
+        return makeLoadBench("ldfp_mem", true, false, 4224, 64 * kMi, 16,
+                             scale);
+      default:
+        panic("makeUbench: bad id %d", static_cast<int>(id));
+    }
+}
+
+const std::vector<UbenchId> &
+presentedUbench()
+{
+    static const std::vector<UbenchId> six = {
+        UbenchId::CpuInt,   UbenchId::LngChainCpuint, UbenchId::CpuFp,
+        UbenchId::LdintL1,  UbenchId::LdintL2,        UbenchId::LdintMem,
+    };
+    return six;
+}
+
+const std::vector<UbenchId> &
+allUbench()
+{
+    static const std::vector<UbenchId> all = [] {
+        std::vector<UbenchId> v;
+        for (int i = 0; i < num_ubench; ++i)
+            v.push_back(static_cast<UbenchId>(i));
+        return v;
+    }();
+    return all;
+}
+
+} // namespace p5

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The paper's 15 synthetic micro-benchmarks (Table 2).
+ *
+ * Each factory reproduces the *characteristics* of the corresponding
+ * xlc-compiled loop: operation class, latency class, dependence structure,
+ * memory footprint/stride (which selects the cache level that services the
+ * loads) and branch behaviour. Six of them are the ones the paper presents
+ * results for (the others behave like one of the six, as the paper notes).
+ */
+
+#ifndef P5SIM_UBENCH_UBENCH_HH
+#define P5SIM_UBENCH_UBENCH_HH
+
+#include <string>
+#include <vector>
+
+#include "program/program.hh"
+
+namespace p5 {
+
+/** Identifier of one micro-benchmark. */
+enum class UbenchId
+{
+    CpuInt,
+    CpuIntAdd,
+    CpuIntMul,
+    LngChainCpuint,
+    CpuFp,
+    BrHit,
+    BrMiss,
+    LdintL1,
+    LdintL2,
+    LdintL3,
+    LdintMem,
+    LdfpL1,
+    LdfpL2,
+    LdfpL3,
+    LdfpMem,
+    NumUbench
+};
+
+/** Number of micro-benchmarks. */
+constexpr int num_ubench = static_cast<int>(UbenchId::NumUbench);
+
+/** Table-2 grouping. */
+enum class UbenchGroup { Integer, FloatingPoint, Memory, Branch };
+
+/** Static description of one micro-benchmark. */
+struct UbenchInfo
+{
+    UbenchId id;
+    const char *name;        ///< paper name, e.g. "ldint_l2"
+    UbenchGroup group;
+    const char *loopBody;    ///< Table-2 style loop-body description
+};
+
+/** Info for @p id. */
+const UbenchInfo &ubenchInfo(UbenchId id);
+
+/** Paper name of @p id (e.g. "lng_chain_cpuint"). */
+const char *ubenchName(UbenchId id);
+
+/** Group name ("Integer", ...). */
+const char *ubenchGroupName(UbenchGroup group);
+
+/** Reverse lookup; fatal() on unknown names. */
+UbenchId ubenchFromName(const std::string &name);
+
+/**
+ * Build the micro-benchmark program.
+ *
+ * @param scale multiplies the micro-iteration count of one execution
+ *        (FAME repetition); 1.0 gives executions of a few thousand
+ *        dynamic instructions, sized so the full experiment sweeps run
+ *        in seconds.
+ */
+SyntheticProgram makeUbench(UbenchId id, double scale = 1.0);
+
+/** The six benchmarks the paper presents results for (Sec. 4.2). */
+const std::vector<UbenchId> &presentedUbench();
+
+/** All fifteen. */
+const std::vector<UbenchId> &allUbench();
+
+} // namespace p5
+
+#endif // P5SIM_UBENCH_UBENCH_HH

@@ -1,0 +1,204 @@
+#include "workloads/pipeline_app.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+#include "program/builder.hh"
+
+namespace p5 {
+
+namespace {
+
+constexpr RegIndex rIter = 1;
+constexpr RegIndex rT0 = 3;
+constexpr RegIndex fA = 32;
+constexpr RegIndex fB = 33;
+constexpr RegIndex fW = 34; // twiddle factor
+constexpr RegIndex fT0 = 35;
+constexpr RegIndex fT1 = 36;
+constexpr RegIndex fV = 43;
+
+std::uint64_t
+scaledIters(std::uint64_t base, double scale)
+{
+    auto v = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(base) * scale));
+    return std::max<std::uint64_t>(1, v);
+}
+
+} // namespace
+
+SyntheticProgram
+makeFftStage(double scale)
+{
+    // Radix-2 butterflies: strided loads (bit-reversed order defeats
+    // L1, stays in L2), twiddle multiplies and cross-feeding adds.
+    ProgramBuilder b("fft_stage");
+    int back = b.alwaysTaken();
+    constexpr int units = 8;
+    b.beginPhase(scaledIters(700, scale));
+    for (int s = 0; s < units; ++s) {
+        const auto off = static_cast<std::uint64_t>(s) * 128;
+        // Sequential butterflies: four consecutive iterations reuse a
+        // fetched line before moving on (stride 32 within 128B lines),
+        // as a real radix-2 pass over packed doubles does.
+        int data = b.memPattern(0, units * 32, 512 * 1024, off);
+        int twiddle =
+            b.memPattern(1ULL << 28, units * 32, 32 * 1024, off);
+        b.load(fV, data);
+        b.load(fT0, twiddle);
+        b.fpMul(fT1, fV, fW);
+        b.fpAlu(fA, fA, fT1);
+        b.fpAlu(fB, fB, fT0);
+        b.store(data, fA);
+        b.intAlu(rT0, rIter);
+    }
+    b.intAlu(rIter, rIter);
+    b.branch(back);
+    return b.build();
+}
+
+SyntheticProgram
+makeLuStage(double scale)
+{
+    // Column elimination: FP multiply-subtract chains over a panel that
+    // fits in L1; latency-bound like cpu_fp (moderate IPC).
+    ProgramBuilder b("lu_stage");
+    int back = b.alwaysTaken();
+    constexpr int units = 12;
+    b.beginPhase(scaledIters(180, scale));
+    for (int s = 0; s < units; ++s) {
+        const auto off = static_cast<std::uint64_t>(s) * 128;
+        int panel = b.memPattern(0, units * 32, 16 * 1024, off);
+        b.load(fV, panel);
+        b.fpMul(fT0, fV, fB);
+        b.fpAlu(fA, fA, fT0); // pivot-row accumulation chain
+    }
+    b.intAlu(rIter, rIter);
+    b.branch(back);
+    return b.build();
+}
+
+PipelineApp::PipelineApp(const PipelineParams &params) : params_(params)
+{
+    if (params_.iterations <= 0)
+        fatal("pipeline needs at least one measured iteration");
+    if (!isValidPriority(params_.prioFft) ||
+        !isValidPriority(params_.prioLu))
+        fatal("pipeline: invalid priorities (%d,%d)", params_.prioFft,
+              params_.prioLu);
+}
+
+PipelineResult
+PipelineApp::runSmt(const CoreParams &core_params) const
+{
+    const SyntheticProgram fft = makeFftStage(params_.scale);
+    const SyntheticProgram lu = makeLuStage(params_.scale);
+
+    SmtCore core(core_params);
+    core.attachThread(0, &fft, params_.prioFft,
+                      PrivilegeLevel::Supervisor);
+    core.attachThread(1, &lu, params_.prioLu,
+                      PrivilegeLevel::Supervisor);
+
+    PipelineResult res;
+    double fft_sum = 0.0;
+    double lu_sum = 0.0;
+    double iter_sum = 0.0;
+
+    const int total_iters = params_.iterations + 1; // +1 warm-up
+    Cycle iter_start = core.cycle();
+
+    for (int iter = 0; iter < total_iters; ++iter) {
+        const auto target = static_cast<std::uint64_t>(iter) + 1;
+        bool fft_done = false;
+        bool lu_done = false;
+        Cycle fft_at = 0;
+        Cycle lu_at = 0;
+        const Cycle guard = core.cycle() + params_.maxCyclesPerIteration;
+
+        while (!(fft_done && lu_done)) {
+            if (core.cycle() >= guard) {
+                res.hitCycleLimit = true;
+                warn("pipeline iteration hit its cycle guard");
+                break;
+            }
+            core.tick();
+            if (!fft_done && core.executionsOf(0) >= target) {
+                fft_done = true;
+                fft_at = core.cycle();
+                // Producer reached the barrier first: it blocks in MPI
+                // send/receive, the kernel idles its hardware thread and
+                // the consumer continues in ST mode.
+                if (!lu_done)
+                    core.setPriorityPair(0, params_.prioLu);
+            }
+            if (!lu_done && core.executionsOf(1) >= target) {
+                lu_done = true;
+                lu_at = core.cycle();
+                if (!fft_done)
+                    core.setPriorityPair(params_.prioFft, 0);
+            }
+        }
+
+        // Barrier: both stages restart under the configured priorities.
+        core.setPriorityPair(params_.prioFft, params_.prioLu);
+
+        const Cycle iter_end = std::max(fft_at, lu_at);
+        if (iter > 0) { // skip the pipeline-fill iteration
+            fft_sum += static_cast<double>(fft_at - iter_start);
+            lu_sum += static_cast<double>(lu_at - iter_start);
+            iter_sum += static_cast<double>(iter_end - iter_start);
+        }
+        iter_start = iter_end;
+        if (res.hitCycleLimit)
+            break;
+    }
+
+    const double n = params_.iterations;
+    res.fftCycles = fft_sum / n;
+    res.luCycles = lu_sum / n;
+    res.iterationCycles = iter_sum / n;
+    return res;
+}
+
+PipelineResult
+PipelineApp::runSingleThread(const CoreParams &core_params) const
+{
+    const SyntheticProgram fft = makeFftStage(params_.scale);
+    const SyntheticProgram lu = makeLuStage(params_.scale);
+    const auto reps = static_cast<std::uint64_t>(params_.iterations);
+
+    PipelineResult res;
+
+    // Skip the first (cold-cache) execution, like runSmt() skips its
+    // pipeline-fill iteration.
+    auto measure = [&](const SyntheticProgram &prog) {
+        SmtCore core(core_params);
+        core.attachThread(0, &prog, default_priority);
+        if (!core.runUntilExecutions(0, reps + 1,
+                                     (reps + 1) *
+                                         params_.maxCyclesPerIteration))
+            res.hitCycleLimit = true;
+        Cycle first = 0;
+        {
+            // Re-derive the first execution boundary: run a twin core
+            // for one execution only.
+            SmtCore warm(core_params);
+            warm.attachThread(0, &prog, default_priority);
+            warm.runUntilExecutions(0, 1,
+                                    params_.maxCyclesPerIteration);
+            first = warm.lastExecutionCycleOf(0);
+        }
+        return (static_cast<double>(core.lastExecutionCycleOf(0)) -
+                static_cast<double>(first)) /
+               static_cast<double>(core.executionsOf(0) - 1);
+    };
+    res.fftCycles = measure(fft);
+    res.luCycles = measure(lu);
+    res.iterationCycles = res.fftCycles + res.luCycles;
+    return res;
+}
+
+} // namespace p5

@@ -1,0 +1,232 @@
+#include "workloads/spec_proxy.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+#include "program/builder.hh"
+
+namespace p5 {
+
+namespace {
+
+constexpr RegIndex rA = 0;
+constexpr RegIndex rIter = 1;
+constexpr RegIndex rXi = 2;
+constexpr RegIndex rT0 = 3;
+constexpr RegIndex rT1 = 4;
+constexpr RegIndex rV = 11;
+constexpr RegIndex rPtr = 12;
+constexpr RegIndex fA = 32;
+constexpr RegIndex fB = 33;
+constexpr RegIndex fT0 = 35;
+constexpr RegIndex fT1 = 36;
+constexpr RegIndex fV = 43;
+
+std::uint64_t
+scaledIters(std::uint64_t base, double scale)
+{
+    auto v = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(base) * scale));
+    return std::max<std::uint64_t>(1, v);
+}
+
+/**
+ * An "L2 ring": lines spaced one page apart so they collapse onto two
+ * L1 sets (guaranteed L1 misses) while spreading across enough L2 sets
+ * to stay L2-resident. Warm after one 128-access lap, touching only 128
+ * pages — the proxy reaches steady state immediately instead of
+ * streaming through megabytes of cold memory.
+ */
+int
+l2Ring(ProgramBuilder &b, Addr base, int j)
+{
+    return b.memPattern(base, 4096, 512 * 1024,
+                        static_cast<std::uint64_t>(j) * 128);
+}
+
+/**
+ * An "L3 ring": lines spaced 128 KiB apart, which lands every access in
+ * the same L2 set (32 lines >> 16 ways: guaranteed L2 misses) while the
+ * L3 keeps the whole ring resident. 32 pages, warm after one lap.
+ */
+int
+l3Ring(ProgramBuilder &b, Addr base, int j)
+{
+    return b.memPattern(base, 128 * 1024, 4 * 1024 * 1024,
+                        static_cast<std::uint64_t>(j) * 256);
+}
+
+/**
+ * h264ref: motion estimation / entropy coding — integer arithmetic with
+ * well-predicted branches over hot (L1/L2) reference data. Window- and
+ * decode-sensitive: co-running with a GCT-hogging memory thread
+ * depresses it, prioritization recovers it, matching Fig. 5(a).
+ */
+SyntheticProgram
+makeH264ref(double scale)
+{
+    ProgramBuilder b("h264ref");
+    int back = b.alwaysTaken();
+    constexpr int units = 12;
+    b.beginPhase(scaledIters(20, scale));
+    // SAD loops over reference frames: the current macroblock rows are
+    // L2-resident; every fourth unit touches a reference-frame row that
+    // streams from L3 (HD frames exceed L2). Latency is hidden by the
+    // instruction window, which makes the encoder window-sensitive: a
+    // GCT-hogging sibling depresses it and prioritization recovers it
+    // (Fig. 5(a)).
+    for (int s = 0; s < units; ++s) {
+        int cur = l2Ring(b, 1ULL << 28, s);
+        b.load(rT0, cur);
+        if (s % 6 == 0) {
+            b.load(rV, l3Ring(b, 0, s / 6)); // reference-frame rows
+        } else {
+            b.load(rV, l2Ring(b, 2ULL << 28, s));
+        }
+        b.intAlu(rT1, rV, rT0);
+        b.intAlu(rA, rA, rT1);
+        // Entropy-coding dependence chain: alternating multiply/add
+        // accumulation caps the encoder's standalone IPC.
+        if (s % 2 == 0)
+            b.intMul(rA, rA, rXi);
+        else
+            b.intAlu(rA, rA, rXi);
+        b.intAlu(rT0, rT1, rXi);
+        b.branch(b.neverTaken(), rA);
+    }
+    b.intAlu(rIter, rIter);
+    b.branch(back);
+    return b.build();
+}
+
+/**
+ * mcf: network-simplex pointer chasing — serially dependent loads whose
+ * working set straddles L2 and L3. Memory-bound, priority-insensitive
+ * on the gaining side but profitable to deprioritize.
+ */
+SyntheticProgram
+makeMcf(double scale)
+{
+    ProgramBuilder b("mcf");
+    int back = b.alwaysTaken();
+    constexpr int units = 8;
+    b.beginPhase(scaledIters(24, scale));
+    for (int s = 0; s < units; ++s) {
+        // Pointer chase through the arc array (L2-resident)...
+        b.load(rPtr, l2Ring(b, 0, s), rPtr);
+        b.intAlu(rT0, rPtr, rXi);
+        b.intAlu(rA, rA, rT0);
+        // ...with every other step chasing into the node data, which
+        // spills to L3.
+        if (s % 2 == 0)
+            b.load(rV, l3Ring(b, 1ULL << 28, s / 2), rV);
+        b.intAlu(rT1, rA, rXi);
+    }
+    b.intAlu(rIter, rIter);
+    b.branch(back);
+    return b.build();
+}
+
+/**
+ * applu: SSOR loop nest — FP multiply/add chains over blocked data,
+ * moderate IPC, mildly memory-sensitive.
+ */
+SyntheticProgram
+makeApplu(double scale)
+{
+    ProgramBuilder b("applu");
+    int back = b.alwaysTaken();
+    constexpr int units = 16;
+    b.beginPhase(scaledIters(24, scale));
+    // SSOR sweeps: one operand panel is L2-resident, the wavefront
+    // plane streams from L3; the window hides the latency, so a
+    // GCT-hogging sibling depresses the loop and priority recovers it.
+    for (int s = 0; s < units; ++s) {
+        const int mem = s % 2 == 0 ? l3Ring(b, 1ULL << 28, s / 2)
+                                   : l2Ring(b, 0, s);
+        b.load(fV, mem);
+        b.fpMul(fT0, fV, fB);
+        b.fpAlu(fA, fA, fT0); // 6-cycle accumulation chain
+        if (s % 4 == 3)
+            b.fpMul(fT1, fT0, fB);
+    }
+    b.intAlu(rIter, rIter);
+    b.branch(back);
+    return b.build();
+}
+
+/**
+ * equake: sparse matrix-vector FP — serially dependent loads into L3
+ * with FP accumulation; low IPC, memory-bound.
+ */
+SyntheticProgram
+makeEquake(double scale)
+{
+    ProgramBuilder b("equake");
+    int back = b.alwaysTaken();
+    constexpr int units = 8;
+    b.beginPhase(scaledIters(16, scale));
+    for (int s = 0; s < units; ++s) {
+        // Column-index chase through L2-resident index arrays; every
+        // fourth row's values spill to L3.
+        b.load(rPtr, l2Ring(b, 1ULL << 28, s), rPtr);
+        const int sparse = s % 4 == 0 ? l3Ring(b, 0, s / 4)
+                                      : l2Ring(b, 2ULL << 28, s);
+        b.load(fV, sparse, fV); // matrix values, serially dependent
+        b.fpMul(fT0, fV, fB);
+        b.fpAlu(fA, fA, fT0);
+    }
+    b.intAlu(rIter, rIter);
+    b.branch(back);
+    return b.build();
+}
+
+} // namespace
+
+const char *
+specProxyName(SpecProxyId id)
+{
+    switch (id) {
+      case SpecProxyId::H264ref:
+        return "h264ref";
+      case SpecProxyId::Mcf:
+        return "mcf";
+      case SpecProxyId::Applu:
+        return "applu";
+      case SpecProxyId::Equake:
+        return "equake";
+      default:
+        panic("specProxyName: bad id %d", static_cast<int>(id));
+    }
+}
+
+SpecProxyId
+specProxyFromName(const std::string &name)
+{
+    for (int i = 0; i < num_spec_proxies; ++i) {
+        auto id = static_cast<SpecProxyId>(i);
+        if (name == specProxyName(id))
+            return id;
+    }
+    fatal("unknown SPEC proxy '%s'", name.c_str());
+}
+
+SyntheticProgram
+makeSpecProxy(SpecProxyId id, double scale)
+{
+    switch (id) {
+      case SpecProxyId::H264ref:
+        return makeH264ref(scale);
+      case SpecProxyId::Mcf:
+        return makeMcf(scale);
+      case SpecProxyId::Applu:
+        return makeApplu(scale);
+      case SpecProxyId::Equake:
+        return makeEquake(scale);
+      default:
+        panic("makeSpecProxy: bad id %d", static_cast<int>(id));
+    }
+}
+
+} // namespace p5

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Synthetic stand-ins for the SPEC benchmarks of the paper's throughput
+ * case study (Sec. 5.3.1): 464.h264ref, 429.mcf, 173.applu, 183.equake.
+ *
+ * We do not have SPEC binaries or a POWER5 to run them on; each proxy
+ * reproduces the *resource profile* the case study exploits — reported
+ * SMT(4,4) IPCs of 0.920 / 0.144 / 0.500 / 0.140 and the bound class
+ * (cpu-and-window-bound video encoder, pointer-chasing memory-bound
+ * optimizer, FP loop nest, memory-heavy FP simulation). The case study
+ * only depends on "high-IPC thread paired with low-IPC memory-bound
+ * thread", which these preserve.
+ */
+
+#ifndef P5SIM_WORKLOADS_SPEC_PROXY_HH
+#define P5SIM_WORKLOADS_SPEC_PROXY_HH
+
+#include <string>
+#include <vector>
+
+#include "program/program.hh"
+
+namespace p5 {
+
+/** The four SPEC proxies used by the paper's case studies. */
+enum class SpecProxyId
+{
+    H264ref,
+    Mcf,
+    Applu,
+    Equake,
+    NumProxies
+};
+
+constexpr int num_spec_proxies = static_cast<int>(SpecProxyId::NumProxies);
+
+/** Paper name, e.g. "h264ref". */
+const char *specProxyName(SpecProxyId id);
+
+/** Reverse lookup; fatal() on unknown names. */
+SpecProxyId specProxyFromName(const std::string &name);
+
+/**
+ * Build a proxy program.
+ *
+ * @param scale multiplies the work per execution (FAME repetition).
+ */
+SyntheticProgram makeSpecProxy(SpecProxyId id, double scale = 1.0);
+
+} // namespace p5
+
+#endif // P5SIM_WORKLOADS_SPEC_PROXY_HH

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the dynamic hardware resource balancer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/balancer.hh"
+
+namespace p5 {
+namespace {
+
+struct BalancerFixture
+{
+    explicit BalancerFixture(BalancerParams bp = BalancerParams{})
+        : gct(20), lmq(8), balancer(bp)
+    {
+        params.mem.tlb.walkLatency = 100;
+        hierarchy = std::make_unique<CacheHierarchy>(params.mem);
+        lsu = std::make_unique<Lsu>(params, hierarchy.get(), &lmq);
+        allocator = std::make_unique<DecodeSlotAllocator>(5, 2);
+        allocator->setPriorities(4, 4);
+        balancer.setPriorityView(allocator.get());
+        lsu->setPriorityView(allocator.get());
+    }
+
+    CoreParams params;
+    Gct gct;
+    Lmq lmq;
+    std::unique_ptr<CacheHierarchy> hierarchy;
+    std::unique_ptr<Lsu> lsu;
+    std::unique_ptr<DecodeSlotAllocator> allocator;
+    Balancer balancer;
+};
+
+TEST(Balancer, QuietCoreNoBlocks)
+{
+    BalancerFixture f;
+    BalancerDecision d =
+        f.balancer.evaluate(f.gct, f.lmq, *f.lsu, true, 0);
+    EXPECT_FALSE(d.block[0]);
+    EXPECT_FALSE(d.block[1]);
+}
+
+TEST(Balancer, GctHogIsBlocked)
+{
+    BalancerFixture f;
+    // Thread 0 holds 12 of 20 groups: > 0.55 * 20 = 11.
+    for (int g = 0; g < 12; ++g)
+        f.gct.allocate(0, static_cast<SeqNum>(g) * 5, 5);
+    BalancerDecision d =
+        f.balancer.evaluate(f.gct, f.lmq, *f.lsu, true, 0);
+    EXPECT_TRUE(d.block[0]);
+    EXPECT_FALSE(d.block[1]);
+    EXPECT_FALSE(d.flush[0]); // default action is Stall
+    EXPECT_EQ(f.balancer.gctBlocksOf(0), 1u);
+}
+
+TEST(Balancer, FlushActionSetsFlush)
+{
+    BalancerParams bp;
+    bp.action = BalanceAction::Flush;
+    BalancerFixture f(bp);
+    for (int g = 0; g < 12; ++g)
+        f.gct.allocate(0, static_cast<SeqNum>(g) * 5, 5);
+    BalancerDecision d =
+        f.balancer.evaluate(f.gct, f.lmq, *f.lsu, true, 0);
+    EXPECT_TRUE(d.flush[0]);
+    EXPECT_EQ(f.balancer.flushesOf(0), 1u);
+}
+
+TEST(Balancer, NoHoggingWithoutSibling)
+{
+    BalancerFixture f;
+    for (int g = 0; g < 15; ++g)
+        f.gct.allocate(0, static_cast<SeqNum>(g) * 5, 5);
+    BalancerDecision d =
+        f.balancer.evaluate(f.gct, f.lmq, *f.lsu, false, 0);
+    EXPECT_FALSE(d.block[0]);
+}
+
+TEST(Balancer, LmqHogIsBlocked)
+{
+    BalancerFixture f;
+    for (int i = 0; i < 6; ++i)
+        f.lmq.reserve(1, 0, 0, 1000);
+    BalancerDecision d =
+        f.balancer.evaluate(f.gct, f.lmq, *f.lsu, true, 0);
+    EXPECT_TRUE(d.block[1]);
+    EXPECT_EQ(f.balancer.lmqBlocksOf(1), 1u);
+}
+
+TEST(Balancer, TlbWalkBlocksDecode)
+{
+    BalancerFixture f;
+    f.lsu->issueLoad(0, 0x1000, 0); // triggers a 100-cycle walk
+    BalancerDecision d =
+        f.balancer.evaluate(f.gct, f.lmq, *f.lsu, true, 50);
+    EXPECT_TRUE(d.block[0]);
+    d = f.balancer.evaluate(f.gct, f.lmq, *f.lsu, true, 150);
+    EXPECT_FALSE(d.block[0]);
+}
+
+TEST(Balancer, DisabledDoesNothing)
+{
+    BalancerParams bp;
+    bp.enabled = false;
+    BalancerFixture f(bp);
+    for (int g = 0; g < 18; ++g)
+        f.gct.allocate(0, static_cast<SeqNum>(g) * 5, 5);
+    BalancerDecision d =
+        f.balancer.evaluate(f.gct, f.lmq, *f.lsu, true, 0);
+    EXPECT_FALSE(d.block[0]);
+}
+
+TEST(Balancer, GctThresholdScalesWithPriority)
+{
+    BalancerFixture f;
+    EXPECT_DOUBLE_EQ(f.balancer.gctThresholdFor(0), 0.55);
+    f.allocator->setPriorities(6, 2); // thread 0 share 31/32
+    EXPECT_DOUBLE_EQ(f.balancer.gctThresholdFor(0), 0.85); // clamped
+    EXPECT_DOUBLE_EQ(f.balancer.gctThresholdFor(1), 0.20); // clamped
+    f.allocator->setPriorities(5, 4); // shares 3/4 and 1/4
+    EXPECT_NEAR(f.balancer.gctThresholdFor(0), 0.55 * 1.5, 1e-9);
+    EXPECT_NEAR(f.balancer.gctThresholdFor(1), 0.275, 1e-9);
+}
+
+TEST(Balancer, GctThresholdFixedWhenDisabled)
+{
+    BalancerParams bp;
+    bp.priorityAwareGct = false;
+    BalancerFixture f(bp);
+    f.allocator->setPriorities(6, 1);
+    EXPECT_DOUBLE_EQ(f.balancer.gctThresholdFor(1), 0.55);
+}
+
+TEST(Balancer, LmqThresholdScalesWithPriority)
+{
+    BalancerFixture f;
+    EXPECT_EQ(f.balancer.lmqThresholdFor(0, 8), 6);
+    f.allocator->setPriorities(6, 2);
+    EXPECT_EQ(f.balancer.lmqThresholdFor(0, 8), 7); // clamped to cap-1
+    EXPECT_EQ(f.balancer.lmqThresholdFor(1, 8), 1);
+}
+
+TEST(Balancer, MinorityGctCapIsTighter)
+{
+    BalancerFixture f;
+    f.allocator->setPriorities(2, 6); // thread 0 minority: cap 0.2*20=4
+    for (int g = 0; g < 5; ++g)
+        f.gct.allocate(0, static_cast<SeqNum>(g) * 5, 5);
+    BalancerDecision d =
+        f.balancer.evaluate(f.gct, f.lmq, *f.lsu, true, 0);
+    EXPECT_TRUE(d.block[0]);
+}
+
+} // namespace
+} // namespace p5

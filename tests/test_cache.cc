@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit and property tests for the set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+namespace p5 {
+namespace {
+
+CacheParams
+smallCache()
+{
+    // 4 sets x 2 ways x 64B lines = 512 B.
+    return CacheParams{"small", 512, 2, 64, 2, 3};
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache c(smallCache());
+    EXPECT_FALSE(c.lookup(0x100));
+    c.insert(0x100);
+    EXPECT_TRUE(c.lookup(0x100));
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, SameLineDifferentOffsets)
+{
+    Cache c(smallCache());
+    c.insert(0x100);
+    EXPECT_TRUE(c.lookup(0x13F)); // same 64B line
+    EXPECT_FALSE(c.probe(0x140)); // next line
+}
+
+TEST(Cache, LruEviction)
+{
+    Cache c(smallCache());
+    // Three lines mapping to the same set (set stride = 4 * 64 = 256).
+    c.insert(0x000);
+    c.insert(0x100);
+    c.lookup(0x000);  // make 0x000 MRU
+    c.insert(0x200);  // evicts LRU = 0x100
+    EXPECT_TRUE(c.probe(0x000));
+    EXPECT_FALSE(c.probe(0x100));
+    EXPECT_TRUE(c.probe(0x200));
+    EXPECT_EQ(c.evictions(), 1u);
+}
+
+TEST(Cache, ProbeHasNoSideEffects)
+{
+    Cache c(smallCache());
+    c.insert(0x000);
+    c.insert(0x100);
+    // Probing 0x000 must NOT refresh it.
+    c.probe(0x000);
+    c.lookup(0x100); // 0x100 MRU
+    c.insert(0x200); // evicts 0x000 (still LRU)
+    EXPECT_FALSE(c.probe(0x000));
+    std::uint64_t hits = c.hits();
+    c.probe(0x100);
+    EXPECT_EQ(c.hits(), hits); // probe doesn't count stats
+}
+
+TEST(Cache, FlushAll)
+{
+    Cache c(smallCache());
+    c.insert(0x000);
+    c.insert(0x100);
+    c.flushAll();
+    EXPECT_FALSE(c.probe(0x000));
+    EXPECT_FALSE(c.probe(0x100));
+}
+
+TEST(Cache, InsertExistingRefreshesRecency)
+{
+    Cache c(smallCache());
+    c.insert(0x000);
+    c.insert(0x100);
+    c.insert(0x000); // refresh, no new insertion slot taken
+    c.insert(0x200); // evict 0x100
+    EXPECT_TRUE(c.probe(0x000));
+    EXPECT_FALSE(c.probe(0x100));
+}
+
+TEST(Cache, ReserveServiceEnforcesGap)
+{
+    Cache c(smallCache()); // gap 3
+    EXPECT_EQ(c.reserveService(10, 10), 10u);
+    EXPECT_EQ(c.reserveService(10, 10), 13u);
+    EXPECT_EQ(c.reserveService(10, 10), 16u);
+    EXPECT_EQ(c.reserveService(20, 20), 20u);
+}
+
+TEST(Cache, FutureReservationDoesNotBlockPresent)
+{
+    Cache c(smallCache()); // gap 3
+    // A request issued now but serviceable far in the future...
+    EXPECT_EQ(c.reserveService(10, 1000), 1000u);
+    // ...must not stall the next present-time request by more than one
+    // service slot.
+    EXPECT_LE(c.reserveService(11, 11), 14u);
+}
+
+TEST(CacheDeath, BadGeometryIsFatal)
+{
+    CacheParams p{"bad", 0, 4, 64, 1, 1};
+    EXPECT_EXIT({ Cache c(p); }, ::testing::ExitedWithCode(1),
+                "bad geometry");
+}
+
+TEST(CacheDeath, NonPow2LineIsFatal)
+{
+    CacheParams p{"bad", 512, 2, 48, 1, 1};
+    EXPECT_EXIT({ Cache c(p); }, ::testing::ExitedWithCode(1),
+                "power of two");
+}
+
+// Property: a working set that fits is fully resident after one pass,
+// regardless of geometry.
+class CacheResidencyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(CacheResidencyTest, FittingSetStaysResident)
+{
+    auto [assoc, line] = GetParam();
+    CacheParams p{"param", 16 * 1024, assoc, line, 2, 1};
+    Cache c(p);
+    const int lines = static_cast<int>(p.sizeBytes) / line;
+    for (int i = 0; i < lines; ++i)
+        c.insert(static_cast<Addr>(i) * static_cast<Addr>(line));
+    for (int i = 0; i < lines; ++i)
+        EXPECT_TRUE(
+            c.probe(static_cast<Addr>(i) * static_cast<Addr>(line)));
+    EXPECT_EQ(c.evictions(), 0u);
+}
+
+TEST_P(CacheResidencyTest, OversizedCyclicSetAlwaysMisses)
+{
+    auto [assoc, line] = GetParam();
+    CacheParams p{"param", 16 * 1024, assoc, line, 2, 1};
+    Cache c(p);
+    const int lines = 2 * static_cast<int>(p.sizeBytes) / line;
+    // Two full passes: with LRU and a cyclic access pattern twice the
+    // capacity, the second pass must miss every line.
+    for (int pass = 0; pass < 2; ++pass) {
+        std::uint64_t misses_before = c.misses();
+        for (int i = 0; i < lines; ++i) {
+            if (!c.lookup(static_cast<Addr>(i) *
+                          static_cast<Addr>(line)))
+                c.insert(static_cast<Addr>(i) *
+                         static_cast<Addr>(line));
+        }
+        EXPECT_EQ(c.misses() - misses_before,
+                  static_cast<std::uint64_t>(lines));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CacheResidencyTest,
+                         ::testing::Combine(::testing::Values(1, 2, 4,
+                                                              8),
+                                            ::testing::Values(64, 128,
+                                                              256)));
+
+} // namespace
+} // namespace p5

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Unit tests for the common module: logging, RNG, statistics, table
+ * rendering, CLI parsing.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/cli.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace p5 {
+namespace {
+
+// --- log ---------------------------------------------------------------
+
+TEST(Log, LevelRoundTrip)
+{
+    LogLevel old = setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    setLogLevel(old);
+    EXPECT_EQ(logLevel(), old);
+}
+
+TEST(Log, WarnCountsEvenWhenSuppressed)
+{
+    LogLevel old = setLogLevel(LogLevel::Silent);
+    std::uint64_t before = warnCount();
+    warn("suppressed warning %d", 42);
+    EXPECT_EQ(warnCount(), before + 1);
+    setLogLevel(old);
+}
+
+// --- rng ---------------------------------------------------------------
+
+TEST(Rng, HashMixIsDeterministic)
+{
+    EXPECT_EQ(hashMix(12345), hashMix(12345));
+    EXPECT_NE(hashMix(12345), hashMix(12346));
+}
+
+TEST(Rng, HashCombineOrderSensitive)
+{
+    EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+}
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(7), b(8);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(99);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowStaysBelow)
+{
+    Rng r(3);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(5);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        if (r.chance(0.3))
+            ++hits;
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+// --- stats -------------------------------------------------------------
+
+TEST(Stats, CounterBasics)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, AverageTracksMinMaxMean)
+{
+    Average a;
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(6.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 6.0);
+    EXPECT_EQ(a.count(), 3u);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Stats, DistributionBuckets)
+{
+    Distribution d(4, 10.0);
+    d.sample(5.0);   // bucket 0
+    d.sample(15.0);  // bucket 1
+    d.sample(35.0);  // bucket 3
+    d.sample(45.0);  // overflow
+    d.sample(-1.0);  // underflow
+    EXPECT_EQ(d.total(), 5u);
+    EXPECT_EQ(d.bucket(0), 1u);
+    EXPECT_EQ(d.bucket(1), 1u);
+    EXPECT_EQ(d.bucket(2), 0u);
+    EXPECT_EQ(d.bucket(3), 1u);
+    EXPECT_EQ(d.overflow(), 1u);
+    EXPECT_EQ(d.underflow(), 1u);
+}
+
+TEST(Stats, GroupCounterAndDerived)
+{
+    StatGroup g("test");
+    Counter c;
+    c += 3;
+    g.registerCounter("events", &c);
+    static double dummy_ctx = 2.5;
+    g.registerDerived(
+        "derived", [](const void *ctx) { return *static_cast<const double *>(ctx); },
+        &dummy_ctx);
+    EXPECT_TRUE(g.has("events"));
+    EXPECT_FALSE(g.has("missing"));
+    EXPECT_DOUBLE_EQ(g.value("events"), 3.0);
+    EXPECT_DOUBLE_EQ(g.value("derived"), 2.5);
+    EXPECT_EQ(g.names().size(), 2u);
+}
+
+TEST(Stats, GroupDumpFormat)
+{
+    StatGroup g("grp");
+    Counter c;
+    ++c;
+    g.registerCounter("x", &c);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(os.str(), "grp.x 1\n");
+}
+
+TEST(StatsDeath, UnknownStatIsFatal)
+{
+    StatGroup g("test");
+    EXPECT_EXIT(g.value("nope"), ::testing::ExitedWithCode(1),
+                "unknown stat");
+}
+
+// --- table -------------------------------------------------------------
+
+TEST(Table, AsciiLayout)
+{
+    Table t("title");
+    t.setColumns({"a", "bb"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printAscii(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("title"), std::string::npos);
+    EXPECT_NE(out.find("| a "), std::string::npos);
+    EXPECT_NE(out.find("| 1 "), std::string::npos);
+}
+
+TEST(Table, CsvEscaping)
+{
+    Table t;
+    t.setColumns({"x", "y"});
+    t.addRow({"a,b", "he said \"hi\""});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "x,y\n\"a,b\",\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(Table::fmt(1.2345, 2), "1.23");
+    EXPECT_EQ(Table::fmtFactor(2.0, 1), "2.0x");
+    EXPECT_EQ(Table::fmtPercent(0.237), "23.7%");
+}
+
+TEST(Table, RowAccess)
+{
+    Table t;
+    t.setColumns({"c"});
+    t.addRow({"v"});
+    EXPECT_EQ(t.numRows(), 1u);
+    EXPECT_EQ(t.numColumns(), 1u);
+    EXPECT_EQ(t.row(0)[0], "v");
+}
+
+// --- cli ---------------------------------------------------------------
+
+TEST(Cli, DefaultsAndOverrides)
+{
+    Cli cli;
+    cli.declare("num", "5", "a number");
+    cli.declare("name", "foo", "a string");
+    cli.declare("flag", "false", "a bool");
+    const char *argv[] = {"prog", "--num=7", "--flag"};
+    cli.parse(3, argv);
+    EXPECT_EQ(cli.integer("num"), 7);
+    EXPECT_EQ(cli.str("name"), "foo");
+    EXPECT_TRUE(cli.boolean("flag"));
+    EXPECT_TRUE(cli.isSet("num"));
+    EXPECT_FALSE(cli.isSet("name"));
+}
+
+TEST(Cli, SpaceSeparatedValue)
+{
+    Cli cli;
+    cli.declare("x", "0", "");
+    const char *argv[] = {"prog", "--x", "42"};
+    cli.parse(3, argv);
+    EXPECT_EQ(cli.integer("x"), 42);
+}
+
+TEST(Cli, RealParsing)
+{
+    Cli cli;
+    cli.declare("r", "1.5", "");
+    const char *argv[] = {"prog", "--r=2.25"};
+    cli.parse(2, argv);
+    EXPECT_DOUBLE_EQ(cli.real("r"), 2.25);
+}
+
+TEST(CliDeath, UnknownFlagIsFatal)
+{
+    Cli cli;
+    cli.declare("known", "0", "");
+    const char *argv[] = {"prog", "--unknown=1"};
+    EXPECT_EXIT(cli.parse(2, argv), ::testing::ExitedWithCode(1),
+                "unknown flag");
+}
+
+TEST(CliDeath, BadIntegerIsFatal)
+{
+    Cli cli;
+    cli.declare("n", "0", "");
+    const char *argv[] = {"prog", "--n=abc"};
+    cli.parse(2, argv);
+    EXPECT_EXIT(cli.integer("n"), ::testing::ExitedWithCode(1),
+                "expects an integer");
+}
+
+TEST(Cli, UsageListsFlags)
+{
+    Cli cli;
+    cli.declare("alpha", "1", "the alpha flag");
+    std::string usage = cli.usage("prog");
+    EXPECT_NE(usage.find("--alpha"), std::string::npos);
+    EXPECT_NE(usage.find("the alpha flag"), std::string::npos);
+}
+
+} // namespace
+} // namespace p5

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Single-thread tests of the SMT core: correctness of decode, commit,
+ * dependence tracking, branch recovery, priority nops, determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/smt_core.hh"
+#include "test_helpers.hh"
+
+namespace p5 {
+namespace {
+
+TEST(CoreBasic, FreshCoreIsIdle)
+{
+    CoreParams params;
+    SmtCore core(params);
+    core.run(100);
+    EXPECT_EQ(core.committedOf(0), 0u);
+    EXPECT_EQ(core.committedOf(1), 0u);
+    EXPECT_EQ(core.cycle(), 100u);
+}
+
+TEST(CoreBasic, SingleThreadIsStMode)
+{
+    CoreParams params;
+    SmtCore core(params);
+    auto prog = test::nops();
+    core.attachThread(0, &prog);
+    EXPECT_EQ(core.arbiter().allocator().mode(), SlotMode::SingleP);
+    EXPECT_EQ(core.priorityOf(0), default_priority);
+    EXPECT_EQ(core.priorityOf(1), 0);
+}
+
+TEST(CoreBasic, NopsCommitAtDecodeBandwidth)
+{
+    CoreParams params;
+    SmtCore core(params);
+    auto prog = test::nops();
+    core.attachThread(0, &prog);
+    core.run(1000);
+    // 5-wide decode, groups of 5, one group committed per cycle: the
+    // steady-state IPC must be close to 5.
+    EXPECT_GT(core.ipcOf(0), 4.0);
+}
+
+TEST(CoreBasic, SerialChainRunsAtOneIpc)
+{
+    CoreParams params;
+    SmtCore core(params);
+    auto prog = test::serialChain();
+    core.attachThread(0, &prog);
+    core.run(2000);
+    EXPECT_NEAR(core.ipcOf(0), 1.0, 0.1);
+}
+
+TEST(CoreBasic, IndependentAlusBoundByFxUnits)
+{
+    CoreParams params;
+    SmtCore core(params);
+    auto prog = test::independentAlus();
+    core.attachThread(0, &prog);
+    core.run(2000);
+    // 2 FX units: IPC ~2 despite 5-wide decode.
+    EXPECT_NEAR(core.ipcOf(0), 2.0, 0.2);
+}
+
+TEST(CoreBasic, CommitIsInOrderAndExact)
+{
+    CoreParams params;
+    SmtCore core(params);
+    auto prog = test::serialChain(7); // 56 instrs per execution
+    core.attachThread(0, &prog);
+    EXPECT_TRUE(core.runUntilExecutions(0, 3, 100000));
+    EXPECT_GE(core.committedOf(0), 3u * 56u);
+    EXPECT_EQ(core.executionsOf(0), core.committedOf(0) / 56);
+}
+
+TEST(CoreBasic, DramChaseIsSlow)
+{
+    CoreParams params;
+    SmtCore core(params);
+    auto prog = test::dramChase();
+    core.attachThread(0, &prog);
+    core.run(50000);
+    // Self-chained DRAM loads: ~4 instructions per ~230+ cycles.
+    EXPECT_LT(core.ipcOf(0), 0.05);
+    EXPECT_GT(core.committedOf(0), 0u);
+}
+
+TEST(CoreBasic, MispredictsRecoverCorrectly)
+{
+    CoreParams params;
+    SmtCore core(params);
+    auto prog = test::randomBranches();
+    core.attachThread(0, &prog);
+    core.run(20000);
+    // Squashes happened but committed count still tracks the stream in
+    // order: executions = committed / instrsPerExecution is exact.
+    EXPECT_GT(core.thread(0).mispredictsCtr.value(), 10u);
+    EXPECT_GT(core.thread(0).squashedCtr.value(), 0u);
+    EXPECT_EQ(core.executionsOf(0),
+              core.committedOf(0) / prog.instrsPerExecution());
+    EXPECT_GT(core.committedOf(0), 0u);
+}
+
+TEST(CoreBasic, MispredictPenaltyReducesIpc)
+{
+    CoreParams params;
+    SmtCore fast_core(params);
+    auto predictable = [] {
+        ProgramBuilder b("pred");
+        int dir = b.neverTaken();
+        b.beginPhase(500);
+        b.intAlu(0, 1);
+        b.branch(dir);
+        b.intAlu(2, 3);
+        b.intAlu(4, 5);
+        return b.build();
+    }();
+    auto random = test::randomBranches();
+    fast_core.attachThread(0, &predictable);
+    fast_core.run(20000);
+
+    SmtCore slow_core(params);
+    slow_core.attachThread(0, &random);
+    slow_core.run(20000);
+
+    EXPECT_GT(fast_core.ipcOf(0), 1.5 * slow_core.ipcOf(0));
+}
+
+TEST(CoreBasic, DeterministicAcrossRuns)
+{
+    CoreParams params;
+    auto prog = test::randomBranches();
+    SmtCore a(params);
+    SmtCore b(params);
+    a.attachThread(0, &prog);
+    b.attachThread(0, &prog);
+    a.run(10000);
+    b.run(10000);
+    EXPECT_EQ(a.committedOf(0), b.committedOf(0));
+    EXPECT_EQ(a.thread(0).mispredictsCtr.value(),
+              b.thread(0).mispredictsCtr.value());
+}
+
+TEST(CoreBasic, PrioNopAppliedWithUserPrivilege)
+{
+    CoreParams params;
+    SmtCore core(params);
+    // "or 1,1,1" requests priority 2: user software may do that.
+    auto prog = test::prioNopProgram(orNopRegister(2));
+    core.attachThread(0, &prog, 4, PrivilegeLevel::User);
+    core.run(200);
+    EXPECT_EQ(core.priorityOf(0), 2);
+    EXPECT_GT(core.thread(0).prioNopsApplied.value(), 0u);
+}
+
+TEST(CoreBasic, PrioNopIgnoredWithoutPrivilege)
+{
+    CoreParams params;
+    SmtCore core(params);
+    // "or 3,3,3" requests priority 6: supervisor-only, user nop.
+    auto prog = test::prioNopProgram(orNopRegister(6));
+    core.attachThread(0, &prog, 4, PrivilegeLevel::User);
+    core.run(200);
+    EXPECT_EQ(core.priorityOf(0), 4);
+    EXPECT_GT(core.thread(0).prioNopsIgnored.value(), 0u);
+}
+
+TEST(CoreBasic, PrioNopAppliedWithSupervisor)
+{
+    CoreParams params;
+    SmtCore core(params);
+    auto prog = test::prioNopProgram(orNopRegister(6));
+    core.attachThread(0, &prog, 4, PrivilegeLevel::Supervisor);
+    core.run(200);
+    EXPECT_EQ(core.priorityOf(0), 6);
+}
+
+TEST(CoreBasic, PrioNopListenerFires)
+{
+    CoreParams params;
+    SmtCore core(params);
+    auto prog = test::prioNopProgram(orNopRegister(3));
+    core.attachThread(0, &prog, 4, PrivilegeLevel::User);
+    int calls = 0;
+    int seen_level = -1;
+    core.setPrioNopListener([&](ThreadId, int level, bool applied) {
+        ++calls;
+        seen_level = level;
+        EXPECT_TRUE(applied);
+    });
+    core.run(200);
+    EXPECT_GT(calls, 0);
+    EXPECT_EQ(seen_level, 3);
+}
+
+TEST(CoreBasic, RequestPriorityChecksPrivilege)
+{
+    CoreParams params;
+    SmtCore core(params);
+    auto prog = test::nops();
+    core.attachThread(0, &prog);
+    EXPECT_FALSE(core.requestPriority(0, 7, PrivilegeLevel::Supervisor));
+    EXPECT_TRUE(core.requestPriority(0, 7, PrivilegeLevel::Hypervisor));
+    EXPECT_EQ(core.priorityOf(0), 7);
+    EXPECT_FALSE(core.requestPriority(0, 9, PrivilegeLevel::Hypervisor));
+}
+
+TEST(CoreBasic, DetachShutsThreadOff)
+{
+    CoreParams params;
+    SmtCore core(params);
+    auto prog = test::nops();
+    core.attachThread(0, &prog);
+    core.run(100);
+    std::uint64_t committed = core.committedOf(0);
+    EXPECT_GT(committed, 0u);
+    core.detachThread(0);
+    EXPECT_EQ(core.priorityOf(0), 0);
+    core.run(100);
+    EXPECT_FALSE(core.threadAttached(0));
+}
+
+TEST(CoreBasic, RunUntilExecutionsHonorsCap)
+{
+    CoreParams params;
+    SmtCore core(params);
+    auto prog = test::dramChase(1000);
+    core.attachThread(0, &prog);
+    EXPECT_FALSE(core.runUntilExecutions(0, 1000, 1000));
+    EXPECT_LE(core.cycle(), 1100u);
+}
+
+TEST(CoreBasic, StatsExposeCoreCounters)
+{
+    CoreParams params;
+    SmtCore core(params);
+    auto prog = test::nops();
+    core.attachThread(0, &prog);
+    core.run(100);
+    EXPECT_TRUE(core.stats().has("thread0.committed"));
+    EXPECT_GT(core.stats().value("thread0.committed"), 0.0);
+    EXPECT_TRUE(core.stats().has("gct.allocated"));
+}
+
+TEST(CoreBasic, LowPowerModeDecodesOnePerThirtyTwo)
+{
+    CoreParams params;
+    SmtCore core(params);
+    auto p0 = test::nops();
+    auto p1 = test::nops();
+    core.attachThread(0, &p0, 1);
+    core.attachThread(1, &p1, 1);
+    EXPECT_EQ(core.arbiter().allocator().mode(), SlotMode::LowPower);
+    core.run(3200);
+    const std::uint64_t total = core.committedOf(0) + core.committedOf(1);
+    EXPECT_NEAR(static_cast<double>(total), 100.0, 15.0);
+}
+
+} // namespace
+} // namespace p5

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * SMT-mode tests of the core: slot sharing, priority monotonicity,
+ * minority floors, work-conserving ablation, balancer interplay.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/chip.hh"
+#include "core/smt_core.hh"
+#include "test_helpers.hh"
+
+namespace p5 {
+namespace {
+
+double
+pairIpc(const CoreParams &params, const SyntheticProgram &p,
+        const SyntheticProgram &s, int prio_p, int prio_s, Cycle cycles,
+        ThreadId measure = 0)
+{
+    SmtCore core(params);
+    core.attachThread(0, &p, prio_p);
+    core.attachThread(1, &s, prio_s);
+    core.run(cycles);
+    return core.ipcOf(measure);
+}
+
+TEST(CoreSmt, EqualPrioritiesHalveDecodeBoundThreads)
+{
+    CoreParams params;
+    auto p = test::nops();
+    auto s = test::nops();
+    double smt = pairIpc(params, p, s, 4, 4, 3000);
+    SmtCore st(params);
+    auto solo = test::nops();
+    st.attachThread(0, &solo);
+    st.run(3000);
+    EXPECT_NEAR(smt, st.ipcOf(0) / 2.0, 0.3);
+}
+
+TEST(CoreSmt, HigherPriorityGetsMoreDecode)
+{
+    CoreParams params;
+    auto p = test::nops();
+    auto s = test::nops();
+    double base = pairIpc(params, p, s, 4, 4, 5000);
+    double boosted = pairIpc(params, p, s, 6, 2, 5000);
+    EXPECT_GT(boosted, 1.5 * base);
+}
+
+/** Property: decode-bound PThread IPC is monotone in priority diff. */
+class PrioMonotonicityTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PrioMonotonicityTest, MinorityFloorMatchesFormula)
+{
+    const int diff = GetParam();
+    CoreParams params;
+    auto p = test::nops();
+    auto s = test::nops();
+    // PThread is the minority at -diff: its ceiling is
+    // minoritySlotWidth per R cycles.
+    const int r = 1 << (diff + 1);
+    double ipc = pairIpc(params, p, s, 4 - diff >= 1 ? 4 - diff : 1,
+                         4 - diff >= 1 ? 4 : 1 + diff, 40000);
+    const double floor_ipc =
+        static_cast<double>(params.minoritySlotWidth) / r;
+    EXPECT_LE(ipc, floor_ipc * 1.15);
+    EXPECT_GE(ipc, floor_ipc * 0.7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Diffs, PrioMonotonicityTest,
+                         ::testing::Values(1, 2, 3));
+
+TEST(CoreSmt, MonotoneAcrossDiffs)
+{
+    CoreParams params;
+    auto p = test::nops();
+    auto s = test::nops();
+    double prev = 0.0;
+    for (int diff = -3; diff <= 3; ++diff) {
+        int pp = diff >= 0 ? 4 + diff : 4;
+        int ps = diff >= 0 ? 4 : 4 - diff;
+        double ipc = pairIpc(params, p, s, pp, ps, 20000);
+        EXPECT_GE(ipc, prev * 0.98)
+            << "IPC not monotone at diff " << diff;
+        prev = ipc;
+    }
+}
+
+TEST(CoreSmt, StrictSlotsWasteForfeitedCycles)
+{
+    CoreParams params;
+    auto p = test::nops();
+    auto s = test::dramChase(); // mostly stalled
+    double strict = pairIpc(params, p, s, 4, 4, 20000);
+
+    CoreParams wc = params;
+    wc.workConservingSlots = true;
+    double conserving = pairIpc(wc, p, s, 4, 4, 20000);
+    // Work conservation hands the memory thread's dead slots to the
+    // nop thread: a large speedup (this is the ablation that shows the
+    // real POWER5 behaviour is *strict*).
+    EXPECT_GT(conserving, 1.2 * strict);
+}
+
+TEST(CoreSmt, MemoryBoundThreadInsensitiveToLowPriority)
+{
+    CoreParams params;
+    auto mem = test::dramChase();
+    auto cpu = test::serialChain();
+    double base = pairIpc(params, mem, cpu, 4, 4, 100000);
+    double starved = pairIpc(params, mem, cpu, 2, 6, 100000);
+    // Paper Fig. 3(f): < 2.5x degradation with a non-memory sibling.
+    EXPECT_GT(starved, base / 2.5);
+}
+
+TEST(CoreSmt, CpuBoundThreadCollapsesAtLowPriority)
+{
+    CoreParams params;
+    auto cpu = test::nops();
+    auto mem = test::dramChase();
+    double base = pairIpc(params, cpu, mem, 4, 4, 50000);
+    double starved = pairIpc(params, cpu, mem, 1, 6, 200000);
+    // Paper Sec. 5.2: order-of-magnitude slowdowns at deep negative
+    // priorities for decode-bound threads.
+    EXPECT_GT(base / starved, 10.0);
+}
+
+TEST(CoreSmt, BalancerBoundsGctHogging)
+{
+    CoreParams params;
+    auto cpu = test::serialChain();
+    auto mem = test::dramChase();
+
+    SmtCore core(params);
+    core.attachThread(0, &cpu);
+    core.attachThread(1, &mem);
+    core.run(50000);
+    const double with_balancer = core.ipcOf(0);
+    // The balancer actively throttles the memory thread...
+    EXPECT_GT(core.balancer().gctBlocksOf(1) +
+                  core.balancer().tlbBlocksOf(1) +
+                  core.balancer().lmqBlocksOf(1),
+              0u);
+    // ...and its cap holds: the hog never exceeds its GCT threshold by
+    // more than one group.
+    EXPECT_LE(core.gct().occupancyOf(1),
+              static_cast<int>(core.balancer().gctThresholdFor(1) *
+                               core.gct().capacity()) +
+                  1);
+
+    CoreParams off = params;
+    off.balancer.enabled = false;
+    const double without = pairIpc(off, cpu, mem, 4, 4, 50000);
+    // Balancing never hurts the victim thread.
+    EXPECT_GE(with_balancer, without * 0.95);
+}
+
+TEST(CoreSmt, SingleThreadModeViaPriority7)
+{
+    CoreParams params;
+    SmtCore core(params);
+    auto p = test::nops();
+    auto s = test::nops();
+    core.attachThread(0, &p);
+    core.attachThread(1, &s);
+    core.setPriorityPair(7, 4);
+    core.run(2000);
+    EXPECT_GT(core.ipcOf(0), 4.0);
+    EXPECT_EQ(core.committedOf(1), 0u);
+}
+
+TEST(CoreSmt, ShutOffThreadStopsCommitting)
+{
+    CoreParams params;
+    SmtCore core(params);
+    auto p = test::nops();
+    auto s = test::nops();
+    core.attachThread(0, &p);
+    core.attachThread(1, &s);
+    core.run(500);
+    core.setPriorityPair(4, 0);
+    const std::uint64_t frozen = core.committedOf(1);
+    core.run(500);
+    // In-flight instructions may drain, but no new decode happens.
+    EXPECT_LE(core.committedOf(1) - frozen, 110u);
+    EXPECT_GT(core.ipcOf(0), 2.0);
+}
+
+TEST(CoreSmt, TotalIpcSumsThreads)
+{
+    CoreParams params;
+    SmtCore core(params);
+    auto p = test::nops();
+    auto s = test::nops();
+    core.attachThread(0, &p);
+    core.attachThread(1, &s);
+    core.run(1000);
+    EXPECT_DOUBLE_EQ(core.totalIpc(), core.ipcOf(0) + core.ipcOf(1));
+}
+
+TEST(CoreSmt, SmtBeatsStThroughputForMixedPair)
+{
+    CoreParams params;
+    // A chain-bound thread leaves units idle that a second thread can
+    // use: total SMT throughput must exceed the ST throughput of
+    // either thread alone.
+    auto p = test::serialChain();
+    auto s = test::serialChain();
+    SmtCore smt(params);
+    smt.attachThread(0, &p);
+    smt.attachThread(1, &s);
+    smt.run(5000);
+    SmtCore st(params);
+    auto solo = test::serialChain();
+    st.attachThread(0, &solo);
+    st.run(5000);
+    EXPECT_GT(smt.totalIpc(), 1.5 * st.ipcOf(0));
+}
+
+TEST(Chip, TwoCoresShareTheBackside)
+{
+    CoreParams params;
+    Chip chip(params);
+    auto p0 = test::dramChase(10000);
+    auto p1 = test::dramChase(10000);
+    chip.core(0).attachThread(0, &p0);
+    chip.core(1).attachThread(0, &p1);
+    chip.run(30000);
+    // Both cores made progress and the shared L2 saw traffic from both.
+    EXPECT_GT(chip.core(0).committedOf(0), 0u);
+    EXPECT_GT(chip.core(1).committedOf(0), 0u);
+    EXPECT_GT(chip.backside().l2().misses(), 0u);
+}
+
+TEST(Chip, CoreIndexChecked)
+{
+    CoreParams params;
+    Chip chip(params);
+    EXPECT_DEATH(chip.core(2), "out of range");
+}
+
+TEST(Chip, SeparateCoresDoNotShareL1)
+{
+    CoreParams params;
+    Chip chip(params);
+    auto p0 = test::dramChase(100);
+    chip.core(0).attachThread(0, &p0);
+    chip.run(5000);
+    EXPECT_GT(chip.core(0).hierarchy().l1d().insertions(), 0u);
+    EXPECT_EQ(chip.core(1).hierarchy().l1d().insertions(), 0u);
+}
+
+} // namespace
+} // namespace p5

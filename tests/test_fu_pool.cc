@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for the functional-unit pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fu_pool.hh"
+
+namespace p5 {
+namespace {
+
+FuPool
+makePool()
+{
+    // 2 FX, 2 FP, 2 LS, 1 BR.
+    const int counts[static_cast<int>(FuClass::NumFuClasses)] = {2, 2, 2,
+                                                                 1, 0};
+    return FuPool(counts);
+}
+
+TEST(FuPool, AcquireUpToCount)
+{
+    FuPool pool = makePool();
+    EXPECT_TRUE(pool.tryAcquire(FuClass::FX, 0, 1));
+    EXPECT_TRUE(pool.tryAcquire(FuClass::FX, 0, 1));
+    EXPECT_FALSE(pool.tryAcquire(FuClass::FX, 0, 1));
+}
+
+TEST(FuPool, UnitsFreeAfterOccupancy)
+{
+    FuPool pool = makePool();
+    pool.tryAcquire(FuClass::FX, 0, 3);
+    EXPECT_EQ(pool.freeUnits(FuClass::FX, 0), 1);
+    EXPECT_EQ(pool.freeUnits(FuClass::FX, 2), 1);
+    EXPECT_EQ(pool.freeUnits(FuClass::FX, 3), 2);
+}
+
+TEST(FuPool, OccupancyBlocksReuse)
+{
+    FuPool pool = makePool();
+    EXPECT_TRUE(pool.tryAcquire(FuClass::BR, 0, 2));
+    EXPECT_FALSE(pool.tryAcquire(FuClass::BR, 1, 1));
+    EXPECT_TRUE(pool.tryAcquire(FuClass::BR, 2, 1));
+}
+
+TEST(FuPool, NoneClassAlwaysSucceeds)
+{
+    FuPool pool = makePool();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(pool.tryAcquire(FuClass::None, 0, 1));
+    EXPECT_EQ(pool.acquisitions(FuClass::None), 100u);
+}
+
+TEST(FuPool, UnitCounts)
+{
+    FuPool pool = makePool();
+    EXPECT_EQ(pool.unitCount(FuClass::FX), 2);
+    EXPECT_EQ(pool.unitCount(FuClass::BR), 1);
+    EXPECT_EQ(pool.unitCount(FuClass::None), 0);
+}
+
+TEST(FuPool, ResetFreesEverything)
+{
+    FuPool pool = makePool();
+    pool.tryAcquire(FuClass::LS, 0, 100);
+    pool.tryAcquire(FuClass::LS, 0, 100);
+    pool.reset();
+    EXPECT_EQ(pool.freeUnits(FuClass::LS, 0), 2);
+}
+
+TEST(FuPool, AcquisitionCounting)
+{
+    FuPool pool = makePool();
+    pool.tryAcquire(FuClass::FP, 0, 1);
+    pool.tryAcquire(FuClass::FP, 0, 1);
+    pool.tryAcquire(FuClass::FP, 0, 1); // fails
+    EXPECT_EQ(pool.acquisitions(FuClass::FP), 2u);
+}
+
+} // namespace
+} // namespace p5

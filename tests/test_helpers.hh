@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared helpers for the core-level tests: tiny programs with known
+ * shapes and a fast experiment configuration.
+ */
+
+#ifndef P5SIM_TESTS_TEST_HELPERS_HH
+#define P5SIM_TESTS_TEST_HELPERS_HH
+
+#include "program/builder.hh"
+#include "program/program.hh"
+
+namespace p5::test {
+
+/** An endless stream of independent 1-cycle integer ops. */
+inline SyntheticProgram
+independentAlus(std::uint64_t iterations = 1000)
+{
+    ProgramBuilder b("indep_alu");
+    b.beginPhase(iterations);
+    for (RegIndex r = 0; r < 8; ++r)
+        b.intAlu(r, 20); // all read r20: no chains
+    return b.build();
+}
+
+/** A serial 1-cycle dependence chain (IPC ~1 in steady state). */
+inline SyntheticProgram
+serialChain(std::uint64_t iterations = 1000)
+{
+    ProgramBuilder b("serial_chain");
+    b.beginPhase(iterations);
+    for (int i = 0; i < 8; ++i)
+        b.intAlu(0, 0); // r0 = f(r0): strict chain
+    return b.build();
+}
+
+/** Pure nops (decode/commit bandwidth only). */
+inline SyntheticProgram
+nops(std::uint64_t iterations = 1000)
+{
+    ProgramBuilder b("nops");
+    b.beginPhase(iterations);
+    for (int i = 0; i < 10; ++i)
+        b.nop();
+    return b.build();
+}
+
+/** Loads that always miss to DRAM (distinct 2 MiB-spaced lines). */
+inline SyntheticProgram
+dramChase(std::uint64_t iterations = 100)
+{
+    ProgramBuilder b("dram_chase");
+    // 2 MiB spacing lands every access in the same L2/L3 set family:
+    // guaranteed misses everywhere with a tiny page set.
+    int pat = b.memPattern(0, 2 * 1024 * 1024, 96 * 1024 * 1024);
+    b.beginPhase(iterations);
+    b.load(11, pat, 11); // self-chained
+    b.intAlu(0, 11);
+    b.nop();
+    b.nop();
+    return b.build();
+}
+
+/** A program with mispredicting branches (50% random). */
+inline SyntheticProgram
+randomBranches(std::uint64_t iterations = 500)
+{
+    ProgramBuilder b("random_branches");
+    int dir = b.randomBranch(0.5, 42);
+    b.beginPhase(iterations);
+    b.intAlu(0, 1);
+    b.branch(dir);
+    b.intAlu(2, 3);
+    b.intAlu(4, 5);
+    return b.build();
+}
+
+/** A program that sets its own priority via or-nops. */
+inline SyntheticProgram
+prioNopProgram(int or_reg, std::uint64_t iterations = 10)
+{
+    ProgramBuilder b("prio_nop");
+    b.beginPhase(iterations);
+    b.prioNop(or_reg);
+    for (int i = 0; i < 4; ++i)
+        b.intAlu(0, 1);
+    return b.build();
+}
+
+} // namespace p5::test
+
+#endif // P5SIM_TESTS_TEST_HELPERS_HH

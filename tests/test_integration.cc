@@ -1,0 +1,186 @@
+/**
+ * @file
+ * End-to-end assertions of the paper's headline claims, at reduced
+ * scale. These are the "shape" checks DESIGN.md promises.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fame/fame.hh"
+#include "ubench/ubench.hh"
+
+namespace p5 {
+namespace {
+
+struct Pair
+{
+    double ipcP;
+    double ipcS;
+    double execTimeP;
+
+    double total() const { return ipcP + ipcS; }
+};
+
+Pair
+run(UbenchId p, UbenchId s, int prio_p, int prio_s)
+{
+    static FameParams fame = [] {
+        FameParams f;
+        f.minRepetitions = 5;
+        f.warmupRepetitions = 1;
+        f.maiv = 0.03;
+        f.warmupTolerance = 0.2;
+        return f;
+    }();
+    SyntheticProgram pp = makeUbench(p);
+    SyntheticProgram ps = makeUbench(s);
+    CoreParams params;
+    FameResult r = runFame(params, &pp, &ps, prio_p, prio_s, fame);
+    return {r.thread[0].avgIpc(), r.thread[1].avgIpc(),
+            r.thread[0].avgExecTime()};
+}
+
+// Claim (Sec. 1): "increasing the priority of a cpu-bound thread could
+// reduce its execution time by 2.5x over the baseline" — for us the
+// factor must at least clearly exceed 1.5x against a cpu-bound sibling.
+TEST(PaperClaims, CpuBoundGainsFromPositivePriority)
+{
+    Pair base = run(UbenchId::CpuInt, UbenchId::CpuInt, 4, 4);
+    Pair boosted = run(UbenchId::CpuInt, UbenchId::CpuInt, 6, 2);
+    EXPECT_GT(base.execTimeP / boosted.execTimeP, 1.5);
+}
+
+// Claim: "increasing the priority of memory-bound threads causes an
+// execution time reduction of 1.7x when run with other memory-bound
+// threads".
+TEST(PaperClaims, MemoryBoundGainsAgainstMemorySibling)
+{
+    Pair base = run(UbenchId::LdintMem, UbenchId::LdintMem, 4, 4);
+    Pair boosted = run(UbenchId::LdintMem, UbenchId::LdintMem, 6, 2);
+    const double factor = base.execTimeP / boosted.execTimeP;
+    EXPECT_GT(factor, 1.4);
+    EXPECT_LT(factor, 3.0);
+}
+
+// Claim: "by reducing the priority of a cpu-bound thread, its
+// performance can decrease up to 42x when running with a memory-bound
+// thread" — we assert > 10x.
+TEST(PaperClaims, CpuBoundCollapsesAtDeepNegativePriority)
+{
+    Pair base = run(UbenchId::CpuInt, UbenchId::LdintMem, 4, 4);
+    Pair starved = run(UbenchId::CpuInt, UbenchId::LdintMem, 1, 6);
+    EXPECT_GT(starved.execTimeP / base.execTimeP, 10.0);
+}
+
+// Claim: "decreasing the priority of a memory-bound thread increases
+// its execution time by 22x when running with another memory-bound
+// thread, while increases less than 2.5x when running with the other
+// benchmarks" (Fig. 3(f)).
+TEST(PaperClaims, MemoryBoundSensitivityDependsOnSibling)
+{
+    Pair base_mem = run(UbenchId::LdintMem, UbenchId::LdintMem, 4, 4);
+    Pair starved_mem = run(UbenchId::LdintMem, UbenchId::LdintMem, 1, 6);
+    const double vs_mem = starved_mem.execTimeP / base_mem.execTimeP;
+
+    Pair base_cpu = run(UbenchId::LdintMem, UbenchId::CpuInt, 4, 4);
+    Pair starved_cpu = run(UbenchId::LdintMem, UbenchId::CpuInt, 1, 6);
+    const double vs_cpu = starved_cpu.execTimeP / base_cpu.execTimeP;
+
+    // Paper: 22x vs-mem, < 2.5x vs-cpu. Our model gives > 8x vs-mem
+    // and ~3x vs-cpu (slightly above the paper's bound; recorded as a
+    // known deviation in EXPERIMENTS.md). The *contrast* is the claim.
+    EXPECT_GT(vs_mem, 8.0);
+    EXPECT_LT(vs_cpu, 3.6);
+    EXPECT_GT(vs_mem, 3.0 * vs_cpu);
+}
+
+// Claim: "the IPC throughput of the POWER5 improves up to 2x by using
+// software-controlled priorities" — prioritizing the high-IPC thread
+// of an ldint_l1 + ldint_mem pair shows it (Fig. 4).
+TEST(PaperClaims, ThroughputCanNearlyDouble)
+{
+    Pair base = run(UbenchId::LdintL1, UbenchId::LdintMem, 4, 4);
+    Pair best = run(UbenchId::LdintL1, UbenchId::LdintMem, 6, 2);
+    EXPECT_GT(best.total() / base.total(), 1.5);
+}
+
+// Claim (Sec. 5.1): "a priority difference of +2 usually represents a
+// point of relative saturation" for cpu-bound threads.
+TEST(PaperClaims, SaturationNearPlusTwo)
+{
+    Pair base = run(UbenchId::CpuInt, UbenchId::CpuInt, 4, 4);
+    Pair p2 = run(UbenchId::CpuInt, UbenchId::CpuInt, 6, 4);
+    Pair p5 = run(UbenchId::CpuInt, UbenchId::CpuInt, 6, 1);
+    const double gain2 = base.execTimeP / p2.execTimeP;
+    const double gain5 = base.execTimeP / p5.execTimeP;
+    EXPECT_GT(gain2, 0.80 * gain5);
+}
+
+// Claim (Sec. 5.5): a priority-1 background thread leaves a
+// high-latency foreground thread nearly untouched...
+TEST(PaperClaims, TransparentBackgroundUnderMemForeground)
+{
+    SyntheticProgram fg = makeUbench(UbenchId::LdintMem);
+    SyntheticProgram st_fg = makeUbench(UbenchId::LdintMem);
+    CoreParams params;
+    FameParams fame;
+    fame.minRepetitions = 5;
+    fame.warmupRepetitions = 1;
+    fame.maiv = 0.03;
+    fame.warmupTolerance = 0.2;
+
+    FameResult st = runFame(params, &st_fg, nullptr, 4, 0, fame);
+    SyntheticProgram bg = makeUbench(UbenchId::CpuInt);
+    FameResult with_bg = runFame(params, &fg, &bg, 6, 1, fame);
+
+    const double impact = with_bg.thread[0].avgExecTime() /
+                          st.thread[0].avgExecTime();
+    EXPECT_LT(impact, 1.25);
+    // ...while the background thread still gets work done.
+    EXPECT_GT(with_bg.thread[1].avgIpc(), 0.02);
+}
+
+// ...and the background's effect grows as the foreground's priority
+// advantage shrinks (paper Fig. 6(c)), while staying bounded.
+TEST(PaperClaims, BackgroundEffectGrowsAsForegroundPriorityDrops)
+{
+    SyntheticProgram fg = makeUbench(UbenchId::LdintL1);
+    SyntheticProgram st_fg = makeUbench(UbenchId::LdintL1);
+    SyntheticProgram bg = makeUbench(UbenchId::LdintMem);
+    CoreParams params;
+    FameParams fame;
+    fame.minRepetitions = 5;
+    fame.warmupRepetitions = 1;
+    fame.maiv = 0.03;
+    fame.warmupTolerance = 0.2;
+
+    FameResult st = runFame(params, &st_fg, nullptr, 4, 0, fame);
+    const double st_time = st.thread[0].avgExecTime();
+
+    double prev_impact = 0.0;
+    for (int fg_prio : {6, 4, 2}) {
+        FameResult r = runFame(params, &fg, &bg, fg_prio, 1, fame);
+        const double impact = r.thread[0].avgExecTime() / st_time;
+        EXPECT_GE(impact, prev_impact * 0.95)
+            << "impact shrank at fg priority " << fg_prio;
+        EXPECT_LT(impact, 2.0);
+        prev_impact = impact;
+    }
+    // At (2,1) the background holds a quarter of the decode slots: the
+    // foreground must feel it.
+    EXPECT_GT(prev_impact, 1.05);
+}
+
+// Improving one thread costs the other more than it gains, often by an
+// order of magnitude (Sec. 1, contribution 1).
+TEST(PaperClaims, AsymmetricCostOfPrioritization)
+{
+    Pair base = run(UbenchId::CpuInt, UbenchId::CpuInt, 4, 4);
+    Pair skew = run(UbenchId::CpuInt, UbenchId::CpuInt, 6, 2);
+    const double gain = skew.ipcP / base.ipcP;
+    const double loss = base.ipcS / skew.ipcS;
+    EXPECT_GT(loss, gain);
+}
+
+} // namespace
+} // namespace p5

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the ready-instruction queues.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/issue_queue.hh"
+
+namespace p5 {
+namespace {
+
+ReadyRef
+ref(std::uint64_t stamp, ThreadId tid = 0, SeqNum seq = 0)
+{
+    ReadyRef r;
+    r.stamp = stamp;
+    r.tid = tid;
+    r.seq = seq;
+    r.epoch = 0;
+    return r;
+}
+
+TEST(IssueQueue, OldestFirstAcrossPushOrder)
+{
+    IssueQueue q;
+    q.push(FuClass::FX, ref(30));
+    q.push(FuClass::FX, ref(10));
+    q.push(FuClass::FX, ref(20));
+    EXPECT_EQ(q.pop(FuClass::FX).stamp, 10u);
+    EXPECT_EQ(q.pop(FuClass::FX).stamp, 20u);
+    EXPECT_EQ(q.pop(FuClass::FX).stamp, 30u);
+}
+
+TEST(IssueQueue, ClassesAreIndependent)
+{
+    IssueQueue q;
+    q.push(FuClass::FX, ref(1));
+    q.push(FuClass::LS, ref(2));
+    EXPECT_EQ(q.size(FuClass::FX), 1u);
+    EXPECT_EQ(q.size(FuClass::LS), 1u);
+    EXPECT_TRUE(q.empty(FuClass::FP));
+    EXPECT_EQ(q.totalSize(), 2u);
+}
+
+TEST(IssueQueue, AgeOrderMergesThreads)
+{
+    IssueQueue q;
+    q.push(FuClass::LS, ref(5, 1, 100));
+    q.push(FuClass::LS, ref(3, 0, 200));
+    ReadyRef first = q.pop(FuClass::LS);
+    EXPECT_EQ(first.tid, 0);
+    EXPECT_EQ(first.seq, 200u);
+}
+
+TEST(IssueQueue, TopDoesNotRemove)
+{
+    IssueQueue q;
+    q.push(FuClass::BR, ref(7));
+    EXPECT_EQ(q.top(FuClass::BR).stamp, 7u);
+    EXPECT_EQ(q.size(FuClass::BR), 1u);
+}
+
+TEST(IssueQueue, RepushPreservesAgePriority)
+{
+    IssueQueue q;
+    q.push(FuClass::LS, ref(1));
+    q.push(FuClass::LS, ref(2));
+    ReadyRef r = q.pop(FuClass::LS); // stamp 1, e.g. rejected load
+    q.push(FuClass::LS, r);
+    EXPECT_EQ(q.pop(FuClass::LS).stamp, 1u);
+}
+
+TEST(IssueQueue, Clear)
+{
+    IssueQueue q;
+    q.push(FuClass::FX, ref(1));
+    q.push(FuClass::FP, ref(2));
+    q.clear();
+    EXPECT_EQ(q.totalSize(), 0u);
+}
+
+TEST(IssueQueueDeath, PopEmptyIsPanic)
+{
+    IssueQueue q;
+    EXPECT_DEATH(q.pop(FuClass::FX), "empty");
+}
+
+} // namespace
+} // namespace p5

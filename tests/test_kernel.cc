@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the Linux-kernel model: priority resets, the experimental
+ * kernel patch, spin/idle priority drops, hypervisor calls.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/kernel.hh"
+#include "test_helpers.hh"
+
+namespace p5 {
+namespace {
+
+struct KernelFixture
+{
+    explicit KernelFixture(bool patched, Cycle timer = 0)
+        : prog(test::nops()), core(params)
+    {
+        core.attachThread(0, &prog, 4, PrivilegeLevel::User);
+        core.attachThread(1, &prog, 4, PrivilegeLevel::User);
+        KernelParams kp;
+        kp.patched = patched;
+        kp.timerPeriod = timer;
+        kernel = std::make_unique<KernelSim>(&core, kp);
+    }
+
+    CoreParams params;
+    SyntheticProgram prog;
+    SmtCore core;
+    std::unique_ptr<KernelSim> kernel;
+};
+
+TEST(Kernel, StockKernelResetsPriorityOnEntry)
+{
+    KernelFixture f(false);
+    f.core.setPriorityPair(6, 3);
+    f.kernel->enterKernel(0, KernelEntry::Syscall);
+    EXPECT_EQ(f.core.priorityOf(0), 4);
+    EXPECT_EQ(f.core.priorityOf(1), 3); // only the entering thread
+    f.kernel->enterKernel(1, KernelEntry::Interrupt);
+    EXPECT_EQ(f.core.priorityOf(1), 4);
+    EXPECT_EQ(f.kernel->priorityResets(), 2u);
+}
+
+TEST(Kernel, PatchedKernelNeverTouchesPriorities)
+{
+    KernelFixture f(true);
+    f.core.setPriorityPair(6, 3);
+    f.kernel->enterKernel(0, KernelEntry::Interrupt);
+    f.kernel->enterKernel(1, KernelEntry::Exception);
+    EXPECT_EQ(f.core.priorityOf(0), 6);
+    EXPECT_EQ(f.core.priorityOf(1), 3);
+    EXPECT_EQ(f.kernel->priorityResets(), 0u);
+}
+
+TEST(Kernel, SysInterfaceRangeWithoutPatch)
+{
+    KernelFixture f(false);
+    // Stock kernel: only the user or-nop levels (2..4) work.
+    EXPECT_FALSE(f.kernel->sysSetPriority(0, 1));
+    EXPECT_TRUE(f.kernel->sysSetPriority(0, 2));
+    EXPECT_TRUE(f.kernel->sysSetPriority(0, 4));
+    EXPECT_FALSE(f.kernel->sysSetPriority(0, 6));
+    EXPECT_FALSE(f.kernel->sysSetPriority(0, 7));
+}
+
+TEST(Kernel, SysInterfaceRangeWithPatch)
+{
+    // Paper Sec. 4.3: the patch exposes priorities 1..6.
+    KernelFixture f(true);
+    EXPECT_TRUE(f.kernel->sysSetPriority(0, 1));
+    EXPECT_TRUE(f.kernel->sysSetPriority(0, 6));
+    EXPECT_FALSE(f.kernel->sysSetPriority(0, 0));
+    EXPECT_FALSE(f.kernel->sysSetPriority(0, 7));
+}
+
+TEST(Kernel, HypervisorCallCoversFullRange)
+{
+    KernelFixture f(true);
+    EXPECT_TRUE(f.kernel->hcallSetPriority(1, 0));
+    EXPECT_EQ(f.core.priorityOf(1), 0);
+    EXPECT_TRUE(f.kernel->hcallSetPriority(0, 7));
+    EXPECT_EQ(f.core.priorityOf(0), 7);
+    EXPECT_FALSE(f.kernel->hcallSetPriority(0, 8));
+}
+
+TEST(Kernel, SpinLockDropsAndRestoresPriority)
+{
+    KernelFixture f(false);
+    f.kernel->beginSpin(0);
+    EXPECT_EQ(f.core.priorityOf(0), 1);
+    // Kernel entries while spinning must not reset to MEDIUM.
+    f.kernel->enterKernel(0, KernelEntry::Interrupt);
+    EXPECT_EQ(f.core.priorityOf(0), 1);
+    f.kernel->endSpin(0);
+    EXPECT_EQ(f.core.priorityOf(0), 4);
+}
+
+TEST(Kernel, IdleDropsPriority)
+{
+    KernelFixture f(false);
+    f.kernel->enterIdle(1);
+    EXPECT_EQ(f.core.priorityOf(1), 1);
+    f.kernel->exitIdle(1);
+    EXPECT_EQ(f.core.priorityOf(1), 4);
+}
+
+TEST(Kernel, PatchedSpinLeavesPrioritiesAlone)
+{
+    KernelFixture f(true);
+    f.core.setPriorityPair(5, 4);
+    f.kernel->beginSpin(0);
+    EXPECT_EQ(f.core.priorityOf(0), 5);
+    f.kernel->endSpin(0);
+    EXPECT_EQ(f.core.priorityOf(0), 5);
+}
+
+TEST(Kernel, TimerInterruptsResetUserPriorities)
+{
+    KernelFixture f(false, 1000);
+    // User code sets priority 2 via the /sys path...
+    f.kernel->sysSetPriority(0, 2);
+    EXPECT_EQ(f.core.priorityOf(0), 2);
+    // ...and the next timer interrupt conservatively resets it.
+    f.kernel->run(2000);
+    EXPECT_EQ(f.core.priorityOf(0), 4);
+    EXPECT_GE(f.kernel->timerInterrupts(), 1u);
+}
+
+TEST(Kernel, PatchedTimerKeepsPriorities)
+{
+    KernelFixture f(true, 1000);
+    f.kernel->sysSetPriority(0, 6);
+    f.kernel->run(3000);
+    EXPECT_EQ(f.core.priorityOf(0), 6);
+    EXPECT_GE(f.kernel->timerInterrupts(), 2u);
+}
+
+TEST(Kernel, RunAdvancesCore)
+{
+    KernelFixture f(true);
+    f.kernel->run(500);
+    EXPECT_EQ(f.core.cycle(), 500u);
+    EXPECT_GT(f.core.committedOf(0), 0u);
+}
+
+} // namespace
+} // namespace p5

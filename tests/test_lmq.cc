@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the load-miss queue (busy-window MSHR model).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/lmq.hh"
+
+namespace p5 {
+namespace {
+
+TEST(Lmq, ReserveWithinCapacityIsImmediate)
+{
+    Lmq q(2);
+    EXPECT_EQ(q.reserve(0, 0, 0, 100), 0u);
+    EXPECT_EQ(q.reserve(0, 0, 0, 100), 0u);
+    EXPECT_EQ(q.occupancy(0), 2);
+    EXPECT_EQ(q.queuedMisses(), 0u);
+}
+
+TEST(Lmq, OverflowQueuesBehindEarliestRelease)
+{
+    Lmq q(2);
+    q.reserve(0, 0, 0, 50);
+    q.reserve(0, 0, 0, 100);
+    // Third miss must wait until the first entry frees at 50.
+    EXPECT_EQ(q.reserve(0, 0, 0, 80), 50u);
+    EXPECT_EQ(q.queuedMisses(), 1u);
+    EXPECT_EQ(q.queuedCycles(), 50u);
+}
+
+TEST(Lmq, QueuedWindowKeepsDuration)
+{
+    Lmq q(1);
+    q.reserve(0, 0, 0, 30);
+    Cycle start = q.reserve(0, 0, 10, 40); // 30-cycle window
+    EXPECT_EQ(start, 30u);
+    // Its release must be 60: a third 1-cycle window queues to 60.
+    EXPECT_EQ(q.reserve(0, 0, 35, 36), 60u);
+}
+
+TEST(Lmq, EntriesExpire)
+{
+    Lmq q(1);
+    q.reserve(0, 0, 0, 10);
+    EXPECT_EQ(q.occupancy(5), 1);
+    EXPECT_EQ(q.occupancy(10), 0);
+    EXPECT_EQ(q.reserve(0, 10, 10, 20), 10u);
+}
+
+TEST(Lmq, FutureWindowsDoNotBlockPresent)
+{
+    Lmq q(2);
+    // Two walks pending far in the future...
+    q.reserve(0, 0, 1000, 1100);
+    q.reserve(0, 0, 2000, 2100);
+    // ...must not delay a present miss (their windows don't overlap).
+    EXPECT_EQ(q.reserve(1, 0, 0, 100), 0u);
+}
+
+TEST(Lmq, PerThreadOccupancy)
+{
+    Lmq q(4);
+    q.reserve(0, 0, 0, 100);
+    q.reserve(0, 0, 0, 100);
+    q.reserve(1, 0, 0, 100);
+    EXPECT_EQ(q.occupancyOf(0, 0), 2);
+    EXPECT_EQ(q.occupancyOf(1, 0), 1);
+    EXPECT_EQ(q.occupancy(0), 3);
+}
+
+TEST(Lmq, FutureStartNotCountedYet)
+{
+    Lmq q(4);
+    q.reserve(0, 0, 50, 100);
+    EXPECT_EQ(q.occupancyOf(0, 10), 0);
+    EXPECT_EQ(q.occupancyOf(0, 50), 1);
+}
+
+TEST(Lmq, ReleaseThread)
+{
+    Lmq q(2);
+    q.reserve(0, 0, 0, 100);
+    q.reserve(1, 0, 0, 100);
+    q.releaseThread(0);
+    EXPECT_EQ(q.occupancyOf(0, 0), 0);
+    EXPECT_EQ(q.occupancyOf(1, 0), 1);
+}
+
+TEST(Lmq, UpdateLastRelease)
+{
+    Lmq q(1);
+    q.reserve(0, 0, 0, 300); // pessimistic estimate
+    q.updateLastRelease(20); // actual miss was short
+    EXPECT_EQ(q.reserve(0, 0, 5, 25), 20u); // queues only to 20
+}
+
+TEST(Lmq, Reset)
+{
+    Lmq q(1);
+    q.reserve(0, 0, 0, 1000);
+    q.reset();
+    EXPECT_EQ(q.occupancy(0), 0);
+    EXPECT_EQ(q.reserve(0, 0, 0, 10), 0u);
+}
+
+TEST(Lmq, AllocationCounting)
+{
+    Lmq q(8);
+    for (int i = 0; i < 5; ++i)
+        q.reserve(0, 0, 0, 10);
+    EXPECT_EQ(q.allocations(), 5u);
+}
+
+TEST(LmqDeath, ZeroCapacityIsFatal)
+{
+    EXPECT_EXIT({ Lmq q(0); }, ::testing::ExitedWithCode(1),
+                "at least one entry");
+}
+
+// Property: with capacity N and identical W-cycle windows arriving
+// together, the k-th window starts at floor(k/N)*W.
+class LmqThroughputTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LmqThroughputTest, SteadyThroughputMatchesCapacity)
+{
+    const int cap = GetParam();
+    Lmq q(cap);
+    const Cycle w = 40;
+    for (int k = 0; k < cap * 4; ++k) {
+        Cycle start = q.reserve(0, 0, 0, w);
+        EXPECT_EQ(start, static_cast<Cycle>(k / cap) * w);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, LmqThroughputTest,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+} // namespace
+} // namespace p5

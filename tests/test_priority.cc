@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the software-controlled priority rules (paper Table 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "prio/priority.hh"
+
+namespace p5 {
+namespace {
+
+TEST(Priority, ValidRange)
+{
+    EXPECT_FALSE(isValidPriority(-1));
+    EXPECT_TRUE(isValidPriority(0));
+    EXPECT_TRUE(isValidPriority(7));
+    EXPECT_FALSE(isValidPriority(8));
+}
+
+TEST(Priority, NamesMatchTable1)
+{
+    EXPECT_STREQ(priorityName(0), "Thread shut off");
+    EXPECT_STREQ(priorityName(1), "Very low");
+    EXPECT_STREQ(priorityName(2), "Low");
+    EXPECT_STREQ(priorityName(3), "Medium-Low");
+    EXPECT_STREQ(priorityName(4), "Medium");
+    EXPECT_STREQ(priorityName(5), "Medium-high");
+    EXPECT_STREQ(priorityName(6), "High");
+    EXPECT_STREQ(priorityName(7), "Very high");
+}
+
+TEST(Priority, OrNopRegistersMatchTable1)
+{
+    EXPECT_EQ(orNopRegister(0), -1); // hypervisor call only
+    EXPECT_EQ(orNopRegister(1), 31);
+    EXPECT_EQ(orNopRegister(2), 1);
+    EXPECT_EQ(orNopRegister(3), 6);
+    EXPECT_EQ(orNopRegister(4), 2);
+    EXPECT_EQ(orNopRegister(5), 5);
+    EXPECT_EQ(orNopRegister(6), 3);
+    EXPECT_EQ(orNopRegister(7), 7);
+}
+
+TEST(Priority, OrNopRoundTrip)
+{
+    for (int prio = 1; prio <= 7; ++prio)
+        EXPECT_EQ(priorityFromOrNop(orNopRegister(prio)), prio);
+}
+
+TEST(Priority, NonPriorityRegistersDecodeToMinusOne)
+{
+    // Registers not in Table 1 are plain nops.
+    for (int reg : {0, 2 + 2, 8, 15, 30}) {
+        if (priorityFromOrNop(reg) >= 0) {
+            EXPECT_NE(orNopRegister(priorityFromOrNop(reg)), -1);
+        }
+    }
+    EXPECT_EQ(priorityFromOrNop(0), -1);
+    EXPECT_EQ(priorityFromOrNop(15), -1);
+}
+
+TEST(Priority, Mnemonics)
+{
+    EXPECT_EQ(orNopMnemonic(1), "or 31,31,31");
+    EXPECT_EQ(orNopMnemonic(4), "or 2,2,2");
+    EXPECT_EQ(orNopMnemonic(0), "-");
+}
+
+TEST(Priority, DefaultIsMedium)
+{
+    EXPECT_EQ(default_priority, 4);
+}
+
+/**
+ * Property sweep over every (privilege, priority) pair: Table 1's
+ * privilege column exactly.
+ */
+class PrivilegeMatrixTest
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(PrivilegeMatrixTest, MatchesTable1)
+{
+    auto [priv_i, prio] = GetParam();
+    auto priv = static_cast<PrivilegeLevel>(priv_i);
+    bool expected = false;
+    switch (priv) {
+      case PrivilegeLevel::User:
+        expected = prio >= 2 && prio <= 4;
+        break;
+      case PrivilegeLevel::Supervisor:
+        expected = prio >= 1 && prio <= 6;
+        break;
+      case PrivilegeLevel::Hypervisor:
+        expected = true;
+        break;
+    }
+    EXPECT_EQ(canSetPriority(priv, prio), expected)
+        << privilegeName(priv) << " setting " << prio;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, PrivilegeMatrixTest,
+                         ::testing::Combine(::testing::Range(0, 3),
+                                            ::testing::Range(0, 8)));
+
+TEST(Privilege, InvalidPriorityNeverSettable)
+{
+    EXPECT_FALSE(canSetPriority(PrivilegeLevel::Hypervisor, 8));
+    EXPECT_FALSE(canSetPriority(PrivilegeLevel::Hypervisor, -1));
+}
+
+} // namespace
+} // namespace p5

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Cross-configuration property tests: core invariants that must hold
+ * for every sensible parameterization, exercised over a grid of
+ * geometries and workload mixes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/smt_core.hh"
+#include "test_helpers.hh"
+#include "ubench/ubench.hh"
+
+namespace p5 {
+namespace {
+
+struct GridParam
+{
+    int decodeWidth;
+    int gctGroups;
+    int lmqEntries;
+    bool balancer;
+};
+
+class CoreGridTest : public ::testing::TestWithParam<GridParam>
+{
+  protected:
+    CoreParams
+    makeParams() const
+    {
+        CoreParams p;
+        const GridParam &g = GetParam();
+        p.decodeWidth = g.decodeWidth;
+        p.groupSize = g.decodeWidth;
+        p.minoritySlotWidth = std::min(2, g.decodeWidth);
+        p.gctGroups = g.gctGroups;
+        p.lmqEntries = g.lmqEntries;
+        p.balancer.enabled = g.balancer;
+        p.balancer.lmqThreshold =
+            std::min(p.balancer.lmqThreshold, g.lmqEntries);
+        return p;
+    }
+};
+
+TEST_P(CoreGridTest, MixedPairRunsSanely)
+{
+    CoreParams params = makeParams();
+    auto p = test::randomBranches(200);
+    auto s = test::dramChase(200);
+    SmtCore core(params);
+    core.attachThread(0, &p);
+    core.attachThread(1, &s);
+    core.run(30000);
+
+    // Forward progress on both threads.
+    EXPECT_GT(core.committedOf(0), 0u);
+    EXPECT_GT(core.committedOf(1), 0u);
+
+    // IPC can never exceed the decode width.
+    EXPECT_LE(core.totalIpc(),
+              static_cast<double>(params.decodeWidth));
+
+    // Executions accounting is exact for in-order commit.
+    EXPECT_EQ(core.executionsOf(0),
+              core.committedOf(0) / p.instrsPerExecution());
+    EXPECT_EQ(core.executionsOf(1),
+              core.committedOf(1) / s.instrsPerExecution());
+}
+
+TEST_P(CoreGridTest, DeterministicUnderConfig)
+{
+    CoreParams params = makeParams();
+    auto p = test::randomBranches(200);
+    auto s = test::dramChase(200);
+    std::uint64_t committed[2][2];
+    for (int run = 0; run < 2; ++run) {
+        SmtCore core(params);
+        core.attachThread(0, &p);
+        core.attachThread(1, &s);
+        core.run(20000);
+        committed[run][0] = core.committedOf(0);
+        committed[run][1] = core.committedOf(1);
+    }
+    EXPECT_EQ(committed[0][0], committed[1][0]);
+    EXPECT_EQ(committed[0][1], committed[1][1]);
+}
+
+TEST_P(CoreGridTest, PriorityOrderingHolds)
+{
+    CoreParams params = makeParams();
+    auto p = test::nops(200);
+    auto s = test::nops(200);
+
+    double ipc_low, ipc_eq, ipc_high;
+    {
+        SmtCore core(params);
+        core.attachThread(0, &p, 2);
+        core.attachThread(1, &s, 6);
+        core.run(20000);
+        ipc_low = core.ipcOf(0);
+    }
+    {
+        SmtCore core(params);
+        core.attachThread(0, &p, 4);
+        core.attachThread(1, &s, 4);
+        core.run(20000);
+        ipc_eq = core.ipcOf(0);
+    }
+    {
+        SmtCore core(params);
+        core.attachThread(0, &p, 6);
+        core.attachThread(1, &s, 2);
+        core.run(20000);
+        ipc_high = core.ipcOf(0);
+    }
+    EXPECT_LT(ipc_low, ipc_eq);
+    EXPECT_LT(ipc_eq, ipc_high);
+}
+
+TEST_P(CoreGridTest, SquashStormLeavesNoResidue)
+{
+    CoreParams params = makeParams();
+    auto p = test::randomBranches(100);
+    SmtCore core(params);
+    core.attachThread(0, &p);
+    core.run(25000);
+    const std::uint64_t mispredicts =
+        core.thread(0).mispredictsCtr.value();
+    EXPECT_GT(mispredicts, 50u);
+
+    // After a run full of squashes, detach and re-attach: the machine
+    // must be reusable and behave like new.
+    core.detachThread(0);
+    auto q = test::serialChain(100);
+    core.attachThread(0, &q);
+    const std::uint64_t before = core.committedOf(0);
+    core.run(5000);
+    EXPECT_EQ(before, 0u);
+    EXPECT_NEAR(static_cast<double>(core.committedOf(0)) / 5000.0, 1.0,
+                0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CoreGridTest,
+    ::testing::Values(GridParam{5, 20, 8, true},
+                      GridParam{5, 20, 8, false},
+                      GridParam{4, 12, 4, true},
+                      GridParam{2, 8, 2, true},
+                      GridParam{8, 32, 16, true},
+                      GridParam{5, 6, 1, true},
+                      GridParam{1, 4, 2, true}),
+    [](const ::testing::TestParamInfo<GridParam> &info) {
+        const GridParam &g = info.param;
+        return "w" + std::to_string(g.decodeWidth) + "g" +
+               std::to_string(g.gctGroups) + "q" +
+               std::to_string(g.lmqEntries) +
+               (g.balancer ? "bal" : "nobal");
+    });
+
+/** Slot-allocator conservation: every cycle has at most one owner and
+ *  active threads get their exact shares over any full window. */
+class SlotConservationTest
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(SlotConservationTest, SharesSumToOne)
+{
+    auto [p, s] = GetParam();
+    DecodeSlotAllocator a(5, 2);
+    a.setPriorities(p, s);
+    if (a.mode() != SlotMode::Dual)
+        GTEST_SKIP();
+    const int window = a.slotWindow();
+    int counts[2] = {0, 0};
+    for (Cycle c = 0; c < static_cast<Cycle>(window) * 4; ++c) {
+        SlotGrant g = a.grantAt(c);
+        ASSERT_GE(g.owner, 0);
+        ASSERT_LE(g.owner, 1);
+        ASSERT_GT(g.maxWidth, 0);
+        ++counts[g.owner];
+    }
+    EXPECT_EQ(counts[0] + counts[1], window * 4);
+    EXPECT_EQ(counts[0], static_cast<int>(a.primaryShare() * window * 4 +
+                                          0.5));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSupervisorPairs, SlotConservationTest,
+                         ::testing::Combine(::testing::Range(2, 7),
+                                            ::testing::Range(2, 7)));
+
+/** The or-nop path composes with every user-settable level. */
+class OrNopLevelTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(OrNopLevelTest, UserLevelsApplySupervisorsDoNot)
+{
+    const int level = GetParam();
+    CoreParams params;
+    SmtCore core(params);
+    auto prog = test::prioNopProgram(orNopRegister(level));
+    core.attachThread(0, &prog, 4, PrivilegeLevel::User);
+    core.run(300);
+    if (level >= 2 && level <= 4)
+        EXPECT_EQ(core.priorityOf(0), level);
+    else
+        EXPECT_EQ(core.priorityOf(0), 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, OrNopLevelTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7));
+
+} // namespace
+} // namespace p5

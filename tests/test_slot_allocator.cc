@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for the decode-slot allocator: the paper's R-formula, the
+ * R-1:1 split, special modes, and the minority-width calibration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prio/slot_allocator.hh"
+
+namespace p5 {
+namespace {
+
+TEST(SlotFormula, MatchesPaperExamples)
+{
+    // Paper Sec. 3.2: PrioP 6, PrioS 2 -> R = 32, 31:1.
+    EXPECT_EQ(DecodeSlotAllocator::computeR(6, 2), 32);
+    EXPECT_EQ(DecodeSlotAllocator::computeR(4, 4), 2);
+    EXPECT_EQ(DecodeSlotAllocator::computeR(5, 4), 4);
+    EXPECT_EQ(DecodeSlotAllocator::computeR(6, 1), 64);
+    EXPECT_EQ(DecodeSlotAllocator::computeR(1, 6), 64);
+}
+
+/** Property: R = 2^(|dP-dS|+1) for every pair. */
+class RFormulaTest : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(RFormulaTest, Formula)
+{
+    auto [p, s] = GetParam();
+    int diff = p > s ? p - s : s - p;
+    EXPECT_EQ(DecodeSlotAllocator::computeR(p, s), 1 << (diff + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, RFormulaTest,
+                         ::testing::Combine(::testing::Range(0, 8),
+                                            ::testing::Range(0, 8)));
+
+TEST(SlotAllocator, EqualPrioritiesAlternate)
+{
+    DecodeSlotAllocator a(5);
+    a.setPriorities(4, 4);
+    EXPECT_EQ(a.mode(), SlotMode::Dual);
+    EXPECT_EQ(a.slotWindow(), 2);
+    for (Cycle c = 0; c < 10; ++c) {
+        SlotGrant g = a.grantAt(c);
+        EXPECT_EQ(g.owner, static_cast<ThreadId>(c % 2));
+        EXPECT_EQ(g.maxWidth, 5);
+    }
+}
+
+TEST(SlotAllocator, SplitIsRMinus1To1)
+{
+    DecodeSlotAllocator a(5);
+    a.setPriorities(6, 2); // R = 32
+    int p_slots = 0;
+    int s_slots = 0;
+    for (Cycle c = 0; c < 32; ++c) {
+        SlotGrant g = a.grantAt(c);
+        if (g.owner == 0)
+            ++p_slots;
+        else if (g.owner == 1)
+            ++s_slots;
+    }
+    EXPECT_EQ(p_slots, 31);
+    EXPECT_EQ(s_slots, 1);
+}
+
+TEST(SlotAllocator, MinorityWidthAppliesToLowerPriority)
+{
+    DecodeSlotAllocator a(5, 2);
+    a.setPriorities(6, 2);
+    for (Cycle c = 0; c < 64; ++c) {
+        SlotGrant g = a.grantAt(c);
+        if (g.owner == 0)
+            EXPECT_EQ(g.maxWidth, 5);
+        else
+            EXPECT_EQ(g.maxWidth, 2);
+    }
+    // Mirror: thread 0 is the minority.
+    a.setPriorities(2, 6);
+    for (Cycle c = 0; c < 64; ++c) {
+        SlotGrant g = a.grantAt(c);
+        if (g.owner == 0)
+            EXPECT_EQ(g.maxWidth, 2);
+        else
+            EXPECT_EQ(g.maxWidth, 5);
+    }
+}
+
+TEST(SlotAllocator, Priority7IsSingleThreadMode)
+{
+    DecodeSlotAllocator a(5);
+    a.setPriorities(7, 4);
+    EXPECT_EQ(a.mode(), SlotMode::SingleP);
+    EXPECT_FALSE(a.threadActive(1));
+    for (Cycle c = 0; c < 8; ++c)
+        EXPECT_EQ(a.grantAt(c).owner, 0);
+}
+
+TEST(SlotAllocator, Priority0ShutsThreadOff)
+{
+    DecodeSlotAllocator a(5);
+    a.setPriorities(4, 0);
+    EXPECT_EQ(a.mode(), SlotMode::SingleP);
+    a.setPriorities(0, 4);
+    EXPECT_EQ(a.mode(), SlotMode::SingleS);
+    for (Cycle c = 0; c < 8; ++c)
+        EXPECT_EQ(a.grantAt(c).owner, 1);
+    a.setPriorities(0, 0);
+    EXPECT_EQ(a.mode(), SlotMode::AllOff);
+    EXPECT_EQ(a.grantAt(3).owner, -1);
+}
+
+TEST(SlotAllocator, BothAt1IsLowPowerMode)
+{
+    // Paper Sec. 3.2: (1,1) decodes one instruction every 32 cycles.
+    DecodeSlotAllocator a(5);
+    a.setPriorities(1, 1);
+    EXPECT_EQ(a.mode(), SlotMode::LowPower);
+    int grants = 0;
+    int width_sum = 0;
+    for (Cycle c = 0; c < 320; ++c) {
+        SlotGrant g = a.grantAt(c);
+        if (g.owner >= 0) {
+            ++grants;
+            width_sum += g.maxWidth;
+        }
+    }
+    EXPECT_EQ(grants, 10);
+    EXPECT_EQ(width_sum, 10); // one *instruction*, not one group
+}
+
+TEST(SlotAllocator, SingleAt1AgainstHigherIsNormalDual)
+{
+    DecodeSlotAllocator a(5);
+    a.setPriorities(6, 1);
+    EXPECT_EQ(a.mode(), SlotMode::Dual);
+    EXPECT_EQ(a.slotWindow(), 64);
+}
+
+/** Property: observed share matches primaryShare() for all Dual pairs. */
+class ShareTest : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(ShareTest, GrantCountsMatchShare)
+{
+    auto [p, s] = GetParam();
+    DecodeSlotAllocator a(5);
+    a.setPriorities(p, s);
+    if (a.mode() != SlotMode::Dual)
+        GTEST_SKIP() << "non-dual pair";
+    const int window = a.slotWindow();
+    int p_slots = 0;
+    for (Cycle c = 0; c < static_cast<Cycle>(window); ++c)
+        if (a.grantAt(c).owner == 0)
+            ++p_slots;
+    EXPECT_NEAR(static_cast<double>(p_slots) / window, a.primaryShare(),
+                1e-9);
+    EXPECT_NEAR(a.shareOf(0) + a.shareOf(1), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, ShareTest,
+                         ::testing::Combine(::testing::Range(1, 7),
+                                            ::testing::Range(1, 7)));
+
+TEST(SlotAllocator, SetPriorityByThread)
+{
+    DecodeSlotAllocator a(5);
+    a.setPriorities(4, 4);
+    a.setPriority(1, 2);
+    EXPECT_EQ(a.priorityOf(0), 4);
+    EXPECT_EQ(a.priorityOf(1), 2);
+    EXPECT_EQ(a.slotWindow(), 8);
+}
+
+TEST(SlotAllocatorDeath, InvalidPriorityIsFatal)
+{
+    DecodeSlotAllocator a(5);
+    EXPECT_EXIT(a.setPriorities(9, 4), ::testing::ExitedWithCode(1),
+                "invalid priority");
+}
+
+TEST(SlotMode, Names)
+{
+    EXPECT_STREQ(slotModeName(SlotMode::Dual), "Dual");
+    EXPECT_STREQ(slotModeName(SlotMode::LowPower), "LowPower");
+}
+
+} // namespace
+} // namespace p5

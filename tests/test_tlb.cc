@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the D-TLB model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/tlb.hh"
+
+namespace p5 {
+namespace {
+
+TlbParams
+smallTlb()
+{
+    return TlbParams{"t", 8, 2, 4096, 100};
+}
+
+TEST(Tlb, MissChargesWalkThenHits)
+{
+    Tlb t(smallTlb());
+    TlbResult r = t.access(0x1234);
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(r.latency, 100);
+    r = t.access(0x1FFF); // same page
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.latency, 0);
+    EXPECT_EQ(t.hits(), 1u);
+    EXPECT_EQ(t.misses(), 1u);
+}
+
+TEST(Tlb, DistinctPagesMissSeparately)
+{
+    Tlb t(smallTlb());
+    t.access(0x0000);
+    TlbResult r = t.access(0x2000);
+    EXPECT_FALSE(r.hit);
+}
+
+TEST(Tlb, LruWithinSet)
+{
+    Tlb t(smallTlb()); // 4 sets x 2 ways
+    // Pages 0, 4, 8 map to set 0 (vpn % 4 == 0).
+    t.access(0x0000);           // vpn 0
+    t.access(4ull * 4096);      // vpn 4
+    t.access(0x0000);           // refresh vpn 0
+    t.access(8ull * 4096);      // vpn 8 evicts vpn 4
+    EXPECT_TRUE(t.probe(0x0000));
+    EXPECT_FALSE(t.probe(4ull * 4096));
+    EXPECT_TRUE(t.probe(8ull * 4096));
+}
+
+TEST(Tlb, ProbeHasNoSideEffects)
+{
+    Tlb t(smallTlb());
+    EXPECT_FALSE(t.probe(0x5000));
+    EXPECT_EQ(t.misses(), 0u);
+    t.access(0x5000);
+    EXPECT_TRUE(t.probe(0x5000));
+}
+
+TEST(Tlb, FlushAll)
+{
+    Tlb t(smallTlb());
+    t.access(0x0000);
+    t.flushAll();
+    EXPECT_FALSE(t.probe(0x0000));
+}
+
+TEST(Tlb, CapacityReach)
+{
+    Tlb t(smallTlb()); // 8 entries
+    for (Addr p = 0; p < 8; ++p)
+        t.access(p * 4096);
+    for (Addr p = 0; p < 8; ++p)
+        EXPECT_TRUE(t.probe(p * 4096));
+    // One more page in some set evicts exactly one entry.
+    t.access(8ull * 4096);
+    int resident = 0;
+    for (Addr p = 0; p < 9; ++p)
+        if (t.probe(p * 4096))
+            ++resident;
+    EXPECT_EQ(resident, 8);
+}
+
+TEST(TlbDeath, BadGeometryIsFatal)
+{
+    TlbParams p{"bad", 7, 2, 4096, 100};
+    EXPECT_EXIT({ Tlb t(p); }, ::testing::ExitedWithCode(1),
+                "bad geometry");
+}
+
+} // namespace
+} // namespace p5
