@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_priorities.dir/os_priorities.cpp.o"
+  "CMakeFiles/os_priorities.dir/os_priorities.cpp.o.d"
+  "os_priorities"
+  "os_priorities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_priorities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_rebalance.dir/pipeline_rebalance.cpp.o"
+  "CMakeFiles/pipeline_rebalance.dir/pipeline_rebalance.cpp.o.d"
+  "pipeline_rebalance"
+  "pipeline_rebalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transparent_background.dir/transparent_background.cpp.o"
+  "CMakeFiles/transparent_background.dir/transparent_background.cpp.o.d"
+  "transparent_background"
+  "transparent_background.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transparent_background.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

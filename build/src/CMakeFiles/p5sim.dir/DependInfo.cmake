@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/branch/bht.cc" "src/CMakeFiles/p5sim.dir/branch/bht.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/branch/bht.cc.o.d"
+  "/root/repo/src/common/cli.cc" "src/CMakeFiles/p5sim.dir/common/cli.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/common/cli.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/p5sim.dir/common/log.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/common/log.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/p5sim.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/p5sim.dir/common/table.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/common/table.cc.o.d"
+  "/root/repo/src/core/balancer.cc" "src/CMakeFiles/p5sim.dir/core/balancer.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/core/balancer.cc.o.d"
+  "/root/repo/src/core/chip.cc" "src/CMakeFiles/p5sim.dir/core/chip.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/core/chip.cc.o.d"
+  "/root/repo/src/core/decode_arbiter.cc" "src/CMakeFiles/p5sim.dir/core/decode_arbiter.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/core/decode_arbiter.cc.o.d"
+  "/root/repo/src/core/fu_pool.cc" "src/CMakeFiles/p5sim.dir/core/fu_pool.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/core/fu_pool.cc.o.d"
+  "/root/repo/src/core/gct.cc" "src/CMakeFiles/p5sim.dir/core/gct.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/core/gct.cc.o.d"
+  "/root/repo/src/core/issue_queue.cc" "src/CMakeFiles/p5sim.dir/core/issue_queue.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/core/issue_queue.cc.o.d"
+  "/root/repo/src/core/lsu.cc" "src/CMakeFiles/p5sim.dir/core/lsu.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/core/lsu.cc.o.d"
+  "/root/repo/src/core/params.cc" "src/CMakeFiles/p5sim.dir/core/params.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/core/params.cc.o.d"
+  "/root/repo/src/core/smt_core.cc" "src/CMakeFiles/p5sim.dir/core/smt_core.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/core/smt_core.cc.o.d"
+  "/root/repo/src/core/thread_state.cc" "src/CMakeFiles/p5sim.dir/core/thread_state.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/core/thread_state.cc.o.d"
+  "/root/repo/src/exp/experiments.cc" "src/CMakeFiles/p5sim.dir/exp/experiments.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/exp/experiments.cc.o.d"
+  "/root/repo/src/exp/report.cc" "src/CMakeFiles/p5sim.dir/exp/report.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/exp/report.cc.o.d"
+  "/root/repo/src/fame/fame.cc" "src/CMakeFiles/p5sim.dir/fame/fame.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/fame/fame.cc.o.d"
+  "/root/repo/src/isa/instruction.cc" "src/CMakeFiles/p5sim.dir/isa/instruction.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/isa/instruction.cc.o.d"
+  "/root/repo/src/isa/op_class.cc" "src/CMakeFiles/p5sim.dir/isa/op_class.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/isa/op_class.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/p5sim.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/CMakeFiles/p5sim.dir/mem/hierarchy.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/mem/hierarchy.cc.o.d"
+  "/root/repo/src/mem/lmq.cc" "src/CMakeFiles/p5sim.dir/mem/lmq.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/mem/lmq.cc.o.d"
+  "/root/repo/src/mem/tlb.cc" "src/CMakeFiles/p5sim.dir/mem/tlb.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/mem/tlb.cc.o.d"
+  "/root/repo/src/os/kernel.cc" "src/CMakeFiles/p5sim.dir/os/kernel.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/os/kernel.cc.o.d"
+  "/root/repo/src/prio/priority.cc" "src/CMakeFiles/p5sim.dir/prio/priority.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/prio/priority.cc.o.d"
+  "/root/repo/src/prio/slot_allocator.cc" "src/CMakeFiles/p5sim.dir/prio/slot_allocator.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/prio/slot_allocator.cc.o.d"
+  "/root/repo/src/program/builder.cc" "src/CMakeFiles/p5sim.dir/program/builder.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/program/builder.cc.o.d"
+  "/root/repo/src/program/pattern.cc" "src/CMakeFiles/p5sim.dir/program/pattern.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/program/pattern.cc.o.d"
+  "/root/repo/src/program/program.cc" "src/CMakeFiles/p5sim.dir/program/program.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/program/program.cc.o.d"
+  "/root/repo/src/program/stream.cc" "src/CMakeFiles/p5sim.dir/program/stream.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/program/stream.cc.o.d"
+  "/root/repo/src/ubench/ubench.cc" "src/CMakeFiles/p5sim.dir/ubench/ubench.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/ubench/ubench.cc.o.d"
+  "/root/repo/src/workloads/pipeline_app.cc" "src/CMakeFiles/p5sim.dir/workloads/pipeline_app.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/workloads/pipeline_app.cc.o.d"
+  "/root/repo/src/workloads/spec_proxy.cc" "src/CMakeFiles/p5sim.dir/workloads/spec_proxy.cc.o" "gcc" "src/CMakeFiles/p5sim.dir/workloads/spec_proxy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

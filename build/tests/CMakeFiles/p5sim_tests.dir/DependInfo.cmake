@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_balancer.cc" "tests/CMakeFiles/p5sim_tests.dir/test_balancer.cc.o" "gcc" "tests/CMakeFiles/p5sim_tests.dir/test_balancer.cc.o.d"
+  "/root/repo/tests/test_bht.cc" "tests/CMakeFiles/p5sim_tests.dir/test_bht.cc.o" "gcc" "tests/CMakeFiles/p5sim_tests.dir/test_bht.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/p5sim_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/p5sim_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/p5sim_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/p5sim_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_core_basic.cc" "tests/CMakeFiles/p5sim_tests.dir/test_core_basic.cc.o" "gcc" "tests/CMakeFiles/p5sim_tests.dir/test_core_basic.cc.o.d"
+  "/root/repo/tests/test_core_smt.cc" "tests/CMakeFiles/p5sim_tests.dir/test_core_smt.cc.o" "gcc" "tests/CMakeFiles/p5sim_tests.dir/test_core_smt.cc.o.d"
+  "/root/repo/tests/test_experiments.cc" "tests/CMakeFiles/p5sim_tests.dir/test_experiments.cc.o" "gcc" "tests/CMakeFiles/p5sim_tests.dir/test_experiments.cc.o.d"
+  "/root/repo/tests/test_fame.cc" "tests/CMakeFiles/p5sim_tests.dir/test_fame.cc.o" "gcc" "tests/CMakeFiles/p5sim_tests.dir/test_fame.cc.o.d"
+  "/root/repo/tests/test_fu_pool.cc" "tests/CMakeFiles/p5sim_tests.dir/test_fu_pool.cc.o" "gcc" "tests/CMakeFiles/p5sim_tests.dir/test_fu_pool.cc.o.d"
+  "/root/repo/tests/test_gct.cc" "tests/CMakeFiles/p5sim_tests.dir/test_gct.cc.o" "gcc" "tests/CMakeFiles/p5sim_tests.dir/test_gct.cc.o.d"
+  "/root/repo/tests/test_hierarchy.cc" "tests/CMakeFiles/p5sim_tests.dir/test_hierarchy.cc.o" "gcc" "tests/CMakeFiles/p5sim_tests.dir/test_hierarchy.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/p5sim_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/p5sim_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/p5sim_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/p5sim_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_issue_queue.cc" "tests/CMakeFiles/p5sim_tests.dir/test_issue_queue.cc.o" "gcc" "tests/CMakeFiles/p5sim_tests.dir/test_issue_queue.cc.o.d"
+  "/root/repo/tests/test_kernel.cc" "tests/CMakeFiles/p5sim_tests.dir/test_kernel.cc.o" "gcc" "tests/CMakeFiles/p5sim_tests.dir/test_kernel.cc.o.d"
+  "/root/repo/tests/test_lmq.cc" "tests/CMakeFiles/p5sim_tests.dir/test_lmq.cc.o" "gcc" "tests/CMakeFiles/p5sim_tests.dir/test_lmq.cc.o.d"
+  "/root/repo/tests/test_lsu.cc" "tests/CMakeFiles/p5sim_tests.dir/test_lsu.cc.o" "gcc" "tests/CMakeFiles/p5sim_tests.dir/test_lsu.cc.o.d"
+  "/root/repo/tests/test_priority.cc" "tests/CMakeFiles/p5sim_tests.dir/test_priority.cc.o" "gcc" "tests/CMakeFiles/p5sim_tests.dir/test_priority.cc.o.d"
+  "/root/repo/tests/test_program.cc" "tests/CMakeFiles/p5sim_tests.dir/test_program.cc.o" "gcc" "tests/CMakeFiles/p5sim_tests.dir/test_program.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/p5sim_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/p5sim_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_slot_allocator.cc" "tests/CMakeFiles/p5sim_tests.dir/test_slot_allocator.cc.o" "gcc" "tests/CMakeFiles/p5sim_tests.dir/test_slot_allocator.cc.o.d"
+  "/root/repo/tests/test_tlb.cc" "tests/CMakeFiles/p5sim_tests.dir/test_tlb.cc.o" "gcc" "tests/CMakeFiles/p5sim_tests.dir/test_tlb.cc.o.d"
+  "/root/repo/tests/test_ubench.cc" "tests/CMakeFiles/p5sim_tests.dir/test_ubench.cc.o" "gcc" "tests/CMakeFiles/p5sim_tests.dir/test_ubench.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/p5sim_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/p5sim_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/p5sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
