@@ -6,12 +6,19 @@
 #ifndef P5SIM_BENCH_BENCH_COMMON_HH
 #define P5SIM_BENCH_BENCH_COMMON_HH
 
+#include <fstream>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "common/cli.hh"
+#include "common/json.hh"
+#include "common/log.hh"
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 #include "exp/experiments.hh"
+#include "exp/report.hh"
+#include "fame/sim_runner.hh"
 
 namespace p5bench {
 
@@ -21,6 +28,14 @@ csvFlag()
 {
     static bool flag = false;
     return flag;
+}
+
+/** Process-wide "--json=FILE" destination ("" = off). */
+inline std::string &
+jsonPath()
+{
+    static std::string path;
+    return path;
 }
 
 /** Parse the standard bench flags and build the experiment config. */
@@ -36,6 +51,10 @@ parseConfig(int argc, char **argv)
     cli.declare("all15", "false",
                 "sweep all 15 micro-benchmarks instead of the paper's 6");
     cli.declare("csv", "false", "emit CSV instead of ASCII tables");
+    cli.declare("jobs", "0",
+                "simulation worker threads (0 = hardware concurrency)");
+    cli.declare("json", "",
+                "also write machine-readable results to this file");
     cli.parse(argc, argv);
 
     p5::ExpConfig config;
@@ -50,8 +69,10 @@ parseConfig(int argc, char **argv)
         config.ubenchScale = cli.real("scale");
     if (cli.boolean("all15"))
         config.benchmarks = p5::allUbench();
+    config.jobs = static_cast<unsigned>(cli.integer("jobs"));
 
     csvFlag() = cli.boolean("csv");
+    jsonPath() = cli.str("json");
     return config;
 }
 
@@ -73,6 +94,49 @@ print(const std::vector<p5::Table> &tables)
 {
     for (const auto &t : tables)
         print(t);
+}
+
+/**
+ * When --json=FILE was given, write an envelope with run metadata (the
+ * experiment name, worker count, result-cache hit/miss counters) around
+ * a payload written by @p payload(JsonWriter&) under the "data" key.
+ */
+template <typename PayloadFn>
+inline void
+maybeWriteJsonWith(const char *experiment, const p5::ExpConfig &config,
+                   PayloadFn &&payload)
+{
+    if (jsonPath().empty())
+        return;
+    std::ofstream os(jsonPath());
+    if (!os)
+        p5::fatal("cannot open --json file '%s'", jsonPath().c_str());
+
+    const p5::ResultCache &cache =
+        config.cache ? *config.cache : p5::ResultCache::process();
+    p5::JsonWriter w(os);
+    w.beginObject();
+    w.member("experiment", experiment);
+    w.member("jobs", config.jobs ? config.jobs
+                                 : p5::ThreadPool::defaultWorkers());
+    w.member("scale", config.ubenchScale);
+    w.member("minRepetitions", config.fame.minRepetitions);
+    w.member("maiv", config.fame.maiv);
+    w.member("cacheHits", cache.hits());
+    w.member("cacheMisses", cache.misses());
+    w.key("data");
+    payload(w);
+    w.endObject();
+}
+
+/** maybeWriteJsonWith() for one experiment-data value. */
+template <typename Data>
+inline void
+maybeWriteJson(const char *experiment, const p5::ExpConfig &config,
+               const Data &data)
+{
+    maybeWriteJsonWith(experiment, config,
+                       [&](p5::JsonWriter &w) { p5::writeJson(w, data); });
 }
 
 } // namespace p5bench

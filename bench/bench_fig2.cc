@@ -11,7 +11,8 @@ int
 main(int argc, char **argv)
 {
     p5::ExpConfig config = p5bench::parseConfig(argc, argv);
-    p5bench::print(
-        p5::renderPrioCurves(p5::runFig2(config), "Figure 2"));
+    p5::PrioCurveData data = p5::runFig2(config);
+    p5bench::print(p5::renderPrioCurves(data, "Figure 2"));
+    p5bench::maybeWriteJson("fig2", config, data);
     return 0;
 }

@@ -11,7 +11,8 @@ int
 main(int argc, char **argv)
 {
     p5::ExpConfig config = p5bench::parseConfig(argc, argv);
-    p5bench::print(
-        p5::renderPrioCurves(p5::runFig3(config), "Figure 3"));
+    p5::PrioCurveData data = p5::runFig3(config);
+    p5bench::print(p5::renderPrioCurves(data, "Figure 3"));
+    p5bench::maybeWriteJson("fig3", config, data);
     return 0;
 }

@@ -11,6 +11,8 @@ int
 main(int argc, char **argv)
 {
     p5::ExpConfig config = p5bench::parseConfig(argc, argv);
-    p5bench::print(p5::renderFig4(p5::runFig4(config)));
+    p5::ThroughputData data = p5::runFig4(config);
+    p5bench::print(p5::renderFig4(data));
+    p5bench::maybeWriteJson("fig4", config, data);
     return 0;
 }

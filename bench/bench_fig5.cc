@@ -11,9 +11,17 @@ int
 main(int argc, char **argv)
 {
     p5::ExpConfig config = p5bench::parseConfig(argc, argv);
-    p5bench::print(p5::renderFig5(p5::runFig5(
-        p5::SpecProxyId::H264ref, p5::SpecProxyId::Mcf, config)));
-    p5bench::print(p5::renderFig5(p5::runFig5(
-        p5::SpecProxyId::Applu, p5::SpecProxyId::Equake, config)));
+    p5::CaseStudyData a = p5::runFig5(p5::SpecProxyId::H264ref,
+                                      p5::SpecProxyId::Mcf, config);
+    p5::CaseStudyData b = p5::runFig5(p5::SpecProxyId::Applu,
+                                      p5::SpecProxyId::Equake, config);
+    p5bench::print(p5::renderFig5(a));
+    p5bench::print(p5::renderFig5(b));
+    p5bench::maybeWriteJsonWith("fig5", config, [&](p5::JsonWriter &w) {
+        w.beginArray();
+        p5::writeJson(w, a);
+        p5::writeJson(w, b);
+        w.endArray();
+    });
     return 0;
 }

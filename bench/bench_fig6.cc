@@ -13,6 +13,8 @@ int
 main(int argc, char **argv)
 {
     p5::ExpConfig config = p5bench::parseConfig(argc, argv);
-    p5bench::print(p5::renderFig6(p5::runFig6(config)));
+    p5::TransparencyData data = p5::runFig6(config);
+    p5bench::print(p5::renderFig6(data));
+    p5bench::maybeWriteJson("fig6", config, data);
     return 0;
 }

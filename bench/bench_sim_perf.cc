@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/smt_core.hh"
+#include "fame/sim_runner.hh"
 #include "mem/cache.hh"
 #include "prio/slot_allocator.hh"
 #include "ubench/ubench.hh"
@@ -91,6 +92,47 @@ BM_CoreMixedPair(benchmark::State &state)
     coreCycles(state, UbenchId::LdintL1, UbenchId::LdintL2);
 }
 BENCHMARK(BM_CoreMixedPair);
+
+/**
+ * Parallel-runner scaling: a fixed batch of 8 distinct fast FAME jobs
+ * executed with jobs=1,2,4,8 workers. A fresh private cache per
+ * iteration forces every job to actually simulate, so the reported
+ * time tracks runner speedup (and regressions) on the host.
+ */
+void
+BM_RunnerScaling(benchmark::State &state)
+{
+    const unsigned workers = static_cast<unsigned>(state.range(0));
+
+    FameParams fame;
+    fame.minRepetitions = 3;
+    fame.warmupRepetitions = 1;
+    fame.maiv = 0.05;
+    fame.warmupTolerance = 0.25;
+    CoreParams core;
+
+    const UbenchId partners[4] = {UbenchId::CpuInt, UbenchId::LdintL1,
+                                  UbenchId::LdintL2, UbenchId::CpuFp};
+    std::vector<SimJob> batch;
+    for (int prio = 3; prio <= 4; ++prio)
+        for (UbenchId partner : partners)
+            batch.push_back(SimJob::famePair(
+                ProgramSpec::ubench(UbenchId::CpuInt, 0.5),
+                ProgramSpec::ubench(partner, 0.5), prio,
+                default_priority, core, fame));
+
+    for (auto _ : state) {
+        ResultCache cache;
+        SimRunner runner(workers, &cache);
+        auto results = runner.run(batch);
+        benchmark::DoNotOptimize(results);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(batch.size()));
+    state.counters["workers"] = workers;
+}
+BENCHMARK(BM_RunnerScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

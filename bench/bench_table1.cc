@@ -10,7 +10,9 @@
 int
 main(int argc, char **argv)
 {
-    (void)p5bench::parseConfig(argc, argv);
-    p5bench::print(p5::renderTable1());
+    p5::ExpConfig config = p5bench::parseConfig(argc, argv);
+    p5::Table table = p5::renderTable1();
+    p5bench::print(table);
+    p5bench::maybeWriteJson("table1", config, table);
     return 0;
 }

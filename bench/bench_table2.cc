@@ -9,7 +9,9 @@
 int
 main(int argc, char **argv)
 {
-    (void)p5bench::parseConfig(argc, argv);
-    p5bench::print(p5::renderTable2());
+    p5::ExpConfig config = p5bench::parseConfig(argc, argv);
+    p5::Table table = p5::renderTable2();
+    p5bench::print(table);
+    p5bench::maybeWriteJson("table2", config, table);
     return 0;
 }

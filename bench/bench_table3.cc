@@ -11,6 +11,8 @@ int
 main(int argc, char **argv)
 {
     p5::ExpConfig config = p5bench::parseConfig(argc, argv);
-    p5bench::print(p5::renderTable3(p5::runTable3(config)));
+    p5::Table3Data data = p5::runTable3(config);
+    p5bench::print(p5::renderTable3(data));
+    p5bench::maybeWriteJson("table3", config, data);
     return 0;
 }

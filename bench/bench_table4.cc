@@ -12,6 +12,8 @@ int
 main(int argc, char **argv)
 {
     p5::ExpConfig config = p5bench::parseConfig(argc, argv);
-    p5bench::print(p5::renderTable4(p5::runTable4(config)));
+    p5::Table4Data data = p5::runTable4(config);
+    p5bench::print(p5::renderTable4(data));
+    p5bench::maybeWriteJson("table4", config, data);
     return 0;
 }

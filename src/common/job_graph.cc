@@ -1,0 +1,85 @@
+#include "common/job_graph.hh"
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/log.hh"
+
+namespace p5 {
+
+JobGraph::NodeId
+JobGraph::add(std::function<void()> fn, std::vector<NodeId> deps)
+{
+    const NodeId id = nodes_.size();
+    for (NodeId d : deps)
+        if (d >= id)
+            fatal("JobGraph: node %zu depends on not-yet-added node %zu",
+                  id, d);
+    nodes_.push_back(Node{std::move(fn), std::move(deps)});
+    return id;
+}
+
+void
+JobGraph::run(ThreadPool &pool)
+{
+    const std::size_t n = nodes_.size();
+    if (n == 0)
+        return;
+
+    struct State
+    {
+        std::mutex mutex;
+        std::condition_variable done;
+        std::vector<std::size_t> remainingDeps;
+        std::vector<std::vector<NodeId>> dependents;
+        std::size_t finished = 0;
+        std::size_t scheduled = 0;
+        std::exception_ptr error;
+    } st;
+
+    st.remainingDeps.resize(n);
+    st.dependents.resize(n);
+    for (NodeId id = 0; id < n; ++id) {
+        st.remainingDeps[id] = nodes_[id].deps.size();
+        for (NodeId d : nodes_[id].deps)
+            st.dependents[d].push_back(id);
+    }
+
+    // Submits a ready node; its completion hook schedules dependents.
+    std::function<void(NodeId)> schedule = [&](NodeId id) {
+        ++st.scheduled;
+        pool.submit([this, &st, &schedule, id] {
+            std::exception_ptr err;
+            try {
+                nodes_[id].fn();
+            } catch (...) {
+                err = std::current_exception();
+            }
+            std::lock_guard<std::mutex> lock(st.mutex);
+            ++st.finished;
+            if (err && !st.error)
+                st.error = err;
+            if (!st.error)
+                for (NodeId dep : st.dependents[id])
+                    if (--st.remainingDeps[dep] == 0)
+                        schedule(dep);
+            st.done.notify_all();
+        });
+    };
+
+    {
+        std::lock_guard<std::mutex> lock(st.mutex);
+        for (NodeId id = 0; id < n; ++id)
+            if (st.remainingDeps[id] == 0)
+                schedule(id);
+        if (st.scheduled == 0)
+            panic("JobGraph: no root nodes");
+    }
+
+    std::unique_lock<std::mutex> lock(st.mutex);
+    st.done.wait(lock, [&] { return st.finished == st.scheduled; });
+    if (st.error)
+        std::rethrow_exception(st.error);
+}
+
+} // namespace p5

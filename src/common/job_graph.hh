@@ -1,0 +1,58 @@
+/**
+ * @file
+ * A small dependency graph executed over a ThreadPool.
+ *
+ * Nodes are void() callables with explicit predecessor edges; run()
+ * schedules every node whose dependencies have completed, keeping the
+ * pool saturated with all currently-ready nodes. Independent nodes (the
+ * common case for simulation batches) therefore run fully in parallel.
+ */
+
+#ifndef P5SIM_COMMON_JOB_GRAPH_HH
+#define P5SIM_COMMON_JOB_GRAPH_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+namespace p5 {
+
+/** Static DAG of tasks; build with add(), execute with run(). */
+class JobGraph
+{
+  public:
+    using NodeId = std::size_t;
+
+    /**
+     * Add a node running @p fn after every node in @p deps.
+     * Dependencies must already have been added (ids are dense,
+     * in insertion order), which also makes cycles unrepresentable.
+     */
+    NodeId add(std::function<void()> fn, std::vector<NodeId> deps = {});
+
+    std::size_t size() const { return nodes_.size(); }
+
+    /**
+     * Execute the whole graph on @p pool and block until done.
+     *
+     * If a node throws, no new nodes are scheduled, in-flight nodes are
+     * drained, and the first exception is rethrown here. Nodes whose
+     * dependency threw never run.
+     */
+    void run(ThreadPool &pool);
+
+  private:
+    struct Node
+    {
+        std::function<void()> fn;
+        std::vector<NodeId> deps;
+    };
+
+    std::vector<Node> nodes_;
+};
+
+} // namespace p5
+
+#endif // P5SIM_COMMON_JOB_GRAPH_HH

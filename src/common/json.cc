@@ -1,0 +1,218 @@
+#include "common/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace p5 {
+
+JsonWriter::JsonWriter(std::ostream &os, int indentWidth)
+    : os_(os), indentWidth_(indentWidth)
+{}
+
+JsonWriter::~JsonWriter()
+{
+    if (!stack_.empty())
+        panic("JsonWriter destroyed with %zu open scopes", stack_.size());
+    os_ << '\n';
+}
+
+std::string
+JsonWriter::escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::newline()
+{
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i)
+        for (int s = 0; s < indentWidth_; ++s)
+            os_ << ' ';
+}
+
+void
+JsonWriter::prepareValue()
+{
+    if (stack_.empty()) {
+        if (rootWritten_)
+            panic("JsonWriter: second root value");
+        rootWritten_ = true;
+        return;
+    }
+    if (stack_.back() == Scope::Object) {
+        if (!keyPending_)
+            panic("JsonWriter: value in object without a key");
+        keyPending_ = false;
+        return;
+    }
+    if (!firstInScope_)
+        os_ << ',';
+    firstInScope_ = false;
+    newline();
+}
+
+void
+JsonWriter::raw(std::string_view text)
+{
+    os_ << text;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    if (stack_.empty() || stack_.back() != Scope::Object)
+        panic("JsonWriter: key() outside an object");
+    if (keyPending_)
+        panic("JsonWriter: key() twice without a value");
+    if (!firstInScope_)
+        os_ << ',';
+    firstInScope_ = false;
+    newline();
+    os_ << '"' << escape(name) << "\": ";
+    keyPending_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    prepareValue();
+    os_ << '{';
+    stack_.push_back(Scope::Object);
+    firstInScope_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (stack_.empty() || stack_.back() != Scope::Object || keyPending_)
+        panic("JsonWriter: mismatched endObject()");
+    const bool empty = firstInScope_;
+    stack_.pop_back();
+    if (!empty)
+        newline();
+    os_ << '}';
+    firstInScope_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    prepareValue();
+    os_ << '[';
+    stack_.push_back(Scope::Array);
+    firstInScope_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (stack_.empty() || stack_.back() != Scope::Array)
+        panic("JsonWriter: mismatched endArray()");
+    const bool empty = firstInScope_;
+    stack_.pop_back();
+    if (!empty)
+        newline();
+    os_ << ']';
+    firstInScope_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    prepareValue();
+    os_ << '"' << escape(v) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string_view(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    prepareValue();
+    if (!std::isfinite(v)) {
+        os_ << "null"; // JSON has no NaN/Inf
+        return *this;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    prepareValue();
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    prepareValue();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    prepareValue();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    prepareValue();
+    os_ << "null";
+    return *this;
+}
+
+} // namespace p5

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A minimal streaming JSON writer for machine-readable reports.
+ *
+ * Emits syntactically valid, indented JSON with correct string escaping
+ * and round-trippable doubles. The writer keeps a nesting stack and
+ * inserts commas itself; callers just interleave key()/value() and
+ * begin/end calls. Misuse (a value where a key is required, unbalanced
+ * end calls) is a panic, not silently broken output.
+ */
+
+#ifndef P5SIM_COMMON_JSON_HH
+#define P5SIM_COMMON_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p5 {
+
+/** Streaming JSON emitter. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os, int indentWidth = 2);
+
+    /** All containers must be closed by the time this runs. */
+    ~JsonWriter();
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; must be inside an object. */
+    JsonWriter &key(std::string_view name);
+
+    JsonWriter &value(std::string_view v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(bool v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(int v) { return value(static_cast<std::int64_t>(v)); }
+    JsonWriter &value(unsigned v)
+    {
+        return value(static_cast<std::uint64_t>(v));
+    }
+    JsonWriter &null();
+
+    /** key(name) followed by value(v). */
+    template <typename T>
+    JsonWriter &
+    member(std::string_view name, T &&v)
+    {
+        key(name);
+        return value(std::forward<T>(v));
+    }
+
+    /** Escape @p s per RFC 8259 (without surrounding quotes). */
+    static std::string escape(std::string_view s);
+
+  private:
+    enum class Scope { Object, Array };
+
+    void prepareValue(); ///< comma/indent bookkeeping before a value
+    void newline();
+    void raw(std::string_view text);
+
+    std::ostream &os_;
+    int indentWidth_;
+    std::vector<Scope> stack_;
+    bool firstInScope_ = true;
+    bool keyPending_ = false;
+    bool rootWritten_ = false;
+};
+
+} // namespace p5
+
+#endif // P5SIM_COMMON_JSON_HH

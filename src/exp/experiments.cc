@@ -1,9 +1,17 @@
+/**
+ * @file
+ * Experiment producers, job-based: every producer *enumerates* the
+ * simulations its table/figure needs as SimJobs, submits them as one
+ * batch to a SimRunner (parallel across ExpConfig::jobs workers), and
+ * assembles the returned results. No simulation runs inline here, and
+ * identical configurations — across producers or within a batch — are
+ * coalesced by the runner's keyed result cache.
+ */
+
 #include "exp/experiments.hh"
 
-#include <map>
-#include <tuple>
-
 #include "common/log.hh"
+#include "fame/sim_runner.hh"
 
 namespace p5 {
 
@@ -38,36 +46,33 @@ prioPairForDiff(int diff)
 
 namespace {
 
-/** Build-once program cache for one experiment sweep. */
-class ProgramSet
+SimRunner
+makeRunner(const ExpConfig &config)
 {
-  public:
-    ProgramSet(const std::vector<UbenchId> &ids, double scale)
-    {
-        for (UbenchId id : ids)
-            programs_.emplace(id, makeUbench(id, scale));
-    }
+    return SimRunner(config.jobs, config.cache);
+}
 
-    const SyntheticProgram &
-    get(UbenchId id) const
-    {
-        auto it = programs_.find(id);
-        if (it == programs_.end())
-            panic("program set missing benchmark %d",
-                  static_cast<int>(id));
-        return it->second;
-    }
-
-  private:
-    std::map<UbenchId, SyntheticProgram> programs_;
-};
-
-/** FAME-run one pair (or ST when s is null). */
-FameResult
-famePair(const ExpConfig &config, const SyntheticProgram *p,
-         const SyntheticProgram *s, int prio_p, int prio_s)
+ProgramSpec
+ubSpec(const ExpConfig &config, UbenchId id)
 {
-    return runFame(config.core, p, s, prio_p, prio_s, config.fame);
+    return ProgramSpec::ubench(id, config.ubenchScale);
+}
+
+/** Single-thread job for one micro-benchmark at default priority. */
+SimJob
+stJob(const ExpConfig &config, UbenchId id)
+{
+    return SimJob::fameSingle(ubSpec(config, id), config.core,
+                              config.fame);
+}
+
+/** Two-thread job for a micro-benchmark pair under (prio_p, prio_s). */
+SimJob
+pairJob(const ExpConfig &config, UbenchId p, UbenchId s, int prio_p,
+        int prio_s)
+{
+    return SimJob::famePair(ubSpec(config, p), ubSpec(config, s), prio_p,
+                            prio_s, config.core, config.fame);
 }
 
 } // namespace
@@ -78,22 +83,29 @@ runTable3(const ExpConfig &config)
     Table3Data data;
     data.benchmarks = config.benchmarks;
     const std::size_t n = data.benchmarks.size();
-    ProgramSet progs(data.benchmarks, config.ubenchScale);
 
-    for (std::size_t i = 0; i < n; ++i) {
-        FameResult st = famePair(config, &progs.get(data.benchmarks[i]),
-                                 nullptr, default_priority, 0);
-        data.stIpc.push_back(st.thread[0].avgIpc());
-    }
+    // Job layout: [0, n) ST runs, then the n x n (4,4) pair matrix.
+    std::vector<SimJob> jobs;
+    jobs.reserve(n + n * n);
+    for (std::size_t i = 0; i < n; ++i)
+        jobs.push_back(stJob(config, data.benchmarks[i]));
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            jobs.push_back(pairJob(config, data.benchmarks[i],
+                                   data.benchmarks[j], default_priority,
+                                   default_priority));
+
+    SimRunner runner = makeRunner(config);
+    const std::vector<SimResult> res = runner.run(jobs);
+
+    for (std::size_t i = 0; i < n; ++i)
+        data.stIpc.push_back(res[i].fame.thread[0].avgIpc());
 
     data.pt.assign(n, std::vector<double>(n, 0.0));
     data.tt.assign(n, std::vector<double>(n, 0.0));
     for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t j = 0; j < n; ++j) {
-            FameResult r = famePair(
-                config, &progs.get(data.benchmarks[i]),
-                &progs.get(data.benchmarks[j]), default_priority,
-                default_priority);
+            const FameResult &r = res[n + i * n + j].fame;
             data.pt[i][j] = r.thread[0].avgIpc();
             data.tt[i][j] = r.totalIpc();
         }
@@ -110,23 +122,37 @@ runPrioCurve(const ExpConfig &config, const std::vector<int> &diffs)
     data.benchmarks = config.benchmarks;
     data.diffs = diffs;
     const std::size_t n = data.benchmarks.size();
-    ProgramSet progs(data.benchmarks, config.ubenchScale);
+    const std::size_t nd = diffs.size();
 
-    data.rel.assign(
-        n, std::vector<std::vector<double>>(
-               n, std::vector<double>(diffs.size(), 0.0)));
-
+    // Per (i, j): the (4,4) baseline followed by one job per diff.
+    std::vector<SimJob> jobs;
+    jobs.reserve(n * n * (1 + nd));
     for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t j = 0; j < n; ++j) {
-            const SyntheticProgram &p = progs.get(data.benchmarks[i]);
-            const SyntheticProgram &s = progs.get(data.benchmarks[j]);
-            FameResult base = famePair(config, &p, &s, default_priority,
-                                       default_priority);
-            const double base_time = base.thread[0].avgExecTime();
-            for (std::size_t d = 0; d < diffs.size(); ++d) {
-                auto [pp, ps] = prioPairForDiff(diffs[d]);
-                FameResult r = famePair(config, &p, &s, pp, ps);
-                const double t = r.thread[0].avgExecTime();
+            jobs.push_back(pairJob(config, data.benchmarks[i],
+                                   data.benchmarks[j], default_priority,
+                                   default_priority));
+            for (int d : diffs) {
+                auto [pp, ps] = prioPairForDiff(d);
+                jobs.push_back(pairJob(config, data.benchmarks[i],
+                                       data.benchmarks[j], pp, ps));
+            }
+        }
+    }
+
+    SimRunner runner = makeRunner(config);
+    const std::vector<SimResult> res = runner.run(jobs);
+
+    data.rel.assign(n, std::vector<std::vector<double>>(
+                           n, std::vector<double>(nd, 0.0)));
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            const std::size_t block = (i * n + j) * (1 + nd);
+            const double base_time =
+                res[block].fame.thread[0].avgExecTime();
+            for (std::size_t d = 0; d < nd; ++d) {
+                const double t =
+                    res[block + 1 + d].fame.thread[0].avgExecTime();
                 data.rel[i][j][d] = t > 0.0 ? base_time / t : 0.0;
             }
         }
@@ -155,34 +181,50 @@ runFig4(const ExpConfig &config)
     data.benchmarks = config.benchmarks;
     data.diffs = {-4, -3, -2, -1, 0, 1, 2, 3, 4};
     const std::size_t n = data.benchmarks.size();
-    ProgramSet progs(data.benchmarks, config.ubenchScale);
+    const std::size_t nd = data.diffs.size();
 
-    for (std::size_t i = 0; i < n; ++i) {
-        FameResult st = famePair(config, &progs.get(data.benchmarks[i]),
-                                 nullptr, default_priority, 0);
-        data.stIpc.push_back(st.thread[0].avgIpc());
-    }
-
-    data.ratio.assign(
-        n, std::vector<std::vector<double>>(
-               n, std::vector<double>(data.diffs.size(), 0.0)));
-
+    // Layout: n ST runs, then per (i, j) the (4,4) baseline followed by
+    // one job per *non-zero* diff (diff 0 is the baseline itself).
+    std::vector<SimJob> jobs;
+    jobs.reserve(n + n * n * nd);
+    for (std::size_t i = 0; i < n; ++i)
+        jobs.push_back(stJob(config, data.benchmarks[i]));
     for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t j = 0; j < n; ++j) {
-            const SyntheticProgram &p = progs.get(data.benchmarks[i]);
-            const SyntheticProgram &s = progs.get(data.benchmarks[j]);
-            FameResult base = famePair(config, &p, &s, default_priority,
-                                       default_priority);
-            const double base_tt = base.totalIpc();
-            for (std::size_t d = 0; d < data.diffs.size(); ++d) {
+            jobs.push_back(pairJob(config, data.benchmarks[i],
+                                   data.benchmarks[j], default_priority,
+                                   default_priority));
+            for (int d : data.diffs) {
+                if (d == 0)
+                    continue;
+                auto [pp, ps] = prioPairForDiff(d);
+                jobs.push_back(pairJob(config, data.benchmarks[i],
+                                       data.benchmarks[j], pp, ps));
+            }
+        }
+    }
+
+    SimRunner runner = makeRunner(config);
+    const std::vector<SimResult> res = runner.run(jobs);
+
+    for (std::size_t i = 0; i < n; ++i)
+        data.stIpc.push_back(res[i].fame.thread[0].avgIpc());
+
+    data.ratio.assign(n, std::vector<std::vector<double>>(
+                             n, std::vector<double>(nd, 0.0)));
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            const std::size_t block = n + (i * n + j) * nd;
+            const double base_tt = res[block].fame.totalIpc();
+            std::size_t next = block + 1;
+            for (std::size_t d = 0; d < nd; ++d) {
                 if (data.diffs[d] == 0) {
                     data.ratio[i][j][d] = 1.0;
                     continue;
                 }
-                auto [pp, ps] = prioPairForDiff(data.diffs[d]);
-                FameResult r = famePair(config, &p, &s, pp, ps);
+                const double tt = res[next++].fame.totalIpc();
                 data.ratio[i][j][d] =
-                    base_tt > 0.0 ? r.totalIpc() / base_tt : 0.0;
+                    base_tt > 0.0 ? tt / base_tt : 0.0;
             }
         }
     }
@@ -198,16 +240,25 @@ runFig5(SpecProxyId primary, SpecProxyId secondary,
     data.secondary = secondary;
     data.diffs = {0, 1, 2, 3, 4, 5};
 
-    const SyntheticProgram p = makeSpecProxy(primary, config.ubenchScale);
-    const SyntheticProgram s =
-        makeSpecProxy(secondary, config.ubenchScale);
+    const ProgramSpec p = ProgramSpec::spec(primary, config.ubenchScale);
+    const ProgramSpec s =
+        ProgramSpec::spec(secondary, config.ubenchScale);
 
+    std::vector<SimJob> jobs;
+    jobs.reserve(data.diffs.size());
     for (int d : data.diffs) {
         auto [pp, ps] = prioPairForDiff(d);
-        FameResult r = famePair(config, &p, &s, pp, ps);
-        data.ipcPrimary.push_back(r.thread[0].avgIpc());
-        data.ipcSecondary.push_back(r.thread[1].avgIpc());
-        data.ipcTotal.push_back(r.totalIpc());
+        jobs.push_back(
+            SimJob::famePair(p, s, pp, ps, config.core, config.fame));
+    }
+
+    SimRunner runner = makeRunner(config);
+    const std::vector<SimResult> res = runner.run(jobs);
+
+    for (const SimResult &r : res) {
+        data.ipcPrimary.push_back(r.fame.thread[0].avgIpc());
+        data.ipcSecondary.push_back(r.fame.thread[1].avgIpc());
+        data.ipcTotal.push_back(r.fame.totalIpc());
     }
     return data;
 }
@@ -220,29 +271,37 @@ runTable4(const ExpConfig &config)
     const std::vector<std::pair<int, int>> prio_rows = {
         {4, 4}, {5, 4}, {6, 4}, {6, 3}};
 
+    // Layout: the single-thread reference, then one SMT job per row.
+    std::vector<SimJob> jobs;
     {
         PipelineParams pp;
         pp.scale = config.ubenchScale;
-        PipelineApp app(pp);
-        PipelineResult st = app.runSingleThread(config.core);
-        Table4Row row;
-        row.singleThread = true;
-        row.fftCycles = st.fftCycles;
-        row.luCycles = st.luCycles;
-        row.iterationCycles = st.iterationCycles;
-        data.rows.push_back(row);
+        jobs.push_back(SimJob::pipelineSingleThread(pp, config.core));
     }
-
     for (auto [pf, pl] : prio_rows) {
         PipelineParams pp;
         pp.prioFft = pf;
         pp.prioLu = pl;
         pp.scale = config.ubenchScale;
-        PipelineApp app(pp);
-        PipelineResult r = app.runSmt(config.core);
+        jobs.push_back(SimJob::pipelineSmt(pp, config.core));
+    }
+
+    SimRunner runner = makeRunner(config);
+    const std::vector<SimResult> res = runner.run(jobs);
+
+    {
         Table4Row row;
-        row.prioFft = pf;
-        row.prioLu = pl;
+        row.singleThread = true;
+        row.fftCycles = res[0].pipeline.fftCycles;
+        row.luCycles = res[0].pipeline.luCycles;
+        row.iterationCycles = res[0].pipeline.iterationCycles;
+        data.rows.push_back(row);
+    }
+    for (std::size_t i = 0; i < prio_rows.size(); ++i) {
+        const PipelineResult &r = res[1 + i].pipeline;
+        Table4Row row;
+        row.prioFft = prio_rows[i].first;
+        row.prioLu = prio_rows[i].second;
         row.fftCycles = r.fftCycles;
         row.luCycles = r.luCycles;
         row.iterationCycles = r.iterationCycles;
@@ -258,84 +317,88 @@ runFig6(const ExpConfig &config)
     data.foregrounds = config.benchmarks;
     data.backgrounds = config.benchmarks;
     data.panelCPriorities = {6, 5, 4, 3, 2};
+    data.panelCForegrounds = {UbenchId::LdintL2, UbenchId::CpuFp,
+                              UbenchId::LngChainCpuint,
+                              UbenchId::LdintMem};
 
     const std::size_t nf = data.foregrounds.size();
     const std::size_t nb = data.backgrounds.size();
-    ProgramSet progs(config.benchmarks, config.ubenchScale);
+    const std::size_t np = data.panelCPriorities.size();
+    const std::size_t nc = data.panelCForegrounds.size();
 
-    // Panels (a)/(b)/(d) share most (fg, bg, prio) runs: memoize.
-    std::map<std::tuple<UbenchId, UbenchId, int>, FameResult> cache;
-    auto cached = [&](UbenchId f, UbenchId bg, int fg_prio) {
-        auto key = std::make_tuple(f, bg, fg_prio);
-        auto it = cache.find(key);
-        if (it == cache.end()) {
-            it = cache
-                     .emplace(key, famePair(config, &progs.get(f),
-                                            &progs.get(bg), fg_prio, 1))
-                     .first;
-        }
-        return it->second;
+    // Layout:
+    //   [0, nf)                       ST baselines of the foregrounds
+    //   nf + (p*nf + f)*nb + b        (fg f, bg b) at fg prio
+    //                                 panelCPriorities[p], bg prio 1
+    //                                 (panels a/b read p = 0/1, panel d
+    //                                 reads all p)
+    //   cst + f                       panel (c) ST baselines
+    //   cpair + p*nc + f              panel (c) fg vs ldint_mem runs
+    // The shared keyed cache coalesces any panel-(c) job that also
+    // appears in the main grid.
+    const std::size_t pair0 = nf;
+    const std::size_t cst = pair0 + np * nf * nb;
+    const std::size_t cpair = cst + nc;
+
+    std::vector<SimJob> jobs;
+    jobs.reserve(cpair + np * nc);
+    for (std::size_t f = 0; f < nf; ++f)
+        jobs.push_back(stJob(config, data.foregrounds[f]));
+    for (std::size_t p = 0; p < np; ++p)
+        for (std::size_t f = 0; f < nf; ++f)
+            for (std::size_t b = 0; b < nb; ++b)
+                jobs.push_back(pairJob(config, data.foregrounds[f],
+                                       data.backgrounds[b],
+                                       data.panelCPriorities[p], 1));
+    for (std::size_t f = 0; f < nc; ++f)
+        jobs.push_back(stJob(config, data.panelCForegrounds[f]));
+    for (std::size_t p = 0; p < np; ++p)
+        for (std::size_t f = 0; f < nc; ++f)
+            jobs.push_back(pairJob(config, data.panelCForegrounds[f],
+                                   UbenchId::LdintMem,
+                                   data.panelCPriorities[p], 1));
+
+    SimRunner runner = makeRunner(config);
+    const std::vector<SimResult> res = runner.run(jobs);
+
+    auto pairResult = [&](std::size_t p, std::size_t f,
+                          std::size_t b) -> const FameResult & {
+        return res[pair0 + (p * nf + f) * nb + b].fame;
     };
 
     // ST execution-time baselines for the foregrounds.
     std::vector<double> st_time(nf, 0.0);
-    for (std::size_t f = 0; f < nf; ++f) {
-        FameResult st = famePair(config, &progs.get(data.foregrounds[f]),
-                                 nullptr, default_priority, 0);
-        st_time[f] = st.thread[0].avgExecTime();
-    }
+    for (std::size_t f = 0; f < nf; ++f)
+        st_time[f] = res[f].fame.thread[0].avgExecTime();
 
     // Panels (a)/(b): foreground at priority 6 / 5, background at 1.
-    for (int pi = 0; pi < 2; ++pi) {
-        const int fg_prio = pi == 0 ? 6 : 5;
-        data.relExec[static_cast<size_t>(pi)].assign(
-            nf, std::vector<double>(nb, 0.0));
-        for (std::size_t f = 0; f < nf; ++f) {
-            for (std::size_t b = 0; b < nb; ++b) {
-                FameResult r = cached(data.foregrounds[f],
-                                      data.backgrounds[b], fg_prio);
-                data.relExec[static_cast<size_t>(pi)][f][b] =
-                    r.thread[0].avgExecTime() / st_time[f];
-            }
-        }
+    for (std::size_t pi = 0; pi < 2; ++pi) {
+        data.relExec[pi].assign(nf, std::vector<double>(nb, 0.0));
+        for (std::size_t f = 0; f < nf; ++f)
+            for (std::size_t b = 0; b < nb; ++b)
+                data.relExec[pi][f][b] =
+                    pairResult(pi, f, b).thread[0].avgExecTime() /
+                    st_time[f];
     }
 
     // Panel (c): worst-case background (ldint_mem) as fg prio drops.
-    data.panelCForegrounds = {UbenchId::LdintL2, UbenchId::CpuFp,
-                              UbenchId::LngChainCpuint,
-                              UbenchId::LdintMem};
-    ProgramSet cprogs(data.panelCForegrounds, config.ubenchScale);
-    const SyntheticProgram mem_bg =
-        makeUbench(UbenchId::LdintMem, config.ubenchScale);
-    data.panelCRelExec.assign(
-        data.panelCPriorities.size(),
-        std::vector<double>(data.panelCForegrounds.size(), 0.0));
-    for (std::size_t p = 0; p < data.panelCPriorities.size(); ++p) {
-        for (std::size_t f = 0; f < data.panelCForegrounds.size(); ++f) {
-            const UbenchId fg = data.panelCForegrounds[f];
-            FameResult st =
-                famePair(config, &cprogs.get(fg), nullptr,
-                         default_priority, 0);
-            FameResult r =
-                famePair(config, &cprogs.get(fg), &mem_bg,
-                         data.panelCPriorities[p], 1);
+    data.panelCRelExec.assign(np, std::vector<double>(nc, 0.0));
+    for (std::size_t p = 0; p < np; ++p) {
+        for (std::size_t f = 0; f < nc; ++f) {
+            const FameResult &st = res[cst + f].fame;
+            const FameResult &r = res[cpair + p * nc + f].fame;
             data.panelCRelExec[p][f] = r.thread[0].avgExecTime() /
                                        st.thread[0].avgExecTime();
         }
     }
 
     // Panel (d): average background IPC over the foreground partners.
-    data.bgIpc.assign(data.panelCPriorities.size(),
-                      std::vector<double>(nb, 0.0));
-    for (std::size_t p = 0; p < data.panelCPriorities.size(); ++p) {
+    data.bgIpc.assign(np, std::vector<double>(nb, 0.0));
+    for (std::size_t p = 0; p < np; ++p) {
         for (std::size_t b = 0; b < nb; ++b) {
             double sum = 0.0;
-            for (std::size_t f = 0; f < nf; ++f) {
-                FameResult r =
-                    cached(data.foregrounds[f], data.backgrounds[b],
-                           data.panelCPriorities[p]);
-                sum += r.thread[1].avgIpc();
-            }
+            for (std::size_t f = 0; f < nf; ++f)
+                sum += pairResult(p, f, b).thread[1].avgIpc();
             data.bgIpc[p][b] = sum / static_cast<double>(nf);
         }
     }

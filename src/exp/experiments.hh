@@ -19,6 +19,8 @@
 
 namespace p5 {
 
+class ResultCache;
+
 /** Shared experiment configuration. */
 struct ExpConfig
 {
@@ -30,6 +32,20 @@ struct ExpConfig
 
     /** Micro-benchmarks to sweep (defaults to the paper's six). */
     std::vector<UbenchId> benchmarks = presentedUbench();
+
+    /**
+     * Simulation worker threads per producer batch; 0 selects the
+     * hardware concurrency. Results are bit-identical for any value.
+     */
+    unsigned jobs = 0;
+
+    /**
+     * Result cache the producers run through; nullptr selects the
+     * process-wide ResultCache (so e.g. the (4,4) baselines shared by
+     * Table 3 and Figs. 2-4 simulate once per process). Tests inject a
+     * private cache to force re-execution.
+     */
+    ResultCache *cache = nullptr;
 
     /** Reduced-accuracy configuration for smoke tests. */
     static ExpConfig fast();

@@ -234,4 +234,184 @@ renderFig6(const TransparencyData &data)
     return tables;
 }
 
+// --- JSON reports ------------------------------------------------------
+
+namespace {
+
+void
+jsonBenchNames(JsonWriter &w, const char *key,
+               const std::vector<UbenchId> &ids)
+{
+    w.key(key).beginArray();
+    for (UbenchId id : ids)
+        w.value(ubenchName(id));
+    w.endArray();
+}
+
+void
+jsonIntArray(JsonWriter &w, const char *key, const std::vector<int> &vs)
+{
+    w.key(key).beginArray();
+    for (int v : vs)
+        w.value(v);
+    w.endArray();
+}
+
+void
+jsonDoubleArray(JsonWriter &w, const std::vector<double> &vs)
+{
+    w.beginArray();
+    for (double v : vs)
+        w.value(v);
+    w.endArray();
+}
+
+void
+jsonDoubleArray(JsonWriter &w, const char *key,
+                const std::vector<double> &vs)
+{
+    w.key(key);
+    jsonDoubleArray(w, vs);
+}
+
+void
+jsonMatrix(JsonWriter &w, const char *key,
+           const std::vector<std::vector<double>> &m)
+{
+    w.key(key).beginArray();
+    for (const auto &row : m)
+        jsonDoubleArray(w, row);
+    w.endArray();
+}
+
+void
+jsonCube(JsonWriter &w, const char *key,
+         const std::vector<std::vector<std::vector<double>>> &c)
+{
+    w.key(key).beginArray();
+    for (const auto &plane : c) {
+        w.beginArray();
+        for (const auto &row : plane)
+            jsonDoubleArray(w, row);
+        w.endArray();
+    }
+    w.endArray();
+}
+
+} // namespace
+
+void
+writeJson(JsonWriter &w, const Table &table)
+{
+    w.beginObject();
+    w.member("kind", "table");
+    w.member("title", table.title());
+    w.key("columns").beginArray();
+    for (const std::string &h : table.header())
+        w.value(h);
+    w.endArray();
+    w.key("rows").beginArray();
+    for (std::size_t i = 0; i < table.numRows(); ++i) {
+        w.beginArray();
+        for (const std::string &cell : table.row(i))
+            w.value(cell);
+        w.endArray();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+void
+writeJson(JsonWriter &w, const Table3Data &data)
+{
+    w.beginObject();
+    w.member("kind", "table3");
+    jsonBenchNames(w, "benchmarks", data.benchmarks);
+    jsonDoubleArray(w, "stIpc", data.stIpc);
+    jsonMatrix(w, "pt", data.pt);
+    jsonMatrix(w, "tt", data.tt);
+    w.endObject();
+}
+
+void
+writeJson(JsonWriter &w, const PrioCurveData &data)
+{
+    w.beginObject();
+    w.member("kind", "prio_curve");
+    jsonBenchNames(w, "benchmarks", data.benchmarks);
+    jsonIntArray(w, "diffs", data.diffs);
+    jsonCube(w, "rel", data.rel);
+    w.endObject();
+}
+
+void
+writeJson(JsonWriter &w, const ThroughputData &data)
+{
+    w.beginObject();
+    w.member("kind", "throughput");
+    jsonBenchNames(w, "benchmarks", data.benchmarks);
+    jsonIntArray(w, "diffs", data.diffs);
+    jsonDoubleArray(w, "stIpc", data.stIpc);
+    jsonCube(w, "ratio", data.ratio);
+    w.endObject();
+}
+
+void
+writeJson(JsonWriter &w, const CaseStudyData &data)
+{
+    w.beginObject();
+    w.member("kind", "case_study");
+    w.member("primary", specProxyName(data.primary));
+    w.member("secondary", specProxyName(data.secondary));
+    jsonIntArray(w, "diffs", data.diffs);
+    jsonDoubleArray(w, "ipcPrimary", data.ipcPrimary);
+    jsonDoubleArray(w, "ipcSecondary", data.ipcSecondary);
+    jsonDoubleArray(w, "ipcTotal", data.ipcTotal);
+    w.endObject();
+}
+
+void
+writeJson(JsonWriter &w, const Table4Data &data)
+{
+    w.beginObject();
+    w.member("kind", "table4");
+    w.key("rows").beginArray();
+    for (const Table4Row &row : data.rows) {
+        w.beginObject();
+        w.member("singleThread", row.singleThread);
+        if (!row.singleThread) {
+            w.member("prioFft", row.prioFft);
+            w.member("prioLu", row.prioLu);
+        }
+        w.member("fftCycles", row.fftCycles);
+        w.member("luCycles", row.luCycles);
+        w.member("iterationCycles", row.iterationCycles);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+void
+writeJson(JsonWriter &w, const TransparencyData &data)
+{
+    w.beginObject();
+    w.member("kind", "transparency");
+    jsonBenchNames(w, "foregrounds", data.foregrounds);
+    jsonBenchNames(w, "backgrounds", data.backgrounds);
+    w.key("relExec").beginArray();
+    for (const auto &plane : data.relExec) {
+        w.beginArray();
+        for (const auto &row : plane)
+            jsonDoubleArray(w, row);
+        w.endArray();
+    }
+    w.endArray();
+    jsonBenchNames(w, "panelCForegrounds", data.panelCForegrounds);
+    jsonIntArray(w, "panelCPriorities", data.panelCPriorities);
+    jsonMatrix(w, "panelCRelExec", data.panelCRelExec);
+    jsonMatrix(w, "bgIpc", data.bgIpc);
+    w.endObject();
+}
+
 } // namespace p5

@@ -7,8 +7,10 @@
 #ifndef P5SIM_EXP_REPORT_HH
 #define P5SIM_EXP_REPORT_HH
 
+#include <ostream>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/table.hh"
 #include "exp/experiments.hh"
 
@@ -38,6 +40,30 @@ Table renderTable4(const Table4Data &data);
 
 /** Figure 6 panels (a)-(d). */
 std::vector<Table> renderFig6(const TransparencyData &data);
+
+// --- machine-readable (JSON) reports -----------------------------------
+//
+// Each overload writes one JSON value (an object tagged with a "kind"
+// discriminator) at the writer's current position, so callers can embed
+// experiment data inside a larger report envelope — the bench binaries'
+// --json=FILE output wraps these with run metadata (jobs, cache stats).
+
+void writeJson(JsonWriter &w, const Table &table);
+void writeJson(JsonWriter &w, const Table3Data &data);
+void writeJson(JsonWriter &w, const PrioCurveData &data);
+void writeJson(JsonWriter &w, const ThroughputData &data);
+void writeJson(JsonWriter &w, const CaseStudyData &data);
+void writeJson(JsonWriter &w, const Table4Data &data);
+void writeJson(JsonWriter &w, const TransparencyData &data);
+
+/** Write @p data to @p os as a complete JSON document. */
+template <typename Data>
+void
+writeJson(std::ostream &os, const Data &data)
+{
+    JsonWriter w(os);
+    writeJson(w, data);
+}
 
 } // namespace p5
 

@@ -1,0 +1,301 @@
+#include "fame/sim_job.hh"
+
+#include <cstdio>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace p5 {
+
+namespace {
+
+/** Append "name=value;" with doubles rendered exactly (%.17g). */
+void
+kv(std::string &out, const char *name, double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%s=%.17g;", name, v);
+    out += buf;
+}
+
+void
+kv(std::string &out, const char *name, std::uint64_t v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%s=%llu;", name,
+                  static_cast<unsigned long long>(v));
+    out += buf;
+}
+
+void
+kv(std::string &out, const char *name, int v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%s=%d;", name, v);
+    out += buf;
+}
+
+void
+kv(std::string &out, const char *name, bool v)
+{
+    out += name;
+    out += v ? "=1;" : "=0;";
+}
+
+void
+appendKey(std::string &out, const CacheParams &p)
+{
+    kv(out, "size", static_cast<std::uint64_t>(p.sizeBytes));
+    kv(out, "assoc", p.assoc);
+    kv(out, "line", p.lineBytes);
+    kv(out, "hit", p.hitLatency);
+    kv(out, "gap", p.serviceGap);
+}
+
+void
+appendKey(std::string &out, const CoreParams &p)
+{
+    kv(out, "coreId", p.coreId);
+    kv(out, "decodeWidth", p.decodeWidth);
+    kv(out, "minoritySlotWidth", p.minoritySlotWidth);
+    kv(out, "groupSize", p.groupSize);
+    kv(out, "gctGroups", p.gctGroups);
+    for (int i = 0; i < static_cast<int>(FuClass::NumFuClasses); ++i)
+        kv(out, "fu", p.fuCount[i]);
+    kv(out, "lmqEntries", p.lmqEntries);
+    kv(out, "mispredict", p.mispredictPenalty);
+    kv(out, "workConserving", p.workConservingSlots);
+    kv(out, "asidShift", p.asidShift);
+    kv(out, "prioWalker", p.priorityAwareWalker);
+    kv(out, "walkerPortGap", p.walkerPortGap);
+
+    const BalancerParams &b = p.balancer;
+    kv(out, "balEnabled", b.enabled);
+    kv(out, "balGctShare", b.gctShareThreshold);
+    kv(out, "balPrioGct", b.priorityAwareGct);
+    kv(out, "balMinShare", b.minGctShareThreshold);
+    kv(out, "balMaxShare", b.maxGctShareThreshold);
+    kv(out, "balPrioLmq", b.priorityAwareLmq);
+    kv(out, "balMinGroups", b.minGctGroups);
+    kv(out, "balLmqThresh", b.lmqThreshold);
+    kv(out, "balTlbBlock", b.blockOnTlbMiss);
+    kv(out, "balAction", static_cast<int>(b.action));
+
+    out += "l1d{";
+    appendKey(out, p.mem.l1d);
+    out += "}l2{";
+    appendKey(out, p.mem.l2);
+    out += "}l3{";
+    appendKey(out, p.mem.l3);
+    out += "}";
+    kv(out, "tlbEntries", p.mem.tlb.entries);
+    kv(out, "tlbAssoc", p.mem.tlb.assoc);
+    kv(out, "tlbPage", static_cast<std::uint64_t>(p.mem.tlb.pageBytes));
+    kv(out, "tlbWalk", p.mem.tlb.walkLatency);
+    kv(out, "dramLat", p.mem.dramLatency);
+    kv(out, "dramGap", p.mem.dramServiceGap);
+    kv(out, "bhtEntries", p.bht.entries);
+}
+
+void
+appendKey(std::string &out, const FameParams &p)
+{
+    kv(out, "minReps", p.minRepetitions);
+    kv(out, "maiv", p.maiv);
+    kv(out, "warmReps", p.warmupRepetitions);
+    kv(out, "warmTol", p.warmupTolerance);
+    kv(out, "maxCycles", static_cast<std::uint64_t>(p.maxCycles));
+    kv(out, "checkPeriod", static_cast<std::uint64_t>(p.checkPeriod));
+}
+
+void
+appendKey(std::string &out, const PipelineParams &p)
+{
+    kv(out, "prioFft", p.prioFft);
+    kv(out, "prioLu", p.prioLu);
+    kv(out, "iterations", p.iterations);
+    kv(out, "scale", p.scale);
+    kv(out, "maxIterCycles",
+       static_cast<std::uint64_t>(p.maxCyclesPerIteration));
+}
+
+} // namespace
+
+ProgramSpec
+ProgramSpec::ubench(UbenchId id, double scale)
+{
+    ProgramSpec s;
+    s.kind = Kind::Ubench;
+    s.id = static_cast<int>(id);
+    s.scale = scale;
+    return s;
+}
+
+ProgramSpec
+ProgramSpec::spec(SpecProxyId id, double scale)
+{
+    ProgramSpec s;
+    s.kind = Kind::SpecProxy;
+    s.id = static_cast<int>(id);
+    s.scale = scale;
+    return s;
+}
+
+SyntheticProgram
+ProgramSpec::build() const
+{
+    switch (kind) {
+      case Kind::Ubench:
+        return makeUbench(static_cast<UbenchId>(id), scale);
+      case Kind::SpecProxy:
+        return makeSpecProxy(static_cast<SpecProxyId>(id), scale);
+      case Kind::None:
+        break;
+    }
+    fatal("ProgramSpec::build on an absent program");
+}
+
+std::string
+ProgramSpec::key() const
+{
+    std::string out;
+    switch (kind) {
+      case Kind::None:
+        return "none";
+      case Kind::Ubench:
+        out = "ub:";
+        break;
+      case Kind::SpecProxy:
+        out = "spec:";
+        break;
+    }
+    kv(out, "id", id);
+    kv(out, "scale", scale);
+    return out;
+}
+
+SimJob
+SimJob::fameSingle(ProgramSpec prog, const CoreParams &core,
+                   const FameParams &fame, int prio)
+{
+    SimJob job;
+    job.kind = SimJobKind::FamePair;
+    job.primary = prog;
+    job.secondary = ProgramSpec::none();
+    job.prioPrimary = prio;
+    job.prioSecondary = 0;
+    job.core = core;
+    job.fame = fame;
+    return job;
+}
+
+SimJob
+SimJob::famePair(ProgramSpec prog_p, ProgramSpec prog_s, int prio_p,
+                 int prio_s, const CoreParams &core, const FameParams &fame)
+{
+    SimJob job;
+    job.kind = SimJobKind::FamePair;
+    job.primary = prog_p;
+    job.secondary = prog_s;
+    job.prioPrimary = prio_p;
+    job.prioSecondary = prio_s;
+    job.core = core;
+    job.fame = fame;
+    return job;
+}
+
+SimJob
+SimJob::pipelineSingleThread(const PipelineParams &pipeline,
+                             const CoreParams &core)
+{
+    SimJob job;
+    job.kind = SimJobKind::PipelineSingleThread;
+    job.pipeline = pipeline;
+    job.core = core;
+    return job;
+}
+
+SimJob
+SimJob::pipelineSmt(const PipelineParams &pipeline, const CoreParams &core)
+{
+    SimJob job;
+    job.kind = SimJobKind::PipelineSmt;
+    job.pipeline = pipeline;
+    job.core = core;
+    return job;
+}
+
+std::string
+SimJob::key() const
+{
+    std::string out;
+    switch (kind) {
+      case SimJobKind::FamePair:
+        out = "fame|p{" + primary.key() + "}s{" + secondary.key() + "}";
+        kv(out, "prioP", prioPrimary);
+        kv(out, "prioS", prioSecondary);
+        out += "fame{";
+        appendKey(out, fame);
+        out += "}";
+        break;
+      case SimJobKind::PipelineSingleThread:
+      case SimJobKind::PipelineSmt:
+        out = kind == SimJobKind::PipelineSmt ? "pipe-smt|" : "pipe-st|";
+        out += "pipe{";
+        appendKey(out, pipeline);
+        out += "}";
+        break;
+    }
+    out += "core{";
+    appendKey(out, core);
+    out += "}";
+    return out;
+}
+
+std::uint64_t
+SimJob::rngSeed() const
+{
+    // SplitMix64 chain over the canonical key, so the seed is a pure
+    // function of the simulated configuration.
+    const std::string k = key();
+    std::uint64_t seed = hashMix(k.size());
+    for (char c : k)
+        seed = hashCombine(seed, static_cast<unsigned char>(c));
+    return seed;
+}
+
+SimResult
+SimJob::execute() const
+{
+    SimResult res;
+    res.kind = kind;
+    res.rngSeed = rngSeed();
+
+    switch (kind) {
+      case SimJobKind::FamePair: {
+        const SyntheticProgram prog_p = primary.build();
+        if (secondary.present()) {
+            const SyntheticProgram prog_s = secondary.build();
+            res.fame = runFame(core, &prog_p, &prog_s, prioPrimary,
+                               prioSecondary, fame);
+        } else {
+            res.fame = runFame(core, &prog_p, nullptr, prioPrimary,
+                               prioSecondary, fame);
+        }
+        break;
+      }
+      case SimJobKind::PipelineSingleThread: {
+        PipelineApp app(pipeline);
+        res.pipeline = app.runSingleThread(core);
+        break;
+      }
+      case SimJobKind::PipelineSmt: {
+        PipelineApp app(pipeline);
+        res.pipeline = app.runSmt(core);
+        break;
+      }
+    }
+    return res;
+}
+
+} // namespace p5

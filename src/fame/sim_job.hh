@@ -1,0 +1,131 @@
+/**
+ * @file
+ * SimJob: a self-contained, enumerable description of one simulation.
+ *
+ * The experiment producers (src/exp/) no longer call the simulator
+ * inline; they enumerate SimJobs and hand batches to a SimRunner. A job
+ * carries everything needed to run it from scratch on any thread —
+ * *descriptions* of the programs (benchmark id + scale, not program
+ * objects), the priority pair, the core and FAME parameters — so
+ * executing a job has no shared state whatsoever.
+ *
+ * Every job exposes a canonical key() that is a pure function of its
+ * configuration. The key serves two purposes: it indexes the
+ * ResultCache (identical configurations simulate exactly once per
+ * process) and it seeds the job's deterministic RNG stream via
+ * SplitMix64 (rngSeed()), so any randomized behaviour a job ever grows
+ * depends only on *what* is simulated, never on scheduling order or
+ * worker identity.
+ */
+
+#ifndef P5SIM_FAME_SIM_JOB_HH
+#define P5SIM_FAME_SIM_JOB_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/params.hh"
+#include "fame/fame.hh"
+#include "ubench/ubench.hh"
+#include "workloads/pipeline_app.hh"
+#include "workloads/spec_proxy.hh"
+
+namespace p5 {
+
+/** Recipe for building one synthetic program inside a job. */
+struct ProgramSpec
+{
+    enum class Kind { None, Ubench, SpecProxy };
+
+    Kind kind = Kind::None;
+    int id = 0; ///< UbenchId / SpecProxyId, per kind
+    double scale = 1.0;
+
+    static ProgramSpec none() { return ProgramSpec{}; }
+    static ProgramSpec ubench(UbenchId id, double scale = 1.0);
+    static ProgramSpec spec(SpecProxyId id, double scale = 1.0);
+
+    bool present() const { return kind != Kind::None; }
+
+    /** Materialize the program; fatal() for Kind::None. */
+    SyntheticProgram build() const;
+
+    /** Stable textual identity (part of SimJob::key()). */
+    std::string key() const;
+};
+
+/** What a job simulates. */
+enum class SimJobKind
+{
+    FamePair,             ///< FAME-run primary (+ optional secondary)
+    PipelineSingleThread, ///< FFT->LU pipeline, both stages on one thread
+    PipelineSmt           ///< FFT->LU pipeline in SMT mode
+};
+
+/** Uniform result record; the field matching kind is valid. */
+struct SimResult
+{
+    SimJobKind kind = SimJobKind::FamePair;
+    FameResult fame;
+    PipelineResult pipeline;
+
+    /** The rngSeed() of the job that produced this result. */
+    std::uint64_t rngSeed = 0;
+};
+
+/** One enumerable unit of simulation work. */
+struct SimJob
+{
+    SimJobKind kind = SimJobKind::FamePair;
+
+    // FamePair configuration.
+    ProgramSpec primary;
+    ProgramSpec secondary;
+    int prioPrimary = default_priority;
+    int prioSecondary = default_priority;
+    FameParams fame;
+
+    // Pipeline* configuration.
+    PipelineParams pipeline;
+
+    // Shared.
+    CoreParams core;
+
+    // --- factories ----------------------------------------------------
+
+    /** Primary-only (single-thread mode) FAME job. */
+    static SimJob fameSingle(ProgramSpec prog, const CoreParams &core,
+                             const FameParams &fame,
+                             int prio = default_priority);
+
+    /** Two-thread FAME job under (prio_p, prio_s). */
+    static SimJob famePair(ProgramSpec prog_p, ProgramSpec prog_s,
+                           int prio_p, int prio_s, const CoreParams &core,
+                           const FameParams &fame);
+
+    static SimJob pipelineSingleThread(const PipelineParams &pipeline,
+                                       const CoreParams &core);
+
+    static SimJob pipelineSmt(const PipelineParams &pipeline,
+                              const CoreParams &core);
+
+    // --- identity -----------------------------------------------------
+
+    /**
+     * Canonical key: equal keys iff the jobs describe the same
+     * simulation (all parameters included, doubles rendered exactly).
+     */
+    std::string key() const;
+
+    /** SplitMix64-derived deterministic seed over key(). */
+    std::uint64_t rngSeed() const;
+
+    // --- execution ----------------------------------------------------
+
+    /** Run this job on the calling thread. */
+    SimResult execute() const;
+};
+
+} // namespace p5
+
+#endif // P5SIM_FAME_SIM_JOB_HH

@@ -1,0 +1,124 @@
+#include "fame/sim_runner.hh"
+
+#include <algorithm>
+
+#include "common/job_graph.hh"
+#include "common/thread_pool.hh"
+
+namespace p5 {
+
+ResultCache &
+ResultCache::process()
+{
+    static ResultCache cache;
+    return cache;
+}
+
+ResultCache::Claim
+ResultCache::claim(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        hits_.fetch_add(1);
+        return Claim{false, it->second, nullptr};
+    }
+    misses_.fetch_add(1);
+    auto promise = std::make_shared<std::promise<SimResult>>();
+    std::shared_future<SimResult> future =
+        promise->get_future().share();
+    map_.emplace(key, future);
+    return Claim{true, future, std::move(promise)};
+}
+
+void
+ResultCache::abandon(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.erase(key);
+}
+
+std::size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+}
+
+void
+ResultCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+}
+
+SimRunner::SimRunner(unsigned jobs, ResultCache *cache)
+    : jobs_(jobs ? jobs : ThreadPool::defaultWorkers()),
+      cache_(cache ? cache : &ResultCache::process())
+{}
+
+std::vector<SimResult>
+SimRunner::run(const std::vector<SimJob> &batch)
+{
+    struct Pending
+    {
+        const SimJob *job;
+        std::string key;
+        ResultCache::Claim claim;
+    };
+
+    // Claim every job up front; duplicates (within the batch or from
+    // earlier batches) resolve to the same future and never re-run.
+    std::vector<std::shared_future<SimResult>> futures;
+    futures.reserve(batch.size());
+    std::vector<Pending> toRun;
+    for (const SimJob &job : batch) {
+        std::string key = job.key();
+        ResultCache::Claim claim = cache_->claim(key);
+        futures.push_back(claim.future);
+        if (claim.claimed)
+            toRun.push_back(
+                Pending{&job, std::move(key), std::move(claim)});
+    }
+
+    auto executeOne = [this](Pending &p) {
+        try {
+            p.claim.promise->set_value(p.job->execute());
+        } catch (...) {
+            // Don't poison the cache with the failure; rethrow to the
+            // batch's caller through the future.
+            cache_->abandon(p.key);
+            p.claim.promise->set_exception(std::current_exception());
+        }
+    };
+
+    if (!toRun.empty()) {
+        if (jobs_ == 1 || toRun.size() == 1) {
+            // Serial path: no pool, deterministic submission order.
+            for (Pending &p : toRun)
+                executeOne(p);
+        } else {
+            const unsigned workers = static_cast<unsigned>(std::min(
+                static_cast<std::size_t>(jobs_), toRun.size()));
+            ThreadPool pool(workers);
+            JobGraph graph;
+            for (Pending &p : toRun)
+                graph.add([&executeOne, &p] { executeOne(p); });
+            graph.run(pool);
+        }
+    }
+
+    std::vector<SimResult> results;
+    results.reserve(batch.size());
+    for (auto &future : futures)
+        results.push_back(future.get()); // rethrows job exceptions
+    return results;
+}
+
+SimResult
+SimRunner::runOne(const SimJob &job)
+{
+    return run({job}).front();
+}
+
+} // namespace p5

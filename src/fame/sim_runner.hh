@@ -1,0 +1,105 @@
+/**
+ * @file
+ * SimRunner: executes batches of SimJobs across a thread pool, with a
+ * keyed result cache.
+ *
+ * The cache is keyed by SimJob::key(), so any configuration simulates at
+ * most once per process no matter how many producers ask for it — the
+ * (4,4) baselines shared by Table 3 and Figs. 2-4 are the headline case.
+ * Duplicates *within* one batch are also coalesced: the first occurrence
+ * runs, the rest wait on its future. Cache hit/miss counters are exposed
+ * for tests and JSON reports.
+ *
+ * Correctness under concurrency: a job executes with zero shared mutable
+ * state (it builds its own programs and its own core; the only process
+ * globals it touches — the log level and warn counter — are atomic), so
+ * results are bit-identical regardless of worker count or scheduling
+ * order. tests/test_sim_runner.cc asserts jobs=1 == jobs=8.
+ */
+
+#ifndef P5SIM_FAME_SIM_RUNNER_HH
+#define P5SIM_FAME_SIM_RUNNER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "fame/sim_job.hh"
+
+namespace p5 {
+
+/** Process-lifetime map from job key to completed (or running) result. */
+class ResultCache
+{
+  public:
+    ResultCache() = default;
+    ResultCache(const ResultCache &) = delete;
+    ResultCache &operator=(const ResultCache &) = delete;
+
+    /** The per-process cache used by the experiment producers. */
+    static ResultCache &process();
+
+    /**
+     * Claim @p key: if absent, the caller must execute the job and
+     * fulfill the returned promise slot (claimed == true); if present,
+     * wait on the returned future (claimed == false, a hit).
+     */
+    struct Claim
+    {
+        bool claimed = false;
+        std::shared_future<SimResult> future;
+        std::shared_ptr<std::promise<SimResult>> promise; ///< when claimed
+    };
+    Claim claim(const std::string &key);
+
+    /** Drop a claimed entry whose execution failed (un-poisons the map). */
+    void abandon(const std::string &key);
+
+    std::uint64_t hits() const { return hits_.load(); }
+    std::uint64_t misses() const { return misses_.load(); }
+    std::size_t size() const;
+
+    /** Forget all results (not the counters). */
+    void clear();
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::shared_future<SimResult>> map_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+};
+
+/** Runs SimJob batches over a worker pool, through a ResultCache. */
+class SimRunner
+{
+  public:
+    /**
+     * @param jobs worker threads; 0 selects the hardware concurrency.
+     * @param cache result cache; nullptr selects ResultCache::process().
+     */
+    explicit SimRunner(unsigned jobs = 0, ResultCache *cache = nullptr);
+
+    /**
+     * Execute @p batch and return results in batch order. Every unique
+     * key is executed at most once (per process, via the cache); an
+     * exception from a job is rethrown here after the batch drains.
+     */
+    std::vector<SimResult> run(const std::vector<SimJob> &batch);
+
+    /** Convenience single-job run (still cached). */
+    SimResult runOne(const SimJob &job);
+
+    unsigned jobs() const { return jobs_; }
+    ResultCache &cache() { return *cache_; }
+
+  private:
+    unsigned jobs_;
+    ResultCache *cache_;
+};
+
+} // namespace p5
+
+#endif // P5SIM_FAME_SIM_RUNNER_HH

@@ -4,11 +4,14 @@
  * rendering, CLI parsing.
  */
 
+#include <algorithm>
+#include <limits>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
 #include "common/cli.hh"
+#include "common/json.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
@@ -279,6 +282,73 @@ TEST(Cli, UsageListsFlags)
     std::string usage = cli.usage("prog");
     EXPECT_NE(usage.find("--alpha"), std::string::npos);
     EXPECT_NE(usage.find("the alpha flag"), std::string::npos);
+}
+
+// --- json --------------------------------------------------------------
+
+TEST(Json, NestedStructure)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        w.beginObject();
+        w.member("name", "p5sim");
+        w.member("count", 3);
+        w.member("ok", true);
+        w.key("values").beginArray();
+        w.value(1.5).value(2.0).null();
+        w.endArray();
+        w.key("nested").beginObject();
+        w.member("inner", std::int64_t{-7});
+        w.endObject();
+        w.endObject();
+    }
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"name\": \"p5sim\""), std::string::npos);
+    EXPECT_NE(out.find("\"count\": 3"), std::string::npos);
+    EXPECT_NE(out.find("\"ok\": true"), std::string::npos);
+    EXPECT_NE(out.find("1.5"), std::string::npos);
+    EXPECT_NE(out.find("null"), std::string::npos);
+    EXPECT_NE(out.find("\"inner\": -7"), std::string::npos);
+    // Balanced braces/brackets.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+              std::count(out.begin(), out.end(), '}'));
+    EXPECT_EQ(std::count(out.begin(), out.end(), '['),
+              std::count(out.begin(), out.end(), ']'));
+}
+
+TEST(Json, StringEscaping)
+{
+    EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+    EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(JsonWriter::escape("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(JsonWriter::escape("line\nbreak"), "line\\nbreak");
+    EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        w.beginArray();
+        w.value(std::numeric_limits<double>::infinity());
+        w.value(std::numeric_limits<double>::quiet_NaN());
+        w.endArray();
+    }
+    EXPECT_EQ(os.str().find("inf"), std::string::npos);
+    EXPECT_EQ(os.str().find("nan"), std::string::npos);
+    EXPECT_NE(os.str().find("null"), std::string::npos);
+}
+
+TEST(Json, DoublesRoundTripExactly)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        w.value(0.1234567890123456789);
+    }
+    EXPECT_EQ(std::stod(os.str()), 0.1234567890123456789);
 }
 
 } // namespace
