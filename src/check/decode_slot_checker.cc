@@ -1,0 +1,270 @@
+#include "check/checkers.hh"
+
+#include <cstdlib>
+
+#include "core/smt_core.hh"
+
+namespace p5::check {
+
+DecodeSlotChecker::ExpectedGrant
+DecodeSlotChecker::expectedGrant(int prio_p, int prio_s, Cycle cycle,
+                                 int decode_width, int minority_width)
+{
+    ExpectedGrant g;
+    if (minority_width <= 0)
+        minority_width = decode_width;
+
+    if (prio_p == 0 && prio_s == 0)
+        return g;
+    if (prio_p == 7 || prio_s == 0) {
+        g.owner = 0;
+        g.maxWidth = decode_width;
+        return g;
+    }
+    if (prio_s == 7 || prio_p == 0) {
+        g.owner = 1;
+        g.maxWidth = decode_width;
+        return g;
+    }
+    if (prio_p == 1 && prio_s == 1) {
+        // Low-power mode: one instruction decoded every 32 cycles in
+        // total, the slot alternating between the threads.
+        if (cycle % 32 == 0) {
+            g.owner = static_cast<ThreadId>((cycle / 32) % 2);
+            g.maxWidth = 1;
+        }
+        return g;
+    }
+    if (prio_p == prio_s) {
+        // Equal priorities: R == 2, strict alternation at full width.
+        g.owner = static_cast<ThreadId>(cycle % 2);
+        g.maxWidth = decode_width;
+        return g;
+    }
+    const int r = 1 << (std::abs(prio_p - prio_s) + 1);
+    const Cycle pos = cycle % static_cast<Cycle>(r);
+    const ThreadId high = prio_p > prio_s ? 0 : 1;
+    if (pos < static_cast<Cycle>(r - 1)) {
+        g.owner = high;
+        g.maxWidth = decode_width;
+    } else {
+        g.owner = static_cast<ThreadId>(1 - high);
+        g.maxWidth = minority_width;
+    }
+    return g;
+}
+
+void
+DecodeSlotChecker::onCycle(const SmtCore &core, Cycle cycle)
+{
+    const DecodeSlotAllocator &alloc = core.arbiter().allocator();
+
+    std::array<std::uint64_t, num_hw_threads> granted{};
+    std::array<std::uint64_t, num_hw_threads> forfeited{};
+    std::array<std::uint64_t, num_hw_threads> reassigned{};
+    std::array<std::uint64_t, num_hw_threads> decoded{};
+    for (ThreadId t = 0; t < num_hw_threads; ++t) {
+        const auto ti = static_cast<std::size_t>(t);
+        granted[ti] = core.arbiter().slotsGrantedTo(t);
+        forfeited[ti] = core.arbiter().slotsForfeitedBy(t);
+        reassigned[ti] = core.arbiter().slotsReassignedTo(t);
+        decoded[ti] = core.decodedOf(t);
+    }
+
+    if (!primed_) {
+        primed_ = true;
+        if (cycle != 0) {
+            // Attached mid-run: this observation is the baseline.
+            prevGranted_ = granted;
+            prevForfeited_ = forfeited;
+            prevReassigned_ = reassigned;
+            prevDecoded_ = decoded;
+            return;
+        }
+        // Attached at construction: the zero-initialized prev counters
+        // are the correct cycle-0 baseline.
+    }
+
+    Observation obs;
+    obs.cycle = cycle;
+    obs.prioP = alloc.priorityOf(0);
+    obs.prioS = alloc.priorityOf(1);
+    obs.decodeWidth = core.params().decodeWidth;
+    obs.minorityWidth = core.params().minoritySlotWidth;
+    obs.groupSize = core.params().groupSize;
+    obs.workConserving = core.params().workConservingSlots;
+    for (std::size_t ti = 0; ti < num_hw_threads; ++ti) {
+        obs.granted[ti] = granted[ti] - prevGranted_[ti];
+        obs.forfeited[ti] = forfeited[ti] - prevForfeited_[ti];
+        obs.reassigned[ti] = reassigned[ti] - prevReassigned_[ti];
+        obs.decoded[ti] = decoded[ti] - prevDecoded_[ti];
+    }
+    prevGranted_ = granted;
+    prevForfeited_ = forfeited;
+    prevReassigned_ = reassigned;
+    prevDecoded_ = decoded;
+
+    check(obs);
+}
+
+void
+DecodeSlotChecker::check(const Observation &obs)
+{
+    const ExpectedGrant expect =
+        expectedGrant(obs.prioP, obs.prioS, obs.cycle, obs.decodeWidth,
+                      obs.minorityWidth);
+
+    const auto pair = "(" + std::to_string(obs.prioP) + "," +
+                      std::to_string(obs.prioS) + ")";
+
+    if (expect.owner < 0) {
+        for (ThreadId t = 0; t < num_hw_threads; ++t) {
+            const auto ti = static_cast<std::size_t>(t);
+            if (obs.granted[ti] || obs.forfeited[ti] ||
+                obs.reassigned[ti] || obs.decoded[ti]) {
+                fail(obs.cycle, t, "slot-activity-when-idle",
+                     "no decode activity for pair " + pair,
+                     "granted=" + std::to_string(obs.granted[ti]) +
+                         " forfeited=" + std::to_string(obs.forfeited[ti]) +
+                         " decoded=" + std::to_string(obs.decoded[ti]));
+            }
+        }
+        checkWindowConformance(obs, expect);
+        return;
+    }
+
+    const auto o = static_cast<std::size_t>(expect.owner);
+    const auto s = static_cast<std::size_t>(1 - expect.owner);
+    const int max_decode =
+        expect.maxWidth < obs.groupSize ? expect.maxWidth : obs.groupSize;
+
+    if (obs.granted[o] + obs.forfeited[o] != 1) {
+        fail(obs.cycle, expect.owner, "slot-ownership",
+             "exactly one grant or forfeit for the slot owner of pair " +
+                 pair,
+             "granted=" + std::to_string(obs.granted[o]) +
+                 " forfeited=" + std::to_string(obs.forfeited[o]));
+    }
+    if (obs.granted[s] != 0 || obs.forfeited[s] != 0) {
+        fail(obs.cycle, static_cast<ThreadId>(s), "sibling-slot-activity",
+             "no grant/forfeit for the non-owner of pair " + pair,
+             "granted=" + std::to_string(obs.granted[s]) +
+                 " forfeited=" + std::to_string(obs.forfeited[s]));
+    }
+    if (obs.reassigned[o] != 0) {
+        fail(obs.cycle, expect.owner, "reassigned-to-owner",
+             "no reassignment to the slot owner",
+             std::to_string(obs.reassigned[o]));
+    }
+
+    if (obs.granted[o] == 1) {
+        if (obs.decoded[o] < 1 ||
+            obs.decoded[o] > static_cast<std::uint64_t>(max_decode)) {
+            fail(obs.cycle, expect.owner, "decode-width",
+                 "1.." + std::to_string(max_decode) +
+                     " instructions decoded in a granted slot",
+                 std::to_string(obs.decoded[o]));
+        }
+        if (obs.decoded[s] != 0 || obs.reassigned[s] != 0) {
+            fail(obs.cycle, static_cast<ThreadId>(s), "sibling-decode",
+                 "no sibling decode while the owner used its slot",
+                 "decoded=" + std::to_string(obs.decoded[s]) +
+                     " reassigned=" + std::to_string(obs.reassigned[s]));
+        }
+    } else if (obs.forfeited[o] == 1) {
+        if (obs.decoded[o] != 0) {
+            fail(obs.cycle, expect.owner, "decode-after-forfeit",
+                 "no decode by a thread that forfeited its slot",
+                 std::to_string(obs.decoded[o]));
+        }
+        if (obs.reassigned[s] == 1) {
+            if (!obs.workConserving) {
+                fail(obs.cycle, static_cast<ThreadId>(s),
+                     "reassign-without-work-conserving",
+                     "strictly owned slots (workConservingSlots=false)",
+                     "slot reassigned to sibling");
+            }
+            if (obs.decoded[s] < 1 ||
+                obs.decoded[s] > static_cast<std::uint64_t>(max_decode)) {
+                fail(obs.cycle, static_cast<ThreadId>(s),
+                     "reassigned-width",
+                     "1.." + std::to_string(max_decode) +
+                         " instructions decoded in a reassigned slot",
+                     std::to_string(obs.decoded[s]));
+            }
+        } else if (obs.decoded[s] != 0) {
+            fail(obs.cycle, static_cast<ThreadId>(s),
+                 "decode-without-slot",
+                 "no decode without a granted or reassigned slot",
+                 std::to_string(obs.decoded[s]));
+        }
+    }
+
+    checkWindowConformance(obs, expect);
+}
+
+void
+DecodeSlotChecker::checkWindowConformance(const Observation &obs,
+                                          const ExpectedGrant &expect)
+{
+    (void)expect;
+    // The R-1:1 window invariant only applies in Dual mode (both
+    // priorities 1..6, not both 1).
+    const bool dual = obs.prioP >= 1 && obs.prioP <= 6 &&
+                      obs.prioS >= 1 && obs.prioS <= 6 &&
+                      !(obs.prioP == 1 && obs.prioS == 1);
+    if (!dual) {
+        winPrioP_ = -1;
+        winPrioS_ = -1;
+        winObserved_ = 0;
+        return;
+    }
+
+    const int r = 1 << (std::abs(obs.prioP - obs.prioS) + 1);
+    const Cycle pos = obs.cycle % static_cast<Cycle>(r);
+    if (obs.prioP != winPrioP_ || obs.prioS != winPrioS_) {
+        winPrioP_ = obs.prioP;
+        winPrioS_ = obs.prioS;
+        winObserved_ = 0;
+        winOwned_ = {};
+    }
+    if (pos == 0) {
+        winObserved_ = 0;
+        winOwned_ = {};
+    }
+
+    // The observed owner of this cycle's slot, whether used or not.
+    int owner = -1;
+    for (ThreadId t = 0; t < num_hw_threads; ++t) {
+        const auto ti = static_cast<std::size_t>(t);
+        if (obs.granted[ti] + obs.forfeited[ti] == 1 && owner < 0)
+            owner = t;
+    }
+    if (owner >= 0)
+        ++winOwned_[static_cast<std::size_t>(owner)];
+    ++winObserved_;
+
+    if (pos == static_cast<Cycle>(r - 1) &&
+        winObserved_ == static_cast<Cycle>(r)) {
+        int expect0;
+        if (obs.prioP > obs.prioS)
+            expect0 = r - 1;
+        else if (obs.prioS > obs.prioP)
+            expect0 = 1;
+        else
+            expect0 = r / 2;
+        const int expect1 = r - expect0;
+        if (winOwned_[0] != expect0 || winOwned_[1] != expect1) {
+            fail(obs.cycle, -1, "r-window-conformance",
+                 "ownership " + std::to_string(expect0) + ":" +
+                     std::to_string(expect1) + " over the R=" +
+                     std::to_string(r) + " window of pair (" +
+                     std::to_string(obs.prioP) + "," +
+                     std::to_string(obs.prioS) + ")",
+                 std::to_string(winOwned_[0]) + ":" +
+                     std::to_string(winOwned_[1]));
+        }
+    }
+}
+
+} // namespace p5::check

@@ -1,0 +1,88 @@
+#include "check/checkers.hh"
+
+#include "core/smt_core.hh"
+
+namespace p5::check {
+
+void
+IpcChecker::onCycle(const SmtCore &core, Cycle cycle)
+{
+    for (ThreadId t = 0; t < num_hw_threads; ++t) {
+        const auto ti = static_cast<std::size_t>(t);
+        const ThreadState &ts = core.thread(t);
+        ThreadCounters cur;
+        cur.committed = ts.committed;
+        cur.committedCtr = ts.committedCtr.value();
+        cur.attached = ts.attached();
+
+        const ThreadCounters &prev = prev_[ti];
+        const bool stable = primed_ && cur.attached == prev.attached &&
+                            cur.committed >= prev.committed;
+        if (stable) {
+            // The architectural retirement count and the stats-layer
+            // counter are written together at commit; any divergence
+            // means the accounting drifted.
+            const std::uint64_t arch_d = cur.committed - prev.committed;
+            if (cur.committedCtr < prev.committedCtr ||
+                cur.committedCtr - prev.committedCtr != arch_d) {
+                fail(cycle, t, "committed-counter-coherence",
+                     "stats counter advances by " +
+                         std::to_string(arch_d) + " with retirement",
+                     std::to_string(cur.committedCtr) + " after " +
+                         std::to_string(prev.committedCtr));
+            }
+            // In-order commit retires at most one group per thread per
+            // cycle.
+            const auto group_size =
+                static_cast<std::uint64_t>(core.params().groupSize);
+            if (arch_d > group_size) {
+                fail(cycle, t, "commit-width",
+                     "at most " + std::to_string(group_size) +
+                         " instructions committed per cycle",
+                     std::to_string(arch_d));
+            }
+        }
+        prev_[ti] = cur;
+
+        // The stats layer must expose the same retirement counter.
+        const std::string stat =
+            "thread" + std::to_string(t) + ".committed";
+        if (!core.stats().has(stat)) {
+            fail(cycle, t, "stats-registration",
+                 "statistic '" + stat + "' registered", "missing");
+        } else {
+            const auto stat_val =
+                static_cast<std::uint64_t>(core.stats().value(stat));
+            if (stat_val != cur.committedCtr) {
+                fail(cycle, t, "stats-coherence",
+                     std::to_string(cur.committedCtr) +
+                         " committed (counter)",
+                     std::to_string(stat_val) + " (stats layer)");
+            }
+        }
+
+        if (!cur.attached)
+            continue;
+
+        // Execution accounting is a pure function of the committed
+        // count for in-order commit.
+        const std::uint64_t expected_execs =
+            ts.stream().executionsAt(cur.committed);
+        if (core.executionsOf(t) != expected_execs) {
+            fail(cycle, t, "execution-accounting",
+                 std::to_string(expected_execs) +
+                     " executions at committed=" +
+                     std::to_string(cur.committed),
+                 std::to_string(core.executionsOf(t)));
+        }
+        if (core.lastExecutionCycleOf(t) > cycle + 1) {
+            fail(cycle, t, "execution-cycle-bound",
+                 "last execution retired by cycle " +
+                     std::to_string(cycle + 1),
+                 std::to_string(core.lastExecutionCycleOf(t)));
+        }
+    }
+    primed_ = true;
+}
+
+} // namespace p5::check

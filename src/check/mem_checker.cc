@@ -1,0 +1,146 @@
+#include "check/checkers.hh"
+
+#include "core/smt_core.hh"
+
+namespace p5::check {
+
+void
+MemChecker::onCycle(const SmtCore &core, Cycle cycle)
+{
+    // LMQ occupancy: entry windows overlapping "now" never exceed the
+    // queue, and per-thread occupancies account for every busy entry.
+    const Lmq &lmq = core.lmq();
+    const int busy = lmq.busyAt(cycle);
+    if (busy < 0 || busy > lmq.capacity()) {
+        fail(cycle, -1, "lmq-capacity",
+             "0.." + std::to_string(lmq.capacity()) + " busy entries",
+             std::to_string(busy));
+    }
+    int busy_sum = 0;
+    for (ThreadId t = 0; t < num_hw_threads; ++t)
+        busy_sum += lmq.busyOfAt(t, cycle);
+    if (busy_sum != busy) {
+        fail(cycle, -1, "lmq-occupancy-sum",
+             std::to_string(busy) + " busy entries",
+             std::to_string(busy_sum) + " across threads");
+    }
+
+    const Cache &l1 = core.hierarchy().l1d();
+    const std::uint64_t l1_hits = l1.hits();
+    const std::uint64_t l1_misses = l1.misses();
+    const std::uint64_t l1_ins = l1.insertions();
+    const std::uint64_t l1_evict = l1.evictions();
+    const std::uint64_t lmq_allocs = lmq.allocations();
+    const std::uint64_t lmq_queued = lmq.queuedMisses();
+
+    std::array<std::uint64_t, num_hw_threads> t_l1miss{};
+    std::array<std::uint64_t, num_hw_threads> t_beyond{};
+    std::array<std::uint64_t, num_hw_threads> t_loads{};
+    for (ThreadId t = 0; t < num_hw_threads; ++t) {
+        const auto ti = static_cast<std::size_t>(t);
+        t_l1miss[ti] = core.hierarchy().l1MissesOf(t);
+        t_beyond[ti] = core.hierarchy().beyondL2Of(t);
+        t_loads[ti] = core.lsu().loadsOf(t);
+    }
+    // Loads by service level, through the stats layer (this doubles as
+    // a check that the LSU's stats registration stays intact).
+    std::uint64_t level_loads = 0;
+    bool have_levels = true;
+    for (const char *stat : {"lsu.loads.l1", "lsu.loads.l2",
+                             "lsu.loads.l3", "lsu.loads.mem"}) {
+        if (!core.stats().has(stat)) {
+            fail(cycle, -1, "stats-registration",
+                 std::string("statistic '") + stat + "' registered",
+                 "missing");
+            have_levels = false;
+            break;
+        }
+        level_loads +=
+            static_cast<std::uint64_t>(core.stats().value(stat));
+    }
+
+    if (primed_) {
+        const bool monotonic =
+            l1_hits >= prevL1Hits_ && l1_misses >= prevL1Misses_ &&
+            l1_ins >= prevL1Insertions_ && l1_evict >= prevL1Evictions_ &&
+            lmq_allocs >= prevLmqAllocations_ &&
+            lmq_queued >= prevLmqQueuedMisses_;
+        if (!monotonic) {
+            fail(cycle, -1, "counter-monotonicity",
+                 "L1/LMQ counters never decrease", "decreased");
+        } else {
+            const std::uint64_t miss_d = l1_misses - prevL1Misses_;
+            const std::uint64_t ins_d = l1_ins - prevL1Insertions_;
+            const std::uint64_t evict_d = l1_evict - prevL1Evictions_;
+            const std::uint64_t alloc_d = lmq_allocs - prevLmqAllocations_;
+            if (ins_d > miss_d) {
+                fail(cycle, -1, "l1-insert-without-miss",
+                     "at most " + std::to_string(miss_d) +
+                         " L1 fills (one per miss)",
+                     std::to_string(ins_d));
+            }
+            if (evict_d > ins_d) {
+                fail(cycle, -1, "l1-evict-without-insert",
+                     "at most " + std::to_string(ins_d) + " evictions",
+                     std::to_string(evict_d));
+            }
+            if (alloc_d > miss_d) {
+                fail(cycle, -1, "lmq-alloc-without-miss",
+                     "at most " + std::to_string(miss_d) +
+                         " LMQ allocations (one per L1 load miss)",
+                     std::to_string(alloc_d));
+            }
+            std::uint64_t t_miss_d = 0;
+            for (ThreadId t = 0; t < num_hw_threads; ++t) {
+                const auto ti = static_cast<std::size_t>(t);
+                if (t_l1miss[ti] < prevThreadL1Misses_[ti] ||
+                    t_beyond[ti] < prevBeyondL2_[ti] ||
+                    t_loads[ti] < prevLoads_[ti]) {
+                    fail(cycle, t, "counter-monotonicity",
+                         "per-thread memory counters never decrease",
+                         "decreased");
+                    continue;
+                }
+                t_miss_d += t_l1miss[ti] - prevThreadL1Misses_[ti];
+                if (t_beyond[ti] - prevBeyondL2_[ti] >
+                    t_l1miss[ti] - prevThreadL1Misses_[ti]) {
+                    fail(cycle, t, "beyond-l2-attribution",
+                         "beyond-L2 count bounded by L1 misses",
+                         std::to_string(t_beyond[ti] -
+                                        prevBeyondL2_[ti]));
+                }
+            }
+            if (t_miss_d != miss_d) {
+                fail(cycle, -1, "l1-miss-attribution",
+                     std::to_string(miss_d) +
+                         " L1 misses attributed to threads",
+                     std::to_string(t_miss_d));
+            }
+            if (have_levels) {
+                const std::uint64_t loads_d =
+                    (t_loads[0] - prevLoads_[0]) +
+                    (t_loads[1] - prevLoads_[1]);
+                if (level_loads - prevLevelLoads_ != loads_d) {
+                    fail(cycle, -1, "load-level-conservation",
+                         std::to_string(loads_d) +
+                             " loads serviced at some level",
+                         std::to_string(level_loads - prevLevelLoads_));
+                }
+            }
+        }
+    }
+
+    primed_ = true;
+    prevL1Hits_ = l1_hits;
+    prevL1Misses_ = l1_misses;
+    prevL1Insertions_ = l1_ins;
+    prevL1Evictions_ = l1_evict;
+    prevLmqAllocations_ = lmq_allocs;
+    prevLmqQueuedMisses_ = lmq_queued;
+    prevThreadL1Misses_ = t_l1miss;
+    prevBeyondL2_ = t_beyond;
+    prevLoads_ = t_loads;
+    prevLevelLoads_ = level_loads;
+}
+
+} // namespace p5::check

@@ -11,6 +11,7 @@ namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::Warn};
 std::atomic<std::uint64_t> g_warn_count{0};
+std::atomic<std::uint64_t> g_checkfail_count{0};
 
 void
 emit(const char *prefix, const char *fmt, va_list ap)
@@ -98,6 +99,24 @@ std::uint64_t
 warnCount()
 {
     return g_warn_count.load();
+}
+
+void
+checkfail(const char *fmt, ...)
+{
+    g_checkfail_count.fetch_add(1);
+    if (logLevel() < LogLevel::Warn)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    emit("p5check", fmt, ap);
+    va_end(ap);
+}
+
+std::uint64_t
+checkFailCount()
+{
+    return g_checkfail_count.load();
 }
 
 } // namespace p5

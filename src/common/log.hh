@@ -45,6 +45,16 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Number of warn() calls since process start (used by tests). */
 std::uint64_t warnCount();
 
+/**
+ * Report a p5check invariant violation; logged at Warn verbosity with a
+ * distinct prefix and counted separately so harnesses can assert that a
+ * run was violation-free (see checkFailCount()).
+ */
+void checkfail(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Number of checkfail() calls since process start. */
+std::uint64_t checkFailCount();
+
 namespace detail {
 /** Shared formatting helper for the log front-ends. */
 std::string vformat(const char *fmt, va_list ap);

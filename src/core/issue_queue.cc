@@ -1,5 +1,7 @@
 #include "core/issue_queue.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace p5 {
@@ -7,7 +9,9 @@ namespace p5 {
 void
 IssueQueue::push(FuClass fc, const ReadyRef &ref)
 {
-    queues_[static_cast<int>(fc)].push(ref);
+    auto &q = queues_[static_cast<int>(fc)];
+    q.push_back(ref);
+    std::push_heap(q.begin(), q.end(), ReadyRefLater{});
 }
 
 bool
@@ -28,7 +32,7 @@ IssueQueue::top(FuClass fc) const
     const auto &q = queues_[static_cast<int>(fc)];
     if (q.empty())
         panic("IssueQueue::top on empty %s queue", fuClassName(fc));
-    return q.top();
+    return q.front();
 }
 
 ReadyRef
@@ -37,8 +41,9 @@ IssueQueue::pop(FuClass fc)
     auto &q = queues_[static_cast<int>(fc)];
     if (q.empty())
         panic("IssueQueue::pop on empty %s queue", fuClassName(fc));
-    ReadyRef ref = q.top();
-    q.pop();
+    std::pop_heap(q.begin(), q.end(), ReadyRefLater{});
+    ReadyRef ref = q.back();
+    q.pop_back();
     return ref;
 }
 
@@ -46,7 +51,7 @@ void
 IssueQueue::clear()
 {
     for (auto &q : queues_)
-        q = Heap{};
+        q.clear();
 }
 
 std::size_t

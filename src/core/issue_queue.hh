@@ -12,7 +12,6 @@
 #define P5SIM_CORE_ISSUE_QUEUE_HH
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "common/types.hh"
@@ -39,7 +38,14 @@ struct ReadyRefLater
     }
 };
 
-/** Per-FuClass oldest-first ready queues. */
+/**
+ * Per-FuClass oldest-first ready queues.
+ *
+ * Each queue is a binary heap over a plain vector (std::push_heap /
+ * std::pop_heap) rather than std::priority_queue, so observers — the
+ * p5check flow checker in particular — can walk the live entries
+ * without disturbing them.
+ */
 class IssueQueue
 {
   public:
@@ -62,10 +68,15 @@ class IssueQueue
     /** Total entries across all classes. */
     std::size_t totalSize() const;
 
+    /** Live entries of @p fc in heap order (observers only). */
+    const std::vector<ReadyRef> &
+    entries(FuClass fc) const
+    {
+        return queues_[static_cast<int>(fc)];
+    }
+
   private:
-    using Heap = std::priority_queue<ReadyRef, std::vector<ReadyRef>,
-                                     ReadyRefLater>;
-    Heap queues_[static_cast<int>(FuClass::NumFuClasses)];
+    std::vector<ReadyRef> queues_[static_cast<int>(FuClass::NumFuClasses)];
 };
 
 } // namespace p5

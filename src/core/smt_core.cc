@@ -2,7 +2,15 @@
 
 #include <algorithm>
 
+#include "check/check.hh"
 #include "common/log.hh"
+
+// -DP5SIM_CHECK=1 (the P5SIM_CHECK CMake option) turns every core into
+// a checked core: the standard p5check suite is installed at
+// construction and violations are fatal.
+#ifndef P5SIM_CHECK
+#define P5SIM_CHECK 0
+#endif
 
 namespace p5 {
 
@@ -23,6 +31,19 @@ SmtCore::SmtCore(const CoreParams &params, MemBackside *shared_backside)
     lsu_.setPriorityView(&arbiter_.allocator());
     balancer_.setPriorityView(&arbiter_.allocator());
     registerStats();
+#if P5SIM_CHECK
+    check::installStandardCheckers(*this);
+#endif
+}
+
+SmtCore::~SmtCore() = default;
+
+check::CheckRegistry &
+SmtCore::checks()
+{
+    if (!checks_)
+        checks_ = std::make_unique<check::CheckRegistry>(P5SIM_CHECK != 0);
+    return *checks_;
 }
 
 void
@@ -185,6 +206,8 @@ SmtCore::tick()
     issueStage();
     commitStage();
     decodeStage();
+    if (checks_)
+        checks_->onCycle(*this, cycle_);
     ++cycle_;
 }
 

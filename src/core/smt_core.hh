@@ -39,6 +39,10 @@
 
 namespace p5 {
 
+namespace check {
+class CheckRegistry;
+} // namespace check
+
 /** One SMT core. */
 class SmtCore
 {
@@ -49,6 +53,7 @@ class SmtCore
      */
     explicit SmtCore(const CoreParams &params,
                      MemBackside *shared_backside = nullptr);
+    ~SmtCore();
 
     SmtCore(const SmtCore &) = delete;
     SmtCore &operator=(const SmtCore &) = delete;
@@ -124,13 +129,37 @@ class SmtCore
     ThreadState &thread(ThreadId tid);
     const ThreadState &thread(ThreadId tid) const;
     Gct &gct() { return gct_; }
+    const Gct &gct() const { return gct_; }
     Lmq &lmq() { return lmq_; }
+    const Lmq &lmq() const { return lmq_; }
     Lsu &lsu() { return lsu_; }
+    const Lsu &lsu() const { return lsu_; }
     Bht &bht() { return bht_; }
     CacheHierarchy &hierarchy() { return hierarchy_; }
+    const CacheHierarchy &hierarchy() const { return hierarchy_; }
     DecodeArbiter &arbiter() { return arbiter_; }
+    const DecodeArbiter &arbiter() const { return arbiter_; }
     Balancer &balancer() { return balancer_; }
     StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+    FuPool &fuPool() { return fuPool_; }
+    const FuPool &fuPool() const { return fuPool_; }
+    IssueQueue &readyQueue() { return readyQ_; }
+    const IssueQueue &readyQueue() const { return readyQ_; }
+
+    // --- runtime verification (p5check) --------------------------------
+
+    /**
+     * The core's invariant-checker registry, created on first use.
+     * Registered checkers run at the end of every tick(); a core whose
+     * registry was never touched pays one null-pointer test per cycle.
+     * Checked builds (-DP5SIM_CHECK=ON) install the standard suite in
+     * fatal mode at construction.
+     */
+    check::CheckRegistry &checks();
+
+    /** True iff a checker registry exists (without creating one). */
+    bool hasChecks() const { return checks_ != nullptr; }
 
     std::uint64_t
     decodedOf(ThreadId tid) const
@@ -187,6 +216,8 @@ class SmtCore
         completions_;
 
     PrioNopListener prioNopListener_;
+
+    std::unique_ptr<check::CheckRegistry> checks_;
 
     StatGroup stats_;
     std::array<Counter, num_hw_threads> decoded_;

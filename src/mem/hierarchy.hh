@@ -124,6 +124,7 @@ class CacheHierarchy
     void flushAll();
 
     Cache &l1d() { return l1d_; }
+    const Cache &l1d() const { return l1d_; }
     MemBackside &backside() { return *backside_; }
     Tlb &tlb(ThreadId tid) { return *tlbs_[static_cast<size_t>(tid)]; }
 

@@ -100,6 +100,26 @@ Lmq::occupancyOf(ThreadId tid, Cycle now)
     return n;
 }
 
+int
+Lmq::busyAt(Cycle now) const
+{
+    int n = 0;
+    for (const auto &w : windows_)
+        if (w.startCycle <= now && w.releaseCycle > now)
+            ++n;
+    return n;
+}
+
+int
+Lmq::busyOfAt(ThreadId tid, Cycle now) const
+{
+    int n = 0;
+    for (const auto &w : windows_)
+        if (w.tid == tid && w.startCycle <= now && w.releaseCycle > now)
+            ++n;
+    return n;
+}
+
 void
 Lmq::releaseThread(ThreadId tid)
 {

@@ -54,6 +54,14 @@ class Lmq
     /** Entries of @p tid busy at @p now. */
     int occupancyOf(ThreadId tid, Cycle now);
 
+    /**
+     * Side-effect-free forms of occupancy()/occupancyOf() for
+     * observers (p5check): count windows covering @p now without
+     * recycling released entries.
+     */
+    int busyAt(Cycle now) const;
+    int busyOfAt(ThreadId tid, Cycle now) const;
+
     /** Release everything belonging to @p tid (squash support). */
     void releaseThread(ThreadId tid);
 

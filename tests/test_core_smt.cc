@@ -19,6 +19,7 @@ pairIpc(const CoreParams &params, const SyntheticProgram &p,
         ThreadId measure = 0)
 {
     SmtCore core(params);
+    test::withCheckers(core);
     core.attachThread(0, &p, prio_p);
     core.attachThread(1, &s, prio_s);
     core.run(cycles);
@@ -32,6 +33,7 @@ TEST(CoreSmt, EqualPrioritiesHalveDecodeBoundThreads)
     auto s = test::nops();
     double smt = pairIpc(params, p, s, 4, 4, 3000);
     SmtCore st(params);
+    test::withCheckers(st);
     auto solo = test::nops();
     st.attachThread(0, &solo);
     st.run(3000);
@@ -135,6 +137,7 @@ TEST(CoreSmt, BalancerBoundsGctHogging)
     auto mem = test::dramChase();
 
     SmtCore core(params);
+    test::withCheckers(core);
     core.attachThread(0, &cpu);
     core.attachThread(1, &mem);
     core.run(50000);
@@ -162,6 +165,7 @@ TEST(CoreSmt, SingleThreadModeViaPriority7)
 {
     CoreParams params;
     SmtCore core(params);
+    test::withCheckers(core);
     auto p = test::nops();
     auto s = test::nops();
     core.attachThread(0, &p);
@@ -176,6 +180,7 @@ TEST(CoreSmt, ShutOffThreadStopsCommitting)
 {
     CoreParams params;
     SmtCore core(params);
+    test::withCheckers(core);
     auto p = test::nops();
     auto s = test::nops();
     core.attachThread(0, &p);
@@ -193,6 +198,7 @@ TEST(CoreSmt, TotalIpcSumsThreads)
 {
     CoreParams params;
     SmtCore core(params);
+    test::withCheckers(core);
     auto p = test::nops();
     auto s = test::nops();
     core.attachThread(0, &p);
@@ -210,10 +216,12 @@ TEST(CoreSmt, SmtBeatsStThroughputForMixedPair)
     auto p = test::serialChain();
     auto s = test::serialChain();
     SmtCore smt(params);
+    test::withCheckers(smt);
     smt.attachThread(0, &p);
     smt.attachThread(1, &s);
     smt.run(5000);
     SmtCore st(params);
+    test::withCheckers(st);
     auto solo = test::serialChain();
     st.attachThread(0, &solo);
     st.run(5000);

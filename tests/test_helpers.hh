@@ -7,10 +7,26 @@
 #ifndef P5SIM_TESTS_TEST_HELPERS_HH
 #define P5SIM_TESTS_TEST_HELPERS_HH
 
+#include "check/check.hh"
+#include "core/smt_core.hh"
 #include "program/builder.hh"
 #include "program/program.hh"
 
 namespace p5::test {
+
+/**
+ * Arm the standard p5check invariant suite on @p core with violations
+ * fatal, so any conservation or slot-conformance breach aborts the test
+ * with a descriptive panic. A no-op beyond setFatal() in checked builds
+ * (-DP5SIM_CHECK=ON), where every core is born with the suite armed.
+ */
+inline SmtCore &
+withCheckers(SmtCore &core)
+{
+    check::installStandardCheckers(core);
+    core.checks().setFatal(true);
+    return core;
+}
 
 /** An endless stream of independent 1-cycle integer ops. */
 inline SyntheticProgram

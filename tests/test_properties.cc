@@ -48,6 +48,7 @@ TEST_P(CoreGridTest, MixedPairRunsSanely)
     auto p = test::randomBranches(200);
     auto s = test::dramChase(200);
     SmtCore core(params);
+    test::withCheckers(core);
     core.attachThread(0, &p);
     core.attachThread(1, &s);
     core.run(30000);
@@ -75,6 +76,7 @@ TEST_P(CoreGridTest, DeterministicUnderConfig)
     std::uint64_t committed[2][2];
     for (int run = 0; run < 2; ++run) {
         SmtCore core(params);
+        test::withCheckers(core);
         core.attachThread(0, &p);
         core.attachThread(1, &s);
         core.run(20000);
@@ -94,6 +96,7 @@ TEST_P(CoreGridTest, PriorityOrderingHolds)
     double ipc_low, ipc_eq, ipc_high;
     {
         SmtCore core(params);
+        test::withCheckers(core);
         core.attachThread(0, &p, 2);
         core.attachThread(1, &s, 6);
         core.run(20000);
@@ -101,6 +104,7 @@ TEST_P(CoreGridTest, PriorityOrderingHolds)
     }
     {
         SmtCore core(params);
+        test::withCheckers(core);
         core.attachThread(0, &p, 4);
         core.attachThread(1, &s, 4);
         core.run(20000);
@@ -108,6 +112,7 @@ TEST_P(CoreGridTest, PriorityOrderingHolds)
     }
     {
         SmtCore core(params);
+        test::withCheckers(core);
         core.attachThread(0, &p, 6);
         core.attachThread(1, &s, 2);
         core.run(20000);
@@ -122,6 +127,7 @@ TEST_P(CoreGridTest, SquashStormLeavesNoResidue)
     CoreParams params = makeParams();
     auto p = test::randomBranches(100);
     SmtCore core(params);
+    test::withCheckers(core);
     core.attachThread(0, &p);
     core.run(25000);
     const std::uint64_t mispredicts =
@@ -199,6 +205,7 @@ TEST_P(OrNopLevelTest, UserLevelsApplySupervisorsDoNot)
     const int level = GetParam();
     CoreParams params;
     SmtCore core(params);
+    test::withCheckers(core);
     auto prog = test::prioNopProgram(orNopRegister(level));
     core.attachThread(0, &prog, 4, PrivilegeLevel::User);
     core.run(300);
