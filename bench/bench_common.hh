@@ -55,6 +55,10 @@ parseConfig(int argc, char **argv)
                 "simulation worker threads (0 = hardware concurrency)");
     cli.declare("json", "",
                 "also write machine-readable results to this file");
+    cli.declare("no-fast-forward", "false",
+                "tick every cycle instead of skipping verified-idle "
+                "gaps (stats are bit-identical; this is ~a 3-10x "
+                "slowdown escape hatch)");
     cli.parse(argc, argv);
 
     p5::ExpConfig config;
@@ -70,6 +74,8 @@ parseConfig(int argc, char **argv)
     if (cli.boolean("all15"))
         config.benchmarks = p5::allUbench();
     config.jobs = static_cast<unsigned>(cli.integer("jobs"));
+    if (cli.boolean("no-fast-forward"))
+        config.core.fastForward = false;
 
     csvFlag() = cli.boolean("csv");
     jsonPath() = cli.str("json");

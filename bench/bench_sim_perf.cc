@@ -1,13 +1,28 @@
 /**
  * @file
  * google-benchmark micro-benchmarks of the simulator itself: raw cycle
- * throughput of the core loop under different workloads, and the cost of
- * the primitives (cache lookups, slot grants, program materialization).
+ * throughput of the core loop under different workloads, the cost of
+ * the primitives (cache lookups, slot grants, program materialization),
+ * and end-to-end FAME pair runs with the idle-cycle fast-forward engine
+ * on and off.
+ *
+ * Besides the usual google-benchmark modes, `--p5sim_perf_json=FILE`
+ * runs the end-to-end suite once in each engine mode and writes a
+ * machine-readable speedup report (committed as BENCH_sim_perf.json and
+ * diffed by tools/compare_perf.py in the perf-smoke CI job).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/json.hh"
 #include "core/smt_core.hh"
+#include "fame/fame.hh"
 #include "fame/sim_runner.hh"
 #include "mem/cache.hh"
 #include "prio/slot_allocator.hh"
@@ -93,6 +108,68 @@ BM_CoreMixedPair(benchmark::State &state)
 }
 BENCHMARK(BM_CoreMixedPair);
 
+/** Shared FAME setup for the end-to-end pair runs. */
+FameParams
+endToEndFame()
+{
+    FameParams fame;
+    fame.minRepetitions = 5;
+    return fame;
+}
+
+/**
+ * One full FAME convergence run of a benchmark pair — warmup,
+ * repetition accounting and all — with the fast-forward engine per
+ * @p fast_forward. This is the workload whose wall clock the engine
+ * is meant to cut; the paired Fast/Slow benchmarks below make the
+ * speedup visible in plain `--benchmark_format=json` output too.
+ */
+void
+famePair(benchmark::State &state, UbenchId p, UbenchId s, int prio_p,
+         int prio_s, bool fast_forward)
+{
+    const SyntheticProgram pp = makeUbench(p);
+    const SyntheticProgram ps = makeUbench(s);
+    CoreParams core;
+    core.fastForward = fast_forward;
+    const FameParams fame = endToEndFame();
+    std::uint64_t sim_cycles = 0;
+    for (auto _ : state) {
+        FameResult res = runFame(core, &pp, &ps, prio_p, prio_s, fame);
+        sim_cycles = res.totalCycles;
+        benchmark::DoNotOptimize(res);
+    }
+    state.counters["simCycles"] = static_cast<double>(sim_cycles);
+}
+
+void
+BM_FameMemPairFast(benchmark::State &state)
+{
+    famePair(state, UbenchId::LdintMem, UbenchId::LdintMem, 4, 4, true);
+}
+BENCHMARK(BM_FameMemPairFast)->Unit(benchmark::kMillisecond);
+
+void
+BM_FameMemPairSlow(benchmark::State &state)
+{
+    famePair(state, UbenchId::LdintMem, UbenchId::LdintMem, 4, 4, false);
+}
+BENCHMARK(BM_FameMemPairSlow)->Unit(benchmark::kMillisecond);
+
+void
+BM_FameCpuPairFast(benchmark::State &state)
+{
+    famePair(state, UbenchId::CpuInt, UbenchId::CpuInt, 4, 4, true);
+}
+BENCHMARK(BM_FameCpuPairFast)->Unit(benchmark::kMillisecond);
+
+void
+BM_FameCpuPairSlow(benchmark::State &state)
+{
+    famePair(state, UbenchId::CpuInt, UbenchId::CpuInt, 4, 4, false);
+}
+BENCHMARK(BM_FameCpuPairSlow)->Unit(benchmark::kMillisecond);
+
 /**
  * Parallel-runner scaling: a fixed batch of 8 distinct fast FAME jobs
  * executed with jobs=1,2,4,8 workers. A fresh private cache per
@@ -134,6 +211,147 @@ BM_RunnerScaling(benchmark::State &state)
 BENCHMARK(BM_RunnerScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// --- --p5sim_perf_json report mode ------------------------------------
+
+/** One end-to-end case in the speedup report. */
+struct PerfCase
+{
+    const char *name;
+    UbenchId primary;
+    UbenchId secondary;
+    int prioP;
+    int prioS;
+};
+
+/**
+ * The report suite. ldint_mem+ldint_mem (4,4) is the headline case
+ * (the acceptance floor is a 3x end-to-end speedup there); the
+ * compute-bound pair pins the "no pathological overhead when there is
+ * nothing to skip" end of the spectrum.
+ */
+constexpr PerfCase report_cases[] = {
+    {"ldint_mem+ldint_mem@4,4", UbenchId::LdintMem, UbenchId::LdintMem,
+     4, 4},
+    {"ldint_mem+ldint_mem@6,2", UbenchId::LdintMem, UbenchId::LdintMem,
+     6, 2},
+    {"ldint_mem+cpu_int@4,4", UbenchId::LdintMem, UbenchId::CpuInt, 4,
+     4},
+    {"cpu_int+cpu_int@4,4", UbenchId::CpuInt, UbenchId::CpuInt, 4, 4},
+};
+
+struct TimedRun
+{
+    double wallMs = 0;
+    FameResult result;
+};
+
+TimedRun
+timedFameRun(const PerfCase &c, bool fast_forward)
+{
+    const SyntheticProgram pp = makeUbench(c.primary);
+    const SyntheticProgram ps = makeUbench(c.secondary);
+    CoreParams core;
+    core.fastForward = fast_forward;
+    const FameParams fame = endToEndFame();
+
+    TimedRun run;
+    const auto t0 = std::chrono::steady_clock::now();
+    run.result = runFame(core, &pp, &ps, c.prioP, c.prioS, fame);
+    const auto t1 = std::chrono::steady_clock::now();
+    run.wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return run;
+}
+
+bool
+sameMeasurement(const FameResult &a, const FameResult &b)
+{
+    if (a.totalCycles != b.totalCycles || a.converged != b.converged ||
+        a.hitCycleLimit != b.hitCycleLimit)
+        return false;
+    for (size_t t = 0; t < num_hw_threads; ++t) {
+        if (a.thread[t].present != b.thread[t].present ||
+            a.thread[t].executions != b.thread[t].executions ||
+            a.thread[t].accountedCycles != b.thread[t].accountedCycles ||
+            a.thread[t].accountedInstrs != b.thread[t].accountedInstrs)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Run the end-to-end suite once per engine mode and write the speedup
+ * report. Returns a process exit code: nonzero when any case's stats
+ * deviate between modes, so the CI job fails on a correctness breach
+ * even before the tolerance diff runs.
+ */
+int
+writePerfReport(const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::cerr << "bench_sim_perf: cannot open '" << path << "'\n";
+        return 1;
+    }
+
+    bool all_identical = true;
+    JsonWriter w(os);
+    w.beginObject();
+    w.member("experiment", "bench_sim_perf");
+    w.key("cases");
+    w.beginArray();
+    for (const PerfCase &c : report_cases) {
+        // Warm one fast run so first-touch costs (program build, page
+        // sets) don't pollute the slow/fast ratio, then measure.
+        timedFameRun(c, true);
+        const TimedRun fast = timedFameRun(c, true);
+        const TimedRun slow = timedFameRun(c, false);
+        const bool identical = sameMeasurement(fast.result, slow.result);
+        all_identical = all_identical && identical;
+
+        w.beginObject();
+        w.member("name", c.name);
+        w.member("simCyclesFast",
+                 static_cast<std::uint64_t>(fast.result.totalCycles));
+        w.member("simCyclesSlow",
+                 static_cast<std::uint64_t>(slow.result.totalCycles));
+        w.member("ipcTotal", fast.result.totalIpc());
+        w.member("wallMsFast", fast.wallMs);
+        w.member("wallMsSlow", slow.wallMs);
+        w.member("speedup", slow.wallMs / fast.wallMs);
+        w.member("identicalStats", identical);
+        w.endObject();
+
+        std::cerr << c.name << ": " << slow.wallMs << " ms -> "
+                  << fast.wallMs << " ms ("
+                  << slow.wallMs / fast.wallMs << "x)"
+                  << (identical ? "" : "  STATS DEVIATE") << '\n';
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+
+    if (!all_identical) {
+        std::cerr << "bench_sim_perf: fast-forward stats deviated\n";
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    constexpr const char *json_flag = "--p5sim_perf_json=";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], json_flag, std::strlen(json_flag)) == 0)
+            return writePerfReport(argv[i] + std::strlen(json_flag));
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

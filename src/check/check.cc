@@ -52,6 +52,14 @@ CheckRegistry::onCycle(const SmtCore &core, Cycle cycle)
         c->onCycle(core, cycle);
 }
 
+void
+CheckRegistry::onSkip(const SmtCore &core, Cycle from, Cycle to)
+{
+    cyclesSkipped_ += to - from;
+    for (auto &c : checkers_)
+        c->onSkip(core, from, to);
+}
+
 bool
 CheckRegistry::has(const std::string &name) const
 {

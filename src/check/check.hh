@@ -74,6 +74,25 @@ class InvariantChecker
     /** Inspect @p core after cycle @p cycle has fully executed. */
     virtual void onCycle(const SmtCore &core, Cycle cycle) = 0;
 
+    /**
+     * The core fast-forwarded from cycle @p from to @p to: cycles
+     * [from, to) were verified idle and skipped in one jump, with
+     * counters advanced arithmetically, and the next onCycle() call
+     * will be for cycle @p to. The default is a no-op, correct for any
+     * checker whose tracked quantities are constant while the core is
+     * idle (all delta-based checkers: their spanning deltas stay
+     * consistent). Checkers with per-cycle expectations (the decode-
+     * slot R-window) must override this to verify the bulk deltas and
+     * rebuild their rolling state.
+     */
+    virtual void
+    onSkip(const SmtCore &core, Cycle from, Cycle to)
+    {
+        (void)core;
+        (void)from;
+        (void)to;
+    }
+
   protected:
     /** Record a violation with the owning registry. */
     void fail(Cycle cycle, ThreadId tid, std::string invariant,
@@ -106,6 +125,9 @@ class CheckRegistry
     /** Run every checker against @p core for cycle @p cycle. */
     void onCycle(const SmtCore &core, Cycle cycle);
 
+    /** Notify every checker of a fast-forward skip over [from, to). */
+    void onSkip(const SmtCore &core, Cycle from, Cycle to);
+
     /** Violations panic (true) or are collected (false). */
     void setFatal(bool fatal) { fatal_ = fatal; }
     bool fatal() const { return fatal_; }
@@ -124,6 +146,9 @@ class CheckRegistry
     /** Cycles onCycle() has been driven for (observability in tests). */
     std::uint64_t cyclesChecked() const { return cyclesChecked_; }
 
+    /** Cycles crossed via onSkip() fast-forward jumps. */
+    std::uint64_t cyclesSkipped() const { return cyclesSkipped_; }
+
     void clearFailures();
 
     /** Failures kept in failures(); further ones only count. */
@@ -137,6 +162,7 @@ class CheckRegistry
     std::vector<CheckFailure> failures_;
     std::uint64_t failureCount_ = 0;
     std::uint64_t cyclesChecked_ = 0;
+    std::uint64_t cyclesSkipped_ = 0;
     bool fatal_ = false;
 };
 

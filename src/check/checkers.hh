@@ -86,8 +86,27 @@ class DecodeSlotChecker : public InvariantChecker
                                        Cycle cycle, int decode_width,
                                        int minority_width);
 
+    /**
+     * Slots in [begin, end) the formula assigns to each thread.
+     * Computed from expectedGrant() per cycle-mod-64 residue class (the
+     * pattern's period in every mode divides 64), so it is O(64) and
+     * still independent of DecodeSlotAllocator.
+     */
+    static std::array<std::uint64_t, num_hw_threads>
+    expectedOwnedInRange(int prio_p, int prio_s, int decode_width,
+                         int minority_width, Cycle begin, Cycle end);
+
     const char *name() const override { return "decode-slot"; }
     void onCycle(const SmtCore &core, Cycle cycle) override;
+
+    /**
+     * Skip-aware mode: verify that the bulk counter deltas over the
+     * skipped gap [from, to) are exactly what per-cycle checking would
+     * have accepted — no grants, reassignments or decodes, and one
+     * forfeit per formula-owned slot — then rebuild the rolling
+     * R-window state for the partial window containing @p to.
+     */
+    void onSkip(const SmtCore &core, Cycle from, Cycle to) override;
 
     /** Test seam: validate one observation against the formula. */
     void check(const Observation &obs);
@@ -95,6 +114,8 @@ class DecodeSlotChecker : public InvariantChecker
   private:
     void checkWindowConformance(const Observation &obs,
                                 const ExpectedGrant &expect);
+    void rebuildWindowAfterSkip(int prio_p, int prio_s, int decode_width,
+                                int minority_width, Cycle from, Cycle to);
 
     bool primed_ = false;
     std::array<std::uint64_t, num_hw_threads> prevGranted_{};

@@ -54,6 +54,164 @@ DecodeSlotChecker::expectedGrant(int prio_p, int prio_s, Cycle cycle,
     return g;
 }
 
+std::array<std::uint64_t, num_hw_threads>
+DecodeSlotChecker::expectedOwnedInRange(int prio_p, int prio_s,
+                                        int decode_width,
+                                        int minority_width, Cycle begin,
+                                        Cycle end)
+{
+    // The slot pattern is periodic in the cycle number with period 64
+    // under every mode: Dual windows R = 2^(|d|+1) <= 64 divide 64, and
+    // low-power mode (owner = (c/32)%2 at c%32==0) repeats every 64.
+    // Each residue class r therefore has one owner, expectedGrant(r),
+    // and counting class members in [begin, end) is arithmetic.
+    constexpr Cycle period = 64;
+    const auto congruent_below = [](Cycle x, Cycle r) -> std::uint64_t {
+        return x > r ? (x - r - 1) / period + 1 : 0;
+    };
+    std::array<std::uint64_t, num_hw_threads> counts{};
+    if (end <= begin)
+        return counts;
+    for (Cycle r = 0; r < period; ++r) {
+        const ExpectedGrant g =
+            expectedGrant(prio_p, prio_s, r, decode_width, minority_width);
+        if (g.owner >= 0)
+            counts[static_cast<std::size_t>(g.owner)] +=
+                congruent_below(end, r) - congruent_below(begin, r);
+    }
+    return counts;
+}
+
+void
+DecodeSlotChecker::onSkip(const SmtCore &core, Cycle from, Cycle to)
+{
+    const DecodeSlotAllocator &alloc = core.arbiter().allocator();
+    const int prio_p = alloc.priorityOf(0);
+    const int prio_s = alloc.priorityOf(1);
+    const int decode_width = core.params().decodeWidth;
+    const int minority_width = core.params().minoritySlotWidth;
+
+    std::array<std::uint64_t, num_hw_threads> granted{};
+    std::array<std::uint64_t, num_hw_threads> forfeited{};
+    std::array<std::uint64_t, num_hw_threads> reassigned{};
+    std::array<std::uint64_t, num_hw_threads> decoded{};
+    for (ThreadId t = 0; t < num_hw_threads; ++t) {
+        const auto ti = static_cast<std::size_t>(t);
+        granted[ti] = core.arbiter().slotsGrantedTo(t);
+        forfeited[ti] = core.arbiter().slotsForfeitedBy(t);
+        reassigned[ti] = core.arbiter().slotsReassignedTo(t);
+        decoded[ti] = core.decodedOf(t);
+    }
+
+    bool verify = true;
+    if (!primed_) {
+        primed_ = true;
+        // Attached mid-run (from != 0): no baseline for the gap start,
+        // so this skip only primes. From cycle 0 the zero-initialized
+        // prev counters are the correct baseline, as in onCycle().
+        verify = from == 0;
+    }
+
+    if (verify) {
+        const auto owned = expectedOwnedInRange(
+            prio_p, prio_s, decode_width, minority_width, from, to);
+        const auto range = "[" + std::to_string(from) + "," +
+                           std::to_string(to) + ") of pair (" +
+                           std::to_string(prio_p) + "," +
+                           std::to_string(prio_s) + ")";
+        for (ThreadId t = 0; t < num_hw_threads; ++t) {
+            const auto ti = static_cast<std::size_t>(t);
+            if (granted[ti] != prevGranted_[ti] ||
+                reassigned[ti] != prevReassigned_[ti] ||
+                decoded[ti] != prevDecoded_[ti]) {
+                fail(to, t, "skip-decode-activity",
+                     "no grants/reassignments/decodes across the "
+                     "skipped gap " + range,
+                     "granted+" +
+                         std::to_string(granted[ti] - prevGranted_[ti]) +
+                         " reassigned+" +
+                         std::to_string(reassigned[ti] -
+                                        prevReassigned_[ti]) +
+                         " decoded+" +
+                         std::to_string(decoded[ti] - prevDecoded_[ti]));
+            }
+            if (forfeited[ti] - prevForfeited_[ti] != owned[ti]) {
+                fail(to, t, "skip-forfeit-conservation",
+                     "one forfeit per formula-owned slot (" +
+                         std::to_string(owned[ti]) + ") across " + range,
+                     std::to_string(forfeited[ti] - prevForfeited_[ti]));
+            }
+        }
+    }
+
+    prevGranted_ = granted;
+    prevForfeited_ = forfeited;
+    prevReassigned_ = reassigned;
+    prevDecoded_ = decoded;
+
+    rebuildWindowAfterSkip(prio_p, prio_s, decode_width, minority_width,
+                           from, to);
+}
+
+void
+DecodeSlotChecker::rebuildWindowAfterSkip(int prio_p, int prio_s,
+                                          int decode_width,
+                                          int minority_width, Cycle from,
+                                          Cycle to)
+{
+    // Mirror checkWindowConformance()'s mode handling: the R-window
+    // invariant only applies in Dual mode.
+    const bool dual = prio_p >= 1 && prio_p <= 6 && prio_s >= 1 &&
+                      prio_s <= 6 && !(prio_p == 1 && prio_s == 1);
+    if (!dual) {
+        winPrioP_ = -1;
+        winPrioS_ = -1;
+        winObserved_ = 0;
+        return;
+    }
+
+    const int r = 1 << (std::abs(prio_p - prio_s) + 1);
+    bool continuous = prio_p == winPrioP_ && prio_s == winPrioS_;
+    winPrioP_ = prio_p;
+    winPrioS_ = prio_s;
+
+    const auto count_owned = [&](Cycle begin, Cycle end) {
+        const auto owned = expectedOwnedInRange(
+            prio_p, prio_s, decode_width, minority_width, begin, end);
+        for (std::size_t ti = 0; ti < num_hw_threads; ++ti)
+            winOwned_[ti] += static_cast<int>(owned[ti]);
+    };
+
+    // The next onCycle() call is for cycle `to`; its window starts at
+    // the last multiple of R at or below `to`.
+    const Cycle win_start = to - to % static_cast<Cycle>(r);
+    if (win_start >= from) {
+        // The partial window [win_start, to) lies entirely inside the
+        // skipped gap: every one of its slots was a verified forfeit,
+        // so the ownership tally comes straight from the formula.
+        winOwned_ = {};
+        winObserved_ = 0;
+        count_owned(win_start, to);
+        winObserved_ = to - win_start;
+        return;
+    }
+    // `to` is still in the window that contains `from`. Extend the
+    // tally arithmetically when observation of that window has been
+    // continuous (winObserved_ matches the cycles since its start);
+    // otherwise give up on this window — a partial tally can never
+    // reach winObserved_ == R, so the conformance check stays silent
+    // until the next window boundary resets it.
+    continuous = continuous &&
+                 winObserved_ == from % static_cast<Cycle>(r);
+    if (continuous) {
+        count_owned(from, to);
+        winObserved_ += to - from;
+    } else {
+        winOwned_ = {};
+        winObserved_ = 0;
+    }
+}
+
 void
 DecodeSlotChecker::onCycle(const SmtCore &core, Cycle cycle)
 {

@@ -34,6 +34,16 @@ constexpr int num_hw_threads = 2;
 /** Sentinel cycle value meaning "never" / "not scheduled". */
 constexpr Cycle never_cycle = ~Cycle{0};
 
+/**
+ * a + b clamped to never_cycle on overflow, so "max_cycles = ~0" style
+ * no-limit arguments cannot wrap deadline arithmetic.
+ */
+constexpr Cycle
+saturatingAdd(Cycle a, Cycle b)
+{
+    return b > never_cycle - a ? never_cycle : a + b;
+}
+
 } // namespace p5
 
 #endif // P5SIM_COMMON_TYPES_HH

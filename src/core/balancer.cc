@@ -37,8 +37,8 @@ Balancer::gctThresholdFor(ThreadId tid) const
 }
 
 BalancerDecision
-Balancer::evaluate(const Gct &gct, Lmq &lmq, const Lsu &lsu,
-                   bool both_running, Cycle now)
+Balancer::probe(const Gct &gct, const Lmq &lmq, const Lsu &lsu,
+                bool both_running, Cycle now) const
 {
     BalancerDecision d;
     if (!params_.enabled)
@@ -56,7 +56,7 @@ Balancer::evaluate(const Gct &gct, Lmq &lmq, const Lsu &lsu,
         // thread (it would only pile more work behind the walk).
         if (params_.blockOnTlbMiss && lsu.tlbWalkInProgress(t, now)) {
             d.block[ti] = true;
-            ++tlbBlocks_[ti];
+            d.reason[ti] = BalanceBlock::Tlb;
             continue;
         }
 
@@ -67,20 +67,49 @@ Balancer::evaluate(const Gct &gct, Lmq &lmq, const Lsu &lsu,
                 gctThresholdFor(t) * gct.capacity();
         if (gct_hog) {
             d.block[ti] = true;
-            ++gctBlocks_[ti];
-            if (params_.action == BalanceAction::Flush) {
+            d.reason[ti] = BalanceBlock::Gct;
+            if (params_.action == BalanceAction::Flush)
                 d.flush[ti] = true;
-                ++flushes_[ti];
-            }
             continue;
         }
 
-        if (lmq.occupancyOf(t, now) >=
+        if (lmq.busyOfAt(t, now) >=
             lmqThresholdFor(t, lmq.capacity())) {
             d.block[ti] = true;
-            ++lmqBlocks_[ti];
+            d.reason[ti] = BalanceBlock::Lmq;
         }
     }
+    return d;
+}
+
+void
+Balancer::charge(const BalancerDecision &d, std::uint64_t cycles)
+{
+    for (size_t ti = 0; ti < num_hw_threads; ++ti) {
+        switch (d.reason[ti]) {
+          case BalanceBlock::None:
+            break;
+          case BalanceBlock::Tlb:
+            tlbBlocks_[ti] += cycles;
+            break;
+          case BalanceBlock::Gct:
+            gctBlocks_[ti] += cycles;
+            if (d.flush[ti])
+                flushes_[ti] += cycles;
+            break;
+          case BalanceBlock::Lmq:
+            lmqBlocks_[ti] += cycles;
+            break;
+        }
+    }
+}
+
+BalancerDecision
+Balancer::evaluate(const Gct &gct, const Lmq &lmq, const Lsu &lsu,
+                   bool both_running, Cycle now)
+{
+    BalancerDecision d = probe(gct, lmq, lsu, both_running, now);
+    charge(d, 1);
     return d;
 }
 

@@ -26,6 +26,15 @@
 
 namespace p5 {
 
+/** Which trigger blocked a thread (for per-trigger stat accounting). */
+enum class BalanceBlock : std::uint8_t
+{
+    None, ///< not blocked
+    Tlb,  ///< outstanding TLB walk
+    Gct,  ///< holding too many GCT groups
+    Lmq   ///< too many outstanding L2 misses
+};
+
 /** Per-cycle balancing decision. */
 struct BalancerDecision
 {
@@ -34,6 +43,9 @@ struct BalancerDecision
 
     /** Additionally flush thread t's not-yet-issued instructions. */
     std::array<bool, num_hw_threads> flush{};
+
+    /** The trigger behind block[t] (None when not blocked). */
+    std::array<BalanceBlock, num_hw_threads> reason{};
 };
 
 /** The balancer itself: pure policy over observable core state. */
@@ -52,13 +64,33 @@ class Balancer
     int lmqThresholdFor(ThreadId tid, int lmq_capacity) const;
 
     /**
-     * Evaluate the triggers at cycle @p now.
+     * Evaluate the triggers at cycle @p now without touching the
+     * per-trigger counters. Pure policy over observable state: calling
+     * probe() repeatedly at the same cycle returns the same decision.
+     */
+    BalancerDecision probe(const Gct &gct, const Lmq &lmq,
+                           const Lsu &lsu, bool both_running,
+                           Cycle now) const;
+
+    /**
+     * Account @p cycles cycles of decision @p d in the per-trigger
+     * block/flush counters. Together with probe() this lets the
+     * fast-forward path advance an idle gap arithmetically: the
+     * decision is constant across the gap, so charging it N times in
+     * one call is bit-identical to N evaluate() calls.
+     */
+    void charge(const BalancerDecision &d, std::uint64_t cycles);
+
+    /**
+     * Evaluate the triggers at cycle @p now and account one cycle:
+     * probe() + charge(d, 1).
      *
      * @param both_running whether both threads are attached and active;
      *        resource hogging is only "offending" when a sibling exists.
      */
-    BalancerDecision evaluate(const Gct &gct, Lmq &lmq, const Lsu &lsu,
-                              bool both_running, Cycle now);
+    BalancerDecision evaluate(const Gct &gct, const Lmq &lmq,
+                              const Lsu &lsu, bool both_running,
+                              Cycle now);
 
     const BalancerParams &params() const { return params_; }
 

@@ -38,6 +38,14 @@ DecodeArbiter::decide(Cycle now,
 }
 
 void
+DecodeArbiter::chargeForfeits(Cycle begin, Cycle end)
+{
+    const auto owned = allocator_.ownedSlotsInRange(begin, end);
+    for (size_t ti = 0; ti < num_hw_threads; ++ti)
+        forfeited_[ti] += owned[ti];
+}
+
+void
 DecodeArbiter::registerStats(StatGroup &group) const
 {
     for (int t = 0; t < num_hw_threads; ++t) {

@@ -40,6 +40,18 @@ class DecodeArbiter
     SlotGrant decide(Cycle now,
                      const std::array<bool, num_hw_threads> &can_use);
 
+    /**
+     * Account every slot in [@p begin, @p end) as forfeited by its
+     * owner. Used by the fast-forward path for gaps where no thread can
+     * decode: decide() would have charged exactly one forfeit to the
+     * slot owner of each cycle, which ownedSlotsInRange() reproduces
+     * arithmetically.
+     */
+    void chargeForfeits(Cycle begin, Cycle end);
+
+    /** Whether forfeited slots are handed to a usable sibling. */
+    bool workConserving() const { return workConserving_; }
+
     std::uint64_t
     slotsGrantedTo(ThreadId tid) const
     {

@@ -44,6 +44,21 @@ FuPool::freeUnits(FuClass fc, Cycle now) const
     return n;
 }
 
+Cycle
+FuPool::nextFreeCycle(FuClass fc, Cycle now) const
+{
+    if (fc == FuClass::None)
+        return now;
+    Cycle next = never_cycle;
+    for (auto until : busyUntil_[static_cast<int>(fc)]) {
+        if (until <= now)
+            return now;
+        if (until < next)
+            next = until;
+    }
+    return next;
+}
+
 int
 FuPool::unitCount(FuClass fc) const
 {

@@ -39,6 +39,14 @@ class FuPool
     /** Free units of class @p fc at cycle @p now. */
     int freeUnits(FuClass fc, Cycle now) const;
 
+    /**
+     * Earliest cycle at which a unit of class @p fc is (or becomes)
+     * free: @p now itself when one is already free, never_cycle when
+     * the class has no units at all. Fast-forward next-event contract:
+     * freeUnits(fc, c) == 0 for all c in [now, nextFreeCycle(fc, now)).
+     */
+    Cycle nextFreeCycle(FuClass fc, Cycle now) const;
+
     int unitCount(FuClass fc) const;
 
     /** Release every unit (used between experiment runs). */

@@ -46,10 +46,11 @@ Lsu::reserveWalker(ThreadId tid, Cycle now)
     // priorities like the decode slots: the lower-priority thread only
     // gets 1 of every R walk slots. Modeled as an extra (R-1) walk-times
     // delay per walk while the sibling is actively walking.
+    const Cycle sibling_last =
+        lastWalkRequest_[static_cast<size_t>(sibling)];
     const bool contended =
-        lastWalkRequest_[static_cast<size_t>(sibling)] +
-            static_cast<Cycle>(3 * walk) >=
-        now;
+        sibling_last != never_cycle &&
+        sibling_last + static_cast<Cycle>(3 * walk) >= now;
     if (contended && priorities_ && params_.priorityAwareWalker &&
         priorities_->mode() == SlotMode::Dual) {
         const int mine = priorities_->priorityOf(tid);
@@ -93,10 +94,27 @@ Lsu::portGate(ThreadId tid, Cycle now, Cycle ready)
     if (gap <= 0)
         return ready;
 
-    Cycle start = std::max(ready, portNextFree_);
-    portNextFree_ = std::min(start, std::max(now, portNextFree_)) +
-                    static_cast<Cycle>(gap);
+    // The gate window only ever moves forward: each gated access holds
+    // the port for `gap` cycles from when it passes the gate.
+    const Cycle start = std::max(ready, portNextFree_);
+    portNextFree_ = start + static_cast<Cycle>(gap);
     return start;
+}
+
+Cycle
+Lsu::nextEventCycle(Cycle now) const
+{
+    Cycle next = never_cycle;
+    const auto consider = [&next, now](Cycle c) {
+        if (c > now && c < next)
+            next = c;
+    };
+    for (Cycle until : walkUntil_)
+        consider(until);
+    consider(walkerNextFree_);
+    consider(walkerServiceUntil_);
+    consider(portNextFree_);
+    return next;
 }
 
 Cycle

@@ -67,6 +67,16 @@ class Lsu
         return walkUntil_[static_cast<size_t>(tid)] > now;
     }
 
+    /**
+     * Earliest cycle after @p now at which any LSU-side timing state
+     * changes (a walk completes, the walker or its service window
+     * frees, the sibling port gate opens), or never_cycle when nothing
+     * is pending. Part of the fast-forward next-event contract: between
+     * now and the returned cycle every LSU predicate the core or the
+     * balancer consults is constant.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     std::uint64_t
     loadsOf(ThreadId tid) const
     {
@@ -101,7 +111,11 @@ class Lsu
     const DecodeSlotAllocator *priorities_ = nullptr;
 
     Cycle walkerNextFree_ = 0;
-    std::array<Cycle, num_hw_threads> lastWalkRequest_{};
+    /** Cycle of each thread's most recent walk request; never_cycle
+     *  until its first walk, so a thread whose sibling has never walked
+     *  is not treated as contended at start-of-run. */
+    std::array<Cycle, num_hw_threads> lastWalkRequest_{never_cycle,
+                                                       never_cycle};
     std::array<Cycle, num_hw_threads> walkUntil_{};
 
     /** Current walker service window (for the sibling port gate). */

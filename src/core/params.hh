@@ -135,6 +135,17 @@ struct CoreParams
      */
     int walkerPortGap = 2;
 
+    /**
+     * Skip idle cycles in SmtCore::run(): when no thread can decode and
+     * nothing can issue or commit, jump straight to the earliest
+     * component event instead of ticking through the gap. Stall, slot
+     * and balancer counters are advanced arithmetically, so every
+     * observable stat is bit-identical to cycle-by-cycle ticking — the
+     * knob exists as an escape hatch (--no-fast-forward) and for the
+     * equivalence tests, not because results differ.
+     */
+    bool fastForward = true;
+
     BalancerParams balancer;
     HierarchyParams mem;
     BhtParams bht;

@@ -214,21 +214,214 @@ SmtCore::tick()
 void
 SmtCore::run(Cycle cycles)
 {
-    for (Cycle i = 0; i < cycles; ++i)
+    const Cycle end = saturatingAdd(cycle_, cycles);
+    while (cycle_ < end) {
+        if (params_.fastForward && tryFastForward(end))
+            continue;
         tick();
+    }
 }
 
 bool
 SmtCore::runUntilExecutions(ThreadId tid, std::uint64_t executions,
                             Cycle max_cycles)
 {
-    const Cycle limit = cycle_ + max_cycles;
+    const Cycle limit = saturatingAdd(cycle_, max_cycles);
     while (cycle_ < limit) {
         if (executionsOf(tid) >= executions)
             return true;
+        if (params_.fastForward && tryFastForward(limit))
+            continue;
         tick();
     }
     return executionsOf(tid) >= executions;
+}
+
+// --- idle-cycle fast-forward ------------------------------------------
+//
+// A cycle is *idle* when tick() would change nothing except the cycle
+// number and a fixed set of per-cycle counters (stall, balancer-block
+// and slot-forfeit counters). tryFastForward() proves a cycle idle by
+// replaying each stage's gating read-only, computes the earliest future
+// cycle at which any gate input can change, and jumps there with the
+// counters advanced arithmetically. Counters are affine in the gap
+// length because every gate input is constant across the gap — which
+// the equivalence suite (test_fast_forward.cc) and the skip-aware
+// p5check protocol both verify.
+
+namespace {
+constexpr FuClass issue_classes[] = {FuClass::FX, FuClass::FP,
+                                     FuClass::LS, FuClass::BR};
+} // namespace
+
+bool
+SmtCore::commitReady(ThreadId t) const
+{
+    const ThreadState &ts = *threads_[static_cast<size_t>(t)];
+    if (!ts.attached() || gct_.empty(t))
+        return false;
+    const GctGroup group = gct_.oldest(t);
+    for (int i = 0; i < group.count; ++i) {
+        const InFlight *e =
+            ts.find(group.startSeq + static_cast<SeqNum>(i));
+        if (!e)
+            return true; // corrupt: let commitStage() raise the panic
+        if (e->phase != InstrPhase::Finished)
+            return false;
+    }
+    return true;
+}
+
+bool
+SmtCore::probeDecodeIdle(IdleGate *gate) const
+{
+    const bool both_running = threads_[0]->attached() &&
+                              threads_[1]->attached() &&
+                              arbiter_.allocator().threadActive(0) &&
+                              arbiter_.allocator().threadActive(1);
+    gate->bd = balancer_.probe(gct_, lmq_, lsu_, both_running, cycle_);
+
+    for (ThreadId t = 0; t < num_hw_threads; ++t) {
+        const auto ti = static_cast<size_t>(t);
+        const ThreadState &ts = *threads_[ti];
+        if (!ts.attached())
+            continue;
+        // A flush that would actually drop instructions mutates state:
+        // not an idle cycle. (A flush of an empty/issued-only window is
+        // a no-op beyond the flush counter, which charge() advances.)
+        if (gate->bd.flush[ti] && !ts.window.empty() &&
+            ts.window.back().phase == InstrPhase::Dispatched)
+            return false;
+        if (gate->bd.block[ti]) {
+            gate->stall[ti] = IdleGate::Stall::Balancer;
+            continue;
+        }
+        if (cycle_ < ts.decodeBlockedUntil) {
+            gate->stall[ti] = IdleGate::Stall::Redirect;
+            continue;
+        }
+        const ThreadId sib = static_cast<ThreadId>(1 - t);
+        const bool bigger_holder =
+            threads_[static_cast<size_t>(sib)]->attached() &&
+            gct_.occupancyOf(t) > gct_.occupancyOf(sib);
+        const int needed = bigger_holder ? 2 : 1;
+        if (gct_.capacity() - gct_.occupancy() < needed) {
+            gate->stall[ti] = IdleGate::Stall::Gct;
+            continue;
+        }
+        gate->canUse[ti] = true;
+    }
+
+    // Mirror DecodeArbiter::decide(): the cycle is only idle if neither
+    // the slot owner nor (work-conserving) an active sibling can use it.
+    const DecodeSlotAllocator &alloc = arbiter_.allocator();
+    const SlotGrant g = alloc.grantAt(cycle_);
+    if (g.owner >= 0) {
+        if (gate->canUse[static_cast<size_t>(g.owner)])
+            return false;
+        const ThreadId sib = static_cast<ThreadId>(1 - g.owner);
+        if (arbiter_.workConserving() &&
+            gate->canUse[static_cast<size_t>(sib)] &&
+            alloc.threadActive(sib))
+            return false;
+    }
+    return true;
+}
+
+Cycle
+SmtCore::nextInterestingCycle(Cycle limit, const IdleGate &gate) const
+{
+    Cycle next = limit;
+    const auto consider = [&next, this](Cycle c) {
+        if (c > cycle_ && c < next)
+            next = c;
+    };
+
+    if (!completions_.empty())
+        consider(completions_.top().cycle);
+    for (FuClass fc : issue_classes)
+        if (!readyQ_.empty(fc))
+            consider(fuPool_.nextFreeCycle(fc, cycle_));
+    consider(lmq_.nextEventCycle(cycle_));
+    consider(lsu_.nextEventCycle(cycle_));
+
+    const DecodeSlotAllocator &alloc = arbiter_.allocator();
+    for (ThreadId t = 0; t < num_hw_threads; ++t) {
+        const auto ti = static_cast<size_t>(t);
+        const ThreadState &ts = *threads_[ti];
+        if (!ts.attached())
+            continue;
+        if (cycle_ < ts.decodeBlockedUntil)
+            consider(ts.decodeBlockedUntil);
+        if (gate.canUse[ti]) {
+            // Usable but slotless: wake at its next owned slot, or —
+            // work-conserving — at any slot it could inherit.
+            consider(alloc.nextGrantCycle(cycle_, t));
+            if (arbiter_.workConserving() && alloc.threadActive(t))
+                consider(alloc.nextAnyGrantCycle(cycle_));
+        }
+    }
+    return next;
+}
+
+void
+SmtCore::advanceIdle(Cycle target, const IdleGate &gate)
+{
+    const std::uint64_t gap = target - cycle_;
+
+    // What decodeStage() would have accumulated over the gap, cycle by
+    // cycle: the balancer decision and each thread's stall class are
+    // constant (that is what made the gap idle), so each counter gains
+    // exactly gap.
+    balancer_.charge(gate.bd, gap);
+    for (ThreadId t = 0; t < num_hw_threads; ++t) {
+        const auto ti = static_cast<size_t>(t);
+        if (!threads_[ti]->attached())
+            continue;
+        switch (gate.stall[ti]) {
+          case IdleGate::Stall::None:
+            break;
+          case IdleGate::Stall::Balancer:
+            stallBalancer_[ti] += gap;
+            break;
+          case IdleGate::Stall::Redirect:
+            stallRedirect_[ti] += gap;
+            break;
+          case IdleGate::Stall::Gct:
+            stallGct_[ti] += gap;
+            break;
+        }
+    }
+    // Every slot granted in the gap was forfeited by its owner (no
+    // thread could use one — that too is what made the gap idle).
+    arbiter_.chargeForfeits(cycle_, target);
+
+    if (checks_)
+        checks_->onSkip(*this, cycle_, target);
+    idleSkipped_ += gap;
+    cycle_ = target;
+}
+
+bool
+SmtCore::tryFastForward(Cycle limit)
+{
+    if (!completions_.empty() && completions_.top().cycle <= cycle_)
+        return false;
+    for (FuClass fc : issue_classes)
+        if (!readyQ_.empty(fc) && fuPool_.freeUnits(fc, cycle_) > 0)
+            return false;
+    for (ThreadId t = 0; t < num_hw_threads; ++t)
+        if (commitReady(t))
+            return false;
+    IdleGate gate;
+    if (!probeDecodeIdle(&gate))
+        return false;
+
+    const Cycle target = nextInterestingCycle(limit, gate);
+    if (target <= cycle_)
+        return false;
+    advanceIdle(target, gate);
+    return true;
 }
 
 // --- pipeline stages ---------------------------------------------------

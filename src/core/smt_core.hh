@@ -99,7 +99,14 @@ class SmtCore
     /** Advance one cycle. */
     void tick();
 
-    /** Advance @p cycles cycles. */
+    /**
+     * Advance @p cycles cycles. With params().fastForward (the
+     * default), idle gaps — stretches where no thread can decode and
+     * nothing can issue or commit — are skipped in one jump to the
+     * earliest component event, with all counters advanced
+     * arithmetically; every observable stat is bit-identical to
+     * cycle-by-cycle ticking.
+     */
     void run(Cycle cycles);
 
     /**
@@ -167,6 +174,13 @@ class SmtCore
         return decoded_[static_cast<size_t>(tid)].value();
     }
 
+    /**
+     * Cycles run() crossed by fast-forward jumps instead of ticks.
+     * Observability only — deliberately *not* a registered stat, so the
+     * stat set stays identical with fastForward on and off.
+     */
+    std::uint64_t idleCyclesSkipped() const { return idleSkipped_; }
+
   private:
     struct Completion
     {
@@ -189,6 +203,64 @@ class SmtCore
     void commitStage();
     void decodeStage();
 
+    // --- idle-cycle fast-forward --------------------------------------
+
+    /**
+     * Side-effect-free replica of the per-cycle gating: the balancer
+     * decision and per-thread decode usability at cycle_, plus how each
+     * non-usable thread's stall would be classified by decodeStage().
+     */
+    struct IdleGate
+    {
+        BalancerDecision bd;
+        std::array<bool, num_hw_threads> canUse{};
+        enum class Stall : std::uint8_t
+        {
+            None,
+            Balancer,
+            Redirect,
+            Gct
+        };
+        std::array<Stall, num_hw_threads> stall{};
+    };
+
+    /**
+     * Probe whether decode could make progress (or mutate state) at
+     * cycle_. Returns false — "activity, must tick" — when the slot
+     * owner (or a work-conserving sibling) could decode, or when a
+     * balancer flush would actually drop instructions. Fills @p gate
+     * for advanceIdle()'s arithmetic counter advance.
+     */
+    bool probeDecodeIdle(IdleGate *gate) const;
+
+    /** True iff thread t's oldest GCT group would commit at cycle_. */
+    bool commitReady(ThreadId t) const;
+
+    /**
+     * Earliest cycle in (cycle_, limit] at which anything can happen,
+     * or cycle_ itself when this cycle has work. Conservative events
+     * (a component state change that may not unblock anything) are
+     * fine — the loop re-probes at every stop; missing a real event is
+     * not, so every quantity the gating consults maps to an event
+     * source here.
+     */
+    Cycle nextInterestingCycle(Cycle limit, const IdleGate &gate) const;
+
+    /**
+     * Jump cycle_ -> target across a verified-idle gap, advancing the
+     * stall, balancer and slot-forfeit counters by exactly what
+     * (target - cycle_) individual ticks would have added, then
+     * notifying the checkers' skip protocol.
+     */
+    void advanceIdle(Cycle target, const IdleGate &gate);
+
+    /**
+     * One fast-forward attempt bounded by @p limit: returns true when
+     * an idle gap was skipped (cycle_ advanced), false when this cycle
+     * has work and the caller must tick().
+     */
+    bool tryFastForward(Cycle limit);
+
     void dispatchOne(ThreadState &ts, const DynInstr &di);
     void pushReady(ThreadState &ts, InFlight &e);
     void wakeDependents(ThreadState &ts, InFlight &e);
@@ -210,6 +282,7 @@ class SmtCore
     std::array<std::unique_ptr<ThreadState>, num_hw_threads> threads_;
 
     Cycle cycle_ = 0;
+    std::uint64_t idleSkipped_ = 0;
     std::uint64_t dispatchStamp_ = 0;
     std::priority_queue<Completion, std::vector<Completion>,
                         CompletionLater>

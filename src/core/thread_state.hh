@@ -83,6 +83,7 @@ class ThreadState
 
     /** Find the in-flight entry with @p seq, or nullptr. */
     InFlight *find(SeqNum seq);
+    const InFlight *find(SeqNum seq) const;
 
     /** find() with an epoch identity check. */
     InFlight *find(SeqNum seq, std::uint64_t expected_epoch);

@@ -68,6 +68,9 @@ appendKey(std::string &out, const CoreParams &p)
     kv(out, "asidShift", p.asidShift);
     kv(out, "prioWalker", p.priorityAwareWalker);
     kv(out, "walkerPortGap", p.walkerPortGap);
+    // Part of the key although stats are bit-identical either way:
+    // cached results must record exactly how they were produced.
+    kv(out, "fastForward", p.fastForward);
 
     const BalancerParams &b = p.balancer;
     kv(out, "balEnabled", b.enabled);

@@ -120,6 +120,19 @@ Lmq::busyOfAt(ThreadId tid, Cycle now) const
     return n;
 }
 
+Cycle
+Lmq::nextEventCycle(Cycle now) const
+{
+    Cycle next = never_cycle;
+    for (const auto &w : windows_) {
+        if (w.startCycle > now && w.startCycle < next)
+            next = w.startCycle;
+        if (w.releaseCycle > now && w.releaseCycle < next)
+            next = w.releaseCycle;
+    }
+    return next;
+}
+
 void
 Lmq::releaseThread(ThreadId tid)
 {

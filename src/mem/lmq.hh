@@ -62,6 +62,14 @@ class Lmq
     int busyAt(Cycle now) const;
     int busyOfAt(ThreadId tid, Cycle now) const;
 
+    /**
+     * Earliest cycle after @p now at which occupancy can change (a
+     * pending window starts or a busy one releases), or never_cycle.
+     * Fast-forward next-event contract: busyAt()/busyOfAt() are
+     * constant over (now, nextEventCycle(now)).
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     /** Release everything belonging to @p tid (squash support). */
     void releaseThread(ThreadId tid);
 

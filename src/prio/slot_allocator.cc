@@ -177,6 +177,66 @@ DecodeSlotAllocator::grantAt(Cycle cycle) const
     }
 }
 
+namespace {
+
+/** Number of c in [begin, end) with c % m == r (m power of two or not). */
+std::uint64_t
+countCongruent(Cycle begin, Cycle end, Cycle m, Cycle r)
+{
+    const auto below = [m, r](Cycle x) -> std::uint64_t {
+        // |{c in [0, x) : c % m == r}|
+        return x > r ? (x - r - 1) / m + 1 : 0;
+    };
+    if (end <= begin)
+        return 0;
+    return below(end) - below(begin);
+}
+
+} // namespace
+
+Cycle
+DecodeSlotAllocator::nextGrantCycle(Cycle after, ThreadId tid) const
+{
+    if (!threadActive(tid))
+        return never_cycle;
+    for (Cycle i = 1; i <= grant_period; ++i) {
+        const Cycle c = saturatingAdd(after, i);
+        if (c == never_cycle)
+            break;
+        if (grantAt(c).owner == tid)
+            return c;
+    }
+    return never_cycle;
+}
+
+Cycle
+DecodeSlotAllocator::nextAnyGrantCycle(Cycle after) const
+{
+    for (Cycle i = 1; i <= grant_period; ++i) {
+        const Cycle c = saturatingAdd(after, i);
+        if (c == never_cycle)
+            break;
+        if (grantAt(c).owner >= 0)
+            return c;
+    }
+    return never_cycle;
+}
+
+std::array<std::uint64_t, num_hw_threads>
+DecodeSlotAllocator::ownedSlotsInRange(Cycle begin, Cycle end) const
+{
+    std::array<std::uint64_t, num_hw_threads> counts{};
+    // grantAt() depends on the cycle only through cycle % grant_period,
+    // so residue 'r' itself is a valid representative of its class.
+    for (Cycle r = 0; r < grant_period; ++r) {
+        const SlotGrant g = grantAt(r);
+        if (g.owner >= 0)
+            counts[static_cast<std::size_t>(g.owner)] +=
+                countCongruent(begin, end, grant_period, r);
+    }
+    return counts;
+}
+
 double
 DecodeSlotAllocator::primaryShare() const
 {

@@ -19,6 +19,9 @@
 #ifndef P5SIM_PRIO_SLOT_ALLOCATOR_HH
 #define P5SIM_PRIO_SLOT_ALLOCATOR_HH
 
+#include <array>
+#include <cstdint>
+
 #include "common/types.hh"
 #include "prio/priority.hh"
 
@@ -86,6 +89,37 @@ class DecodeSlotAllocator
 
     /** Decode grant for cycle @p cycle. */
     SlotGrant grantAt(Cycle cycle) const;
+
+    /**
+     * The grant pattern is periodic in the cycle number with this
+     * period under *every* mode: in Dual mode the window R = 2^(|d|+1)
+     * is a power of two <= 64, and low-power mode repeats every 64
+     * cycles (one slot per 32, alternating owner). All the window
+     * arithmetic below exploits this — grantAt(c) == grantAt(c % 64 +
+     * k*64) — which is what makes bulk slot accounting across skipped
+     * idle gaps exact.
+     */
+    static constexpr Cycle grant_period = 64;
+
+    /**
+     * Earliest cycle strictly after @p after whose slot @p tid owns,
+     * or never_cycle when it never will under the current pair.
+     */
+    Cycle nextGrantCycle(Cycle after, ThreadId tid) const;
+
+    /**
+     * Earliest cycle strictly after @p after whose slot anyone owns,
+     * or never_cycle (AllOff).
+     */
+    Cycle nextAnyGrantCycle(Cycle after) const;
+
+    /**
+     * Number of slots in [@p begin, @p end) owned by each thread under
+     * the current pair. O(grant_period), independent of the range
+     * length.
+     */
+    std::array<std::uint64_t, num_hw_threads>
+    ownedSlotsInRange(Cycle begin, Cycle end) const;
 
     /** The R of the formula for an arbitrary pair (pure helper). */
     static int computeR(int prio_p, int prio_s);

@@ -94,13 +94,27 @@ TEST(CheckRegistryTest, HookRunsEveryTickOnceCreated)
         EXPECT_FALSE(core.hasChecks());
     }
 #endif
-    CoreParams params;
-    SmtCore core(params);
-    CheckRegistry &reg = core.checks();
-    EXPECT_TRUE(core.hasChecks());
-    const std::uint64_t before = reg.cyclesChecked();
-    core.run(50);
-    EXPECT_EQ(reg.cyclesChecked(), before + 50);
+    {
+        // Every cycle reaches the registry: ticked cycles through
+        // onCycle(), fast-forwarded idle gaps through onSkip().
+        CoreParams params;
+        SmtCore core(params);
+        CheckRegistry &reg = core.checks();
+        EXPECT_TRUE(core.hasChecks());
+        core.run(50);
+        EXPECT_EQ(reg.cyclesChecked() + reg.cyclesSkipped(), 50u);
+    }
+    {
+        // Without fast-forward every cycle is a checked tick.
+        CoreParams params;
+        params.fastForward = false;
+        SmtCore core(params);
+        CheckRegistry &reg = core.checks();
+        const std::uint64_t before = reg.cyclesChecked();
+        core.run(50);
+        EXPECT_EQ(reg.cyclesChecked(), before + 50);
+        EXPECT_EQ(reg.cyclesSkipped(), 0u);
+    }
 }
 
 TEST(CheckRegistryTest, CollectModeCapsStoredFailures)

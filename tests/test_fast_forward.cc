@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Equivalence suite for the idle-cycle fast-forward engine.
+ *
+ * The engine's contract is that every observable — the cycle count,
+ * every registered stat, and the per-thread committed/execution
+ * totals — is bit-identical whether the core ticks every cycle or
+ * jumps over verified-idle gaps. These tests enforce the contract
+ * over the paper's six presented micro-benchmarks and all 36
+ * software-priority pairs, with and without the fatal p5check
+ * invariant suite armed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/smt_core.hh"
+#include "fame/fame.hh"
+#include "test_helpers.hh"
+#include "ubench/ubench.hh"
+
+namespace p5 {
+namespace {
+
+struct RunSnapshot
+{
+    Cycle cycle = 0;
+    std::map<std::string, double> stats;
+    std::array<std::uint64_t, num_hw_threads> committed{};
+    std::array<std::uint64_t, num_hw_threads> executions{};
+    std::uint64_t idleSkipped = 0;
+};
+
+/**
+ * Run @p prog against itself for @p cycles at the given priority pair
+ * and snapshot everything a caller can observe.
+ */
+RunSnapshot
+runPair(const SyntheticProgram &prog, int prio_p, int prio_s,
+        bool fast_forward, bool armed, Cycle cycles)
+{
+    CoreParams params;
+    params.fastForward = fast_forward;
+    SmtCore core(params);
+    if (armed)
+        test::withCheckers(core);
+    core.attachThread(0, &prog, prio_p);
+    core.attachThread(1, &prog, prio_s);
+    core.run(cycles);
+
+    RunSnapshot snap;
+    snap.cycle = core.cycle();
+    for (const std::string &name : core.stats().names())
+        snap.stats.emplace(name, core.stats().value(name));
+    for (ThreadId t = 0; t < num_hw_threads; ++t) {
+        snap.committed[static_cast<size_t>(t)] = core.committedOf(t);
+        snap.executions[static_cast<size_t>(t)] = core.executionsOf(t);
+    }
+    snap.idleSkipped = core.idleCyclesSkipped();
+    return snap;
+}
+
+void
+expectIdentical(const RunSnapshot &fast, const RunSnapshot &slow,
+                const std::string &label)
+{
+    EXPECT_EQ(fast.cycle, slow.cycle) << label;
+    ASSERT_EQ(fast.stats.size(), slow.stats.size()) << label;
+    for (const auto &[name, value] : slow.stats) {
+        auto it = fast.stats.find(name);
+        ASSERT_NE(it, fast.stats.end()) << label << " missing " << name;
+        EXPECT_EQ(it->second, value) << label << " stat " << name;
+    }
+    for (size_t t = 0; t < num_hw_threads; ++t) {
+        EXPECT_EQ(fast.committed[t], slow.committed[t])
+            << label << " committed thread " << t;
+        EXPECT_EQ(fast.executions[t], slow.executions[t])
+            << label << " executions thread " << t;
+    }
+    EXPECT_EQ(slow.idleSkipped, 0u) << label;
+}
+
+/**
+ * The headline equivalence sweep: six benchmarks x 36 priority pairs,
+ * fast-forward on vs off, every registered stat compared bit-exact.
+ */
+TEST(FastForward, BitIdenticalStatsAcrossAllPriorityPairs)
+{
+    constexpr Cycle run_cycles = 2500;
+    for (UbenchId id : presentedUbench()) {
+        const SyntheticProgram prog = makeUbench(id, 0.25);
+        for (int prio_p = 1; prio_p <= 6; ++prio_p) {
+            for (int prio_s = 1; prio_s <= 6; ++prio_s) {
+                const std::string label =
+                    std::string(ubenchName(id)) + " (" +
+                    std::to_string(prio_p) + "," +
+                    std::to_string(prio_s) + ")";
+                RunSnapshot slow = runPair(prog, prio_p, prio_s,
+                                           false, false, run_cycles);
+                RunSnapshot fast = runPair(prog, prio_p, prio_s,
+                                           true, false, run_cycles);
+                expectIdentical(fast, slow, label);
+            }
+        }
+    }
+}
+
+/**
+ * Same sweep with the fatal p5check suite armed on the fast-forwarded
+ * core: the skip-aware checkers independently verify each bulk jump
+ * (no decode activity, exact forfeit conservation) and panic on any
+ * deviation. One benchmark covers all 36 pairs; the memory-bound
+ * ldint_mem produces the longest and most frequent idle gaps.
+ */
+TEST(FastForward, SkipAwareCheckersAcceptAllPriorityPairs)
+{
+    constexpr Cycle run_cycles = 2500;
+    const SyntheticProgram prog = makeUbench(UbenchId::LdintMem, 0.25);
+    for (int prio_p = 1; prio_p <= 6; ++prio_p) {
+        for (int prio_s = 1; prio_s <= 6; ++prio_s) {
+            const std::string label = "ldint_mem armed (" +
+                                      std::to_string(prio_p) + "," +
+                                      std::to_string(prio_s) + ")";
+            RunSnapshot slow = runPair(prog, prio_p, prio_s, false,
+                                       true, run_cycles);
+            RunSnapshot fast = runPair(prog, prio_p, prio_s, true,
+                                       true, run_cycles);
+            expectIdentical(fast, slow, label);
+        }
+    }
+}
+
+/** Every presented benchmark also passes armed at the default pair. */
+TEST(FastForward, SkipAwareCheckersAcceptAllBenchmarks)
+{
+    constexpr Cycle run_cycles = 2500;
+    for (UbenchId id : presentedUbench()) {
+        const SyntheticProgram prog = makeUbench(id, 0.25);
+        RunSnapshot slow = runPair(prog, 4, 4, false, true, run_cycles);
+        RunSnapshot fast = runPair(prog, 4, 4, true, true, run_cycles);
+        expectIdentical(fast, slow, std::string(ubenchName(id)) +
+                                        " armed (4,4)");
+    }
+}
+
+/**
+ * FAME-level equivalence: the full convergence loop (warmup detection,
+ * repetition accounting, MAIV convergence) lands on exactly the same
+ * measurement with fast-forward on and off.
+ */
+TEST(FastForward, FameRunsAreEquivalent)
+{
+    const SyntheticProgram prog = makeUbench(UbenchId::LdintMem, 0.25);
+    FameParams fame;
+    fame.minRepetitions = 3;
+    fame.warmupRepetitions = 1;
+    fame.maxCycles = 2'000'000;
+
+    CoreParams fast_params;
+    fast_params.fastForward = true;
+    CoreParams slow_params;
+    slow_params.fastForward = false;
+
+    FameResult fast = runFame(fast_params, &prog, &prog, 4, 4, fame);
+    FameResult slow = runFame(slow_params, &prog, &prog, 4, 4, fame);
+
+    EXPECT_EQ(fast.totalCycles, slow.totalCycles);
+    EXPECT_EQ(fast.converged, slow.converged);
+    EXPECT_EQ(fast.hitCycleLimit, slow.hitCycleLimit);
+    for (size_t t = 0; t < num_hw_threads; ++t) {
+        EXPECT_EQ(fast.thread[t].present, slow.thread[t].present);
+        EXPECT_EQ(fast.thread[t].executions, slow.thread[t].executions);
+        EXPECT_EQ(fast.thread[t].accountedCycles,
+                  slow.thread[t].accountedCycles);
+        EXPECT_EQ(fast.thread[t].accountedInstrs,
+                  slow.thread[t].accountedInstrs);
+    }
+}
+
+/**
+ * runUntilExecutions(max_cycles = never_cycle) used to overflow the
+ * deadline (cycle_ + max_cycles wrapped) and return immediately; the
+ * saturated limit must let the run proceed to the target.
+ */
+TEST(FastForward, RunUntilExecutionsSaturatesMaxCycles)
+{
+    const SyntheticProgram prog = test::independentAlus(1000);
+    SmtCore core{CoreParams{}};
+    core.attachThread(0, &prog, 4);
+    EXPECT_TRUE(core.runUntilExecutions(0, 100, never_cycle));
+    EXPECT_GE(core.executionsOf(0), 100u);
+
+    // Also from a non-zero starting cycle (the wrap that bit).
+    SmtCore core2{CoreParams{}};
+    core2.attachThread(0, &prog, 4);
+    core2.run(50);
+    EXPECT_TRUE(core2.runUntilExecutions(0, 100, never_cycle));
+}
+
+/**
+ * Sanity: on a DRAM-bound pair most cycles are idle waits, so the
+ * engine must actually skip a majority of them (this is where the
+ * wall-clock win comes from).
+ */
+TEST(FastForward, SkipsMajorityOfMemoryBoundCycles)
+{
+    const SyntheticProgram prog = makeUbench(UbenchId::LdintMem, 0.25);
+    CoreParams params;
+    SmtCore core(params);
+    core.attachThread(0, &prog, 4);
+    core.attachThread(1, &prog, 4);
+    core.run(20000);
+    EXPECT_GT(core.idleCyclesSkipped(), 10000u);
+}
+
+/** The escape hatch really disables the engine. */
+TEST(FastForward, KnobDisablesSkipping)
+{
+    const SyntheticProgram prog = makeUbench(UbenchId::LdintMem, 0.25);
+    CoreParams params;
+    params.fastForward = false;
+    SmtCore core(params);
+    core.attachThread(0, &prog, 4);
+    core.attachThread(1, &prog, 4);
+    core.run(20000);
+    EXPECT_EQ(core.idleCyclesSkipped(), 0u);
+}
+
+} // namespace
+} // namespace p5

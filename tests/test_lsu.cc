@@ -103,6 +103,21 @@ TEST(Lsu, WalkerPenalizesLowerPriorityThread)
     EXPECT_GE(minority.doneCycle, 31u * 100u);
 }
 
+TEST(Lsu, FirstWalkUnpenalizedWithIdleSibling)
+{
+    LsuFixture f;
+    f.allocator->setPriorities(6, 2); // R = 32
+    // The sibling (thread 0) has never requested a walk: the minority's
+    // very first walk must not be treated as contended. A zero-initialized
+    // lastWalkRequest_ used to look like a sibling walk at cycle 0 and
+    // charged the full (R-1) x walk phantom penalty (31 x 100 here).
+    MemAccessResult minority = f.lsu->issueLoad(1, 0x0000, 0);
+    EXPECT_TRUE(minority.tlbMiss);
+    EXPECT_LT(minority.doneCycle, 31u * 100u);
+    // Uncontended: one walk (100) plus the DRAM access, well under 1000.
+    EXPECT_LT(minority.doneCycle, 1000u);
+}
+
 TEST(Lsu, WalkerPenaltyDisabledByKnob)
 {
     LsuFixture f;
@@ -125,6 +140,30 @@ TEST(Lsu, MajorityUnaffectedByMinorityWalks)
     MemAccessResult majority = f.lsu->issueLoad(0, 0x0000, 1);
     // The majority's walk proceeds after at most one walk service.
     EXPECT_LT(majority.doneCycle, 700u);
+}
+
+TEST(Lsu, PortGateSerializesBackToBackLoads)
+{
+    LsuFixture f;
+    // Warm a line for thread 1 so its later loads are pure L1 hits.
+    f.lsu->issueLoad(1, 0x0000, 0);
+    // Thread 0 walks at cycle 400 (outside thread 1's contention
+    // window), making it the active walker with a service window
+    // [400, 500) that gates the sibling's LSU port.
+    MemAccessResult walk = f.lsu->issueLoad(0, 0x4000, 400);
+    EXPECT_TRUE(walk.tlbMiss);
+    // Three back-to-back L1 hits from the gated sibling at the same
+    // cycle: each must hold the port for the full gap (2 cycles at
+    // equal priority), so the gate start times serialize 410/412/414.
+    // The old gate could hand two same-cycle accesses the same start.
+    MemAccessResult l1 = f.lsu->issueLoad(1, 0x0000, 410);
+    MemAccessResult l2 = f.lsu->issueLoad(1, 0x0000, 410);
+    MemAccessResult l3 = f.lsu->issueLoad(1, 0x0000, 410);
+    EXPECT_EQ(l1.level, MemLevel::L1);
+    EXPECT_EQ(l2.level, MemLevel::L1);
+    EXPECT_EQ(l3.level, MemLevel::L1);
+    EXPECT_GE(l2.doneCycle, l1.doneCycle + 2);
+    EXPECT_GE(l3.doneCycle, l2.doneCycle + 2);
 }
 
 TEST(Lsu, StoresWalkAndFill)

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Diff a fresh bench_sim_perf speedup report against the committed baseline.
+
+Usage: compare_perf.py BASELINE.json FRESH.json
+
+Checks, per baseline case (matched by name):
+
+  * the case still exists and its fast/slow stats are bit-identical
+    (``identicalStats`` and equal sim cycle counts) — a correctness
+    failure, never tolerated;
+  * ``simCyclesFast`` and ``ipcTotal`` are within a 25% relative
+    tolerance of the baseline — the simulated outcome should only move
+    when the model itself changes, and then the baseline must be
+    regenerated deliberately;
+  * ``speedup`` has not dropped below 75% of the baseline speedup
+    (one-sided: going faster is never a failure).
+
+Exits nonzero listing every violation, for the perf-smoke CI job.
+"""
+
+import json
+import sys
+
+REL_TOLERANCE = 0.25
+SPEEDUP_FLOOR = 0.75
+
+
+def within(actual, expected, tolerance):
+    if expected == 0:
+        return actual == 0
+    return abs(actual - expected) <= tolerance * abs(expected)
+
+
+def compare(baseline, fresh):
+    errors = []
+    fresh_by_name = {c["name"]: c for c in fresh.get("cases", [])}
+    for base in baseline.get("cases", []):
+        name = base["name"]
+        case = fresh_by_name.get(name)
+        if case is None:
+            errors.append(f"{name}: missing from fresh report")
+            continue
+        if not case.get("identicalStats", False):
+            errors.append(f"{name}: stats deviate between engine modes")
+        if case["simCyclesFast"] != case["simCyclesSlow"]:
+            errors.append(
+                f"{name}: simCycles differ between modes "
+                f"({case['simCyclesFast']} vs {case['simCyclesSlow']})")
+        if not within(case["simCyclesFast"], base["simCyclesFast"],
+                      REL_TOLERANCE):
+            errors.append(
+                f"{name}: simCyclesFast {case['simCyclesFast']} "
+                f"outside {REL_TOLERANCE:.0%} of baseline "
+                f"{base['simCyclesFast']}")
+        if not within(case["ipcTotal"], base["ipcTotal"], REL_TOLERANCE):
+            errors.append(
+                f"{name}: ipcTotal {case['ipcTotal']:.4f} outside "
+                f"{REL_TOLERANCE:.0%} of baseline {base['ipcTotal']:.4f}")
+        if case["speedup"] < base["speedup"] * SPEEDUP_FLOOR:
+            errors.append(
+                f"{name}: speedup {case['speedup']:.2f}x below "
+                f"{SPEEDUP_FLOOR:.0%} of baseline "
+                f"{base['speedup']:.2f}x")
+        else:
+            print(f"{name}: speedup {case['speedup']:.2f}x "
+                  f"(baseline {base['speedup']:.2f}x) OK")
+    return errors
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        baseline = json.load(f)
+    with open(argv[2]) as f:
+        fresh = json.load(f)
+    errors = compare(baseline, fresh)
+    for error in errors:
+        print(f"PERF REGRESSION: {error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
