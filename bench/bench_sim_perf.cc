@@ -15,6 +15,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -226,8 +227,8 @@ struct PerfCase
 /**
  * The report suite. ldint_mem+ldint_mem (4,4) is the headline case
  * (the acceptance floor is a 3x end-to-end speedup there); the
- * compute-bound pair pins the "no pathological overhead when there is
- * nothing to skip" end of the spectrum.
+ * compute-bound and mixed pairs — balanced and priority-skewed — pin
+ * the "no overhead when there is nothing to skip" end of the spectrum.
  */
 constexpr PerfCase report_cases[] = {
     {"ldint_mem+ldint_mem@4,4", UbenchId::LdintMem, UbenchId::LdintMem,
@@ -236,7 +237,10 @@ constexpr PerfCase report_cases[] = {
      6, 2},
     {"ldint_mem+cpu_int@4,4", UbenchId::LdintMem, UbenchId::CpuInt, 4,
      4},
+    {"ldint_mem+cpu_int@2,6", UbenchId::LdintMem, UbenchId::CpuInt, 2,
+     6},
     {"cpu_int+cpu_int@4,4", UbenchId::CpuInt, UbenchId::CpuInt, 4, 4},
+    {"cpu_int+cpu_int@6,2", UbenchId::CpuInt, UbenchId::CpuInt, 6, 2},
 };
 
 struct TimedRun
@@ -262,6 +266,16 @@ timedFameRun(const PerfCase &c, bool fast_forward)
         std::chrono::duration<double, std::milli>(t1 - t0).count();
     return run;
 }
+
+/**
+ * Best-of-N timing for one case and mode. Repetitions of the two modes
+ * are interleaved with alternating order (turbo/thermal effects favor
+ * whichever mode runs first in a back-to-back pair) and the minimum
+ * wall time per mode is kept: host-side drift inflates individual runs
+ * but never deflates them, so min over order-balanced repetitions is
+ * the bias-resistant estimator of the true per-mode cost.
+ */
+constexpr int report_reps = 4;
 
 bool
 sameMeasurement(const FameResult &a, const FameResult &b)
@@ -302,11 +316,28 @@ writePerfReport(const std::string &path)
     w.beginArray();
     for (const PerfCase &c : report_cases) {
         // Warm one fast run so first-touch costs (program build, page
-        // sets) don't pollute the slow/fast ratio, then measure.
+        // sets) don't pollute the slow/fast ratio, then measure the
+        // two modes interleaved and keep each mode's best repetition.
         timedFameRun(c, true);
-        const TimedRun fast = timedFameRun(c, true);
-        const TimedRun slow = timedFameRun(c, false);
-        const bool identical = sameMeasurement(fast.result, slow.result);
+        TimedRun fast, slow;
+        bool identical = true;
+        for (int rep = 0; rep < report_reps; ++rep) {
+            const bool slow_first = (rep % 2) == 0;
+            TimedRun s, f;
+            if (slow_first) {
+                s = timedFameRun(c, false);
+                f = timedFameRun(c, true);
+            } else {
+                f = timedFameRun(c, true);
+                s = timedFameRun(c, false);
+            }
+            identical =
+                identical && sameMeasurement(f.result, s.result);
+            if (rep == 0 || s.wallMs < slow.wallMs)
+                slow = s;
+            if (rep == 0 || f.wallMs < fast.wallMs)
+                fast = f;
+        }
         all_identical = all_identical && identical;
 
         w.beginObject();
@@ -338,6 +369,48 @@ writePerfReport(const std::string &path)
     return 0;
 }
 
+// --- --p5sim_profile_stages mode --------------------------------------
+
+/**
+ * Per-stage wall-time breakdown: run every report case for a fixed
+ * cycle budget with a StageProfile attached and print where the wall
+ * clock goes (completions / issue / commit / decode / probe), plus the
+ * adaptive-probe counters. This is the first tool to reach for when an
+ * end-to-end speedup in the JSON report regresses: it attributes the
+ * loss to a stage instead of a whole run.
+ */
+int
+profileStages()
+{
+    constexpr Cycle profile_cycles = 500000;
+    std::printf("%-26s %10s %10s %10s %10s %10s  %9s %9s %9s\n", "case",
+                "complet ms", "issue ms", "commit ms", "decode ms",
+                "probe ms", "ticks", "probes", "skipped");
+    for (const PerfCase &c : report_cases) {
+        const SyntheticProgram pp = makeUbench(c.primary);
+        const SyntheticProgram ps = makeUbench(c.secondary);
+        CoreParams params;
+        SmtCore core(params);
+        SmtCore::StageProfile prof;
+        core.setStageProfile(&prof);
+        core.attachThread(0, &pp, c.prioP);
+        core.attachThread(1, &ps, c.prioS);
+        core.run(profile_cycles);
+        const auto ms = [](std::uint64_t ns) { return ns / 1e6; };
+        std::printf("%-26s %10.3f %10.3f %10.3f %10.3f %10.3f  %9llu "
+                    "%9llu %9llu\n",
+                    c.name, ms(prof.completionsNs), ms(prof.issueNs),
+                    ms(prof.commitNs), ms(prof.decodeNs),
+                    ms(prof.probeNs),
+                    static_cast<unsigned long long>(prof.timedTicks),
+                    static_cast<unsigned long long>(
+                        core.fastForwardProbes()),
+                    static_cast<unsigned long long>(
+                        core.idleCyclesSkipped()));
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -347,6 +420,8 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], json_flag, std::strlen(json_flag)) == 0)
             return writePerfReport(argv[i] + std::strlen(json_flag));
+        if (std::strcmp(argv[i], "--p5sim_profile_stages") == 0)
+            return profileStages();
     }
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))

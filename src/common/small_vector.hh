@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Fixed-inline-capacity vector with heap spill.
+ *
+ * The simulator's per-cycle path must not allocate (DESIGN §8), so the
+ * short, bounded sequences it builds every cycle — a decode group, an
+ * instruction's wakeup list — live in a SmallVector: the first N
+ * elements sit inline in the object, and only pathological overflows
+ * spill to the heap. clear() keeps whatever capacity was acquired, so a
+ * pooled slot (e.g. an in-flight-window entry) that spilled once never
+ * allocates again when reused.
+ */
+
+#ifndef P5SIM_COMMON_SMALL_VECTOR_HH
+#define P5SIM_COMMON_SMALL_VECTOR_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace p5 {
+
+/** Vector with @p N elements of inline storage. */
+template <typename T, std::size_t N>
+class SmallVector
+{
+    static_assert(N > 0, "SmallVector needs inline capacity");
+
+  public:
+    SmallVector() = default;
+
+    SmallVector(const SmallVector &other) { appendAll(other); }
+
+    SmallVector(SmallVector &&other) noexcept { adopt(std::move(other)); }
+
+    SmallVector &
+    operator=(const SmallVector &other)
+    {
+        if (this != &other) {
+            clear();
+            appendAll(other);
+        }
+        return *this;
+    }
+
+    SmallVector &
+    operator=(SmallVector &&other) noexcept
+    {
+        if (this != &other) {
+            destroyStorage();
+            adopt(std::move(other));
+        }
+        return *this;
+    }
+
+    ~SmallVector() { destroyStorage(); }
+
+    void
+    push_back(const T &value)
+    {
+        emplace_back(value);
+    }
+
+    void
+    push_back(T &&value)
+    {
+        emplace_back(std::move(value));
+    }
+
+    template <typename... Args>
+    T &
+    emplace_back(Args &&...args)
+    {
+        if (size_ == capacity_)
+            grow(capacity_ * 2);
+        T *slot = data_ + size_;
+        ::new (static_cast<void *>(slot)) T(std::forward<Args>(args)...);
+        ++size_;
+        return *slot;
+    }
+
+    void
+    pop_back()
+    {
+        --size_;
+        data_[size_].~T();
+    }
+
+    /** Destroy the elements but keep the acquired capacity. */
+    void
+    clear()
+    {
+        for (std::size_t i = 0; i < size_; ++i)
+            data_[i].~T();
+        size_ = 0;
+    }
+
+    void
+    reserve(std::size_t capacity)
+    {
+        if (capacity > capacity_)
+            grow(capacity);
+    }
+
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return capacity_; }
+    bool empty() const { return size_ == 0; }
+
+    T *begin() { return data_; }
+    T *end() { return data_ + size_; }
+    const T *begin() const { return data_; }
+    const T *end() const { return data_ + size_; }
+
+    T &operator[](std::size_t i) { return data_[i]; }
+    const T &operator[](std::size_t i) const { return data_[i]; }
+
+    T &front() { return data_[0]; }
+    const T &front() const { return data_[0]; }
+    T &back() { return data_[size_ - 1]; }
+    const T &back() const { return data_[size_ - 1]; }
+
+  private:
+    T *
+    inlineData()
+    {
+        return reinterpret_cast<T *>(inline_);
+    }
+
+    const T *
+    inlineData() const
+    {
+        return reinterpret_cast<const T *>(inline_);
+    }
+
+    bool onHeap() const { return data_ != inlineData(); }
+
+    void
+    grow(std::size_t min_capacity)
+    {
+        std::size_t capacity = capacity_;
+        while (capacity < min_capacity)
+            capacity *= 2;
+        T *fresh = static_cast<T *>(
+            ::operator new(capacity * sizeof(T), std::align_val_t{alignof(T)}));
+        for (std::size_t i = 0; i < size_; ++i) {
+            ::new (static_cast<void *>(fresh + i)) T(std::move(data_[i]));
+            data_[i].~T();
+        }
+        releaseHeap();
+        data_ = fresh;
+        capacity_ = capacity;
+    }
+
+    void
+    releaseHeap()
+    {
+        if (onHeap())
+            ::operator delete(data_, std::align_val_t{alignof(T)});
+    }
+
+    /** clear() plus release of any heap buffer (back to inline). */
+    void
+    destroyStorage()
+    {
+        clear();
+        releaseHeap();
+        data_ = inlineData();
+        capacity_ = N;
+    }
+
+    void
+    appendAll(const SmallVector &other)
+    {
+        reserve(other.size_);
+        for (std::size_t i = 0; i < other.size_; ++i)
+            emplace_back(other.data_[i]);
+    }
+
+    /** Steal @p other's heap buffer, or move its inline elements. */
+    void
+    adopt(SmallVector &&other) noexcept
+    {
+        if (other.onHeap()) {
+            data_ = other.data_;
+            size_ = other.size_;
+            capacity_ = other.capacity_;
+            other.data_ = other.inlineData();
+            other.size_ = 0;
+            other.capacity_ = N;
+        } else {
+            data_ = inlineData();
+            size_ = other.size_;
+            capacity_ = N;
+            for (std::size_t i = 0; i < size_; ++i) {
+                ::new (static_cast<void *>(data_ + i))
+                    T(std::move(other.data_[i]));
+                other.data_[i].~T();
+            }
+            other.size_ = 0;
+        }
+    }
+
+    T *data_ = inlineData();
+    std::size_t size_ = 0;
+    std::size_t capacity_ = N;
+    alignas(T) unsigned char inline_[N * sizeof(T)];
+};
+
+} // namespace p5
+
+#endif // P5SIM_COMMON_SMALL_VECTOR_HH

@@ -8,6 +8,10 @@ Gct::Gct(int num_groups) : capacity_(num_groups)
 {
     if (num_groups <= 0)
         fatal("GCT needs at least one group");
+    // Occupancy never exceeds capacity, so pre-sizing the rings here
+    // keeps the per-cycle allocate/retire path allocation-free.
+    for (auto &q : groups_)
+        q.reserve(static_cast<std::size_t>(num_groups));
 }
 
 void

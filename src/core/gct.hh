@@ -12,8 +12,7 @@
 #ifndef P5SIM_CORE_GCT_HH
 #define P5SIM_CORE_GCT_HH
 
-#include <deque>
-
+#include "common/ring_deque.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -82,7 +81,7 @@ class Gct
     void clearThread(ThreadId tid);
 
     /** Iterate over @p tid's groups, oldest first. */
-    const std::deque<GctGroup> &
+    const RingDeque<GctGroup> &
     groupsOf(ThreadId tid) const
     {
         return groups_[static_cast<size_t>(tid)];
@@ -95,7 +94,7 @@ class Gct
 
   private:
     int capacity_;
-    std::deque<GctGroup> groups_[num_hw_threads];
+    RingDeque<GctGroup> groups_[num_hw_threads];
     Counter allocated_;
     Counter retired_;
 };

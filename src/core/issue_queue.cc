@@ -6,6 +6,15 @@
 
 namespace p5 {
 
+IssueQueue::IssueQueue()
+{
+    // Above the worst-case high-water mark (both threads' windows are
+    // GCT-bound, so ready entries of one class can't exceed the total
+    // in-flight count), so pushes never reallocate on the busy path.
+    for (auto &q : queues_)
+        q.reserve(256);
+}
+
 void
 IssueQueue::push(FuClass fc, const ReadyRef &ref)
 {

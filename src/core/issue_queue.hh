@@ -26,6 +26,7 @@ struct ReadyRef
     ThreadId tid = 0;
     SeqNum seq = 0;
     std::uint64_t epoch = 0; ///< thread squash epoch at dispatch
+    std::uint32_t slot = 0;  ///< window-slot hint for O(1) resolve
 };
 
 /** Oldest-first (smallest stamp) ordering for the ready heaps. */
@@ -49,6 +50,8 @@ struct ReadyRefLater
 class IssueQueue
 {
   public:
+    IssueQueue();
+
     /** Enqueue a ready instruction for its unit class. */
     void push(FuClass fc, const ReadyRef &ref);
 

@@ -1,9 +1,11 @@
 #include "core/smt_core.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "check/check.hh"
 #include "common/log.hh"
+#include "common/small_vector.hh"
 
 // -DP5SIM_CHECK=1 (the P5SIM_CHECK CMake option) turns every core into
 // a checked core: the standard p5check suite is installed at
@@ -30,6 +32,14 @@ SmtCore::SmtCore(const CoreParams &params, MemBackside *shared_backside)
     arbiter_.allocator().setPriorities(0, 0);
     lsu_.setPriorityView(&arbiter_.allocator());
     balancer_.setPriorityView(&arbiter_.allocator());
+    {
+        // Pre-size the completion heap past any plausible in-flight
+        // count so busy-path pushes never reallocate.
+        std::vector<Completion> storage;
+        storage.reserve(256);
+        completions_ = decltype(completions_)(CompletionLater{},
+                                              std::move(storage));
+    }
     registerStats();
 #if P5SIM_CHECK
     check::installStandardCheckers(*this);
@@ -92,9 +102,16 @@ SmtCore::attachThread(ThreadId tid, const SyntheticProgram *program,
     if (tid < 0 || tid >= num_hw_threads)
         panic("attachThread: bad tid %d", tid);
     ThreadState &ts = *threads_[static_cast<size_t>(tid)];
-    ts.attach(program);
+    // The window can never outgrow the GCT's instruction capacity; one
+    // extra group of slack keeps the ring from re-layouting (which
+    // would invalidate slot handles until their first fallback lookup).
+    const std::size_t window_cap =
+        static_cast<std::size_t>(params_.gctGroups + 1) *
+        static_cast<std::size_t>(params_.groupSize);
+    ts.attach(program, window_cap);
     ts.privilege = privilege;
     arbiter_.allocator().setPriority(tid, priority);
+    idleStreak_ = ff_arm_streak;
 }
 
 void
@@ -105,6 +122,7 @@ SmtCore::detachThread(ThreadId tid)
     lmq_.releaseThread(tid);
     gct_.clearThread(tid);
     arbiter_.allocator().setPriority(tid, 0);
+    idleStreak_ = ff_arm_streak;
 }
 
 bool
@@ -202,13 +220,60 @@ SmtCore::totalIpc() const
 void
 SmtCore::tick()
 {
-    processCompletions();
-    issueStage();
-    commitStage();
-    decodeStage();
+    tickProgress_ = false;
+    if (profile_) {
+        tickTimed();
+    } else {
+        processCompletions();
+        issueStage();
+        commitStage();
+        decodeStage();
+    }
     if (checks_)
         checks_->onCycle(*this, cycle_);
     ++cycle_;
+}
+
+void
+SmtCore::tickTimed()
+{
+    using clock = std::chrono::steady_clock;
+    const auto ns = [](clock::time_point a, clock::time_point b) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+                .count());
+    };
+    const auto t0 = clock::now();
+    processCompletions();
+    const auto t1 = clock::now();
+    issueStage();
+    const auto t2 = clock::now();
+    commitStage();
+    const auto t3 = clock::now();
+    decodeStage();
+    const auto t4 = clock::now();
+    profile_->completionsNs += ns(t0, t1);
+    profile_->issueNs += ns(t1, t2);
+    profile_->commitNs += ns(t2, t3);
+    profile_->decodeNs += ns(t3, t4);
+    ++profile_->timedTicks;
+}
+
+bool
+SmtCore::probeFastForward(Cycle limit)
+{
+    ++ffProbes_;
+    if (!profile_)
+        return tryFastForward(limit);
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    const bool skipped = tryFastForward(limit);
+    profile_->probeNs += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             t0)
+            .count());
+    ++profile_->timedProbes;
+    return skipped;
 }
 
 void
@@ -216,9 +281,14 @@ SmtCore::run(Cycle cycles)
 {
     const Cycle end = saturatingAdd(cycle_, cycles);
     while (cycle_ < end) {
-        if (params_.fastForward && tryFastForward(end))
+        // A successful skip leaves the probe armed: the landing cycle
+        // usually has work, but conservative event sources mean it may
+        // not, and only a probe can prove that.
+        if (params_.fastForward && idleStreak_ >= ff_arm_streak &&
+            probeFastForward(end))
             continue;
         tick();
+        idleStreak_ = tickProgress_ ? 0 : idleStreak_ + 1;
     }
 }
 
@@ -230,9 +300,11 @@ SmtCore::runUntilExecutions(ThreadId tid, std::uint64_t executions,
     while (cycle_ < limit) {
         if (executionsOf(tid) >= executions)
             return true;
-        if (params_.fastForward && tryFastForward(limit))
+        if (params_.fastForward && idleStreak_ >= ff_arm_streak &&
+            probeFastForward(limit))
             continue;
         tick();
+        idleStreak_ = tickProgress_ ? 0 : idleStreak_ + 1;
     }
     return executionsOf(tid) >= executions;
 }
@@ -430,10 +502,11 @@ void
 SmtCore::processCompletions()
 {
     while (!completions_.empty() && completions_.top().cycle <= cycle_) {
+        tickProgress_ = true;
         Completion c = completions_.top();
         completions_.pop();
         ThreadState &ts = *threads_[static_cast<size_t>(c.tid)];
-        InFlight *e = ts.find(c.seq, c.epoch);
+        InFlight *e = ts.resolve({c.slot, c.seq, c.epoch});
         if (!e || e->phase != InstrPhase::Issued)
             continue; // squashed since issue
         e->phase = InstrPhase::Finished;
@@ -454,8 +527,8 @@ SmtCore::processCompletions()
 void
 SmtCore::wakeDependents(ThreadState &ts, InFlight &e)
 {
-    for (const auto &[dseq, depoch] : e.dependents) {
-        InFlight *d = ts.find(dseq, depoch);
+    for (const InFlightRef &dep : e.dependents) {
+        InFlight *d = ts.resolve(dep);
         if (!d || d->phase != InstrPhase::Dispatched)
             continue;
         if (d->pendingSrcs > 0 && --d->pendingSrcs == 0)
@@ -475,6 +548,7 @@ SmtCore::pushReady(ThreadState &ts, InFlight &e)
     ref.tid = ts.tid();
     ref.seq = e.di.seq;
     ref.epoch = e.epoch;
+    ref.slot = ts.window.physIndexOf(&e);
     readyQ_.push(fuClassOf(e.di.op), ref);
 }
 
@@ -485,9 +559,10 @@ SmtCore::issueStage()
                                            FuClass::LS, FuClass::BR};
     for (FuClass fc : kClasses) {
         while (!readyQ_.empty(fc) && fuPool_.freeUnits(fc, cycle_) > 0) {
+            tickProgress_ = true;
             ReadyRef ref = readyQ_.pop(fc);
             ThreadState &ts = *threads_[static_cast<size_t>(ref.tid)];
-            InFlight *e = ts.find(ref.seq, ref.epoch);
+            InFlight *e = ts.resolve({ref.slot, ref.seq, ref.epoch});
             if (!e || e->phase != InstrPhase::Dispatched ||
                 e->pendingSrcs > 0)
                 continue; // stale reference
@@ -511,7 +586,8 @@ SmtCore::issueStage()
 
             e->phase = InstrPhase::Issued;
             e->di.completeCycle = done;
-            completions_.push({done, ref.tid, ref.seq, ref.epoch});
+            completions_.push({done, ref.tid, ref.seq, ref.epoch,
+                               ref.slot});
         }
     }
 }
@@ -539,6 +615,7 @@ SmtCore::commitStage()
         if (!all_finished)
             continue;
 
+        tickProgress_ = true;
         for (int i = 0; i < group.count; ++i) {
             InFlight &e = ts.window.front();
             if (e.di.seq != group.startSeq + static_cast<SeqNum>(i))
@@ -615,11 +692,13 @@ SmtCore::decodeStage()
     if (grant.owner < 0)
         return;
 
+    tickProgress_ = true;
     ThreadState &ts = *threads_[static_cast<size_t>(grant.owner)];
     const int width = std::min(grant.maxWidth, params_.groupSize);
 
-    std::vector<DynInstr> group;
-    group.reserve(static_cast<size_t>(width));
+    // Inline capacity covers the 5-wide decode; a (configured) wider
+    // group would spill once per cycle, so keep the margin generous.
+    SmallVector<DynInstr, 8> group;
     while (static_cast<int>(group.size()) < width) {
         DynInstr di = ts.stream().fetch();
         if (di.isBranch())
@@ -641,10 +720,21 @@ SmtCore::decodeStage()
 void
 SmtCore::dispatchOne(ThreadState &ts, const DynInstr &di)
 {
-    InFlight e;
+    // Claim the pooled window slot before touching producers: if the
+    // ring ever had to grow it would move entries, and taking producer
+    // pointers afterwards keeps them valid either way. The stale slot
+    // is reset field-wise; dependents.clear() keeps any spilled buffer,
+    // so steady-state dispatch performs no allocation.
+    InFlight &e = ts.window.pushSlot();
     e.di = di;
+    e.phase = InstrPhase::Dispatched;
+    e.pendingSrcs = 0;
     e.epoch = ts.epoch;
     e.stamp = dispatchStamp_++;
+    e.inReadyQueue = false;
+    e.dependents.clear();
+
+    const std::uint32_t slot = ts.window.physIndexOf(&e);
 
     int pending = 0;
     for (RegIndex src : {di.src0, di.src1}) {
@@ -656,7 +746,7 @@ SmtCore::dispatchOne(ThreadState &ts, const DynInstr &di)
         InFlight *producer = ts.find(re.seq, re.epoch);
         if (producer && producer->phase != InstrPhase::Finished) {
             ++pending;
-            producer->dependents.emplace_back(di.seq, e.epoch);
+            producer->dependents.push_back({slot, di.seq, e.epoch});
         }
     }
     e.pendingSrcs = pending;
@@ -668,14 +758,11 @@ SmtCore::dispatchOne(ThreadState &ts, const DynInstr &di)
         re.epoch = e.epoch;
     }
 
-    ts.window.push_back(std::move(e));
-    InFlight &placed = ts.window.back();
-
     if (fuClassOf(di.op) == FuClass::None) {
         // Nops and priority nops consume decode/commit bandwidth only.
-        placed.phase = InstrPhase::Finished;
-    } else if (placed.pendingSrcs == 0) {
-        pushReady(ts, placed);
+        e.phase = InstrPhase::Finished;
+    } else if (e.pendingSrcs == 0) {
+        pushReady(ts, e);
     }
 }
 
@@ -719,6 +806,7 @@ SmtCore::flushDispatched(ThreadState &ts)
     }
     if (flushed == 0)
         return;
+    tickProgress_ = true;
     flushedInstrs_[static_cast<size_t>(ts.tid())] += flushed;
     ts.squashedCtr += flushed;
     ++ts.epoch;

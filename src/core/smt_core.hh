@@ -106,6 +106,12 @@ class SmtCore
      * earliest component event, with all counters advanced
      * arithmetically; every observable stat is bit-identical to
      * cycle-by-cycle ticking.
+     *
+     * Probing is adaptive: the fast-forward gate replay only runs
+     * after a tick that made no forward progress (nothing completed,
+     * issued, committed, decoded or flushed). Busy stretches pay one
+     * progress-flag write per cycle instead of a full probe; idle gaps
+     * pay at most one extra tick before the jump.
      */
     void run(Cycle cycles);
 
@@ -181,6 +187,31 @@ class SmtCore
      */
     std::uint64_t idleCyclesSkipped() const { return idleSkipped_; }
 
+    /**
+     * Fast-forward probes attempted (successful or not). Like
+     * idleCyclesSkipped() this is observability only, not a stat; the
+     * adaptive-probe test uses it to show busy runs barely probe.
+     */
+    std::uint64_t fastForwardProbes() const { return ffProbes_; }
+
+    /**
+     * Per-stage wall-time accumulators for --p5sim_profile_stages.
+     * While a profile is attached every tick routes through a timed
+     * path; detach (nullptr) to restore the untimed hot loop.
+     */
+    struct StageProfile
+    {
+        std::uint64_t completionsNs = 0;
+        std::uint64_t issueNs = 0;
+        std::uint64_t commitNs = 0;
+        std::uint64_t decodeNs = 0;
+        std::uint64_t probeNs = 0;
+        std::uint64_t timedTicks = 0;
+        std::uint64_t timedProbes = 0;
+    };
+
+    void setStageProfile(StageProfile *profile) { profile_ = profile; }
+
   private:
     struct Completion
     {
@@ -188,6 +219,7 @@ class SmtCore
         ThreadId tid;
         SeqNum seq;
         std::uint64_t epoch;
+        std::uint32_t slot; ///< window-slot hint for O(1) resolve
     };
     struct CompletionLater
     {
@@ -202,6 +234,12 @@ class SmtCore
     void issueStage();
     void commitStage();
     void decodeStage();
+
+    /** tick() body with per-stage timing (profile attached). */
+    void tickTimed();
+
+    /** Counted (and, with a profile, timed) tryFastForward wrapper. */
+    bool probeFastForward(Cycle limit);
 
     // --- idle-cycle fast-forward --------------------------------------
 
@@ -283,7 +321,23 @@ class SmtCore
 
     Cycle cycle_ = 0;
     std::uint64_t idleSkipped_ = 0;
+    std::uint64_t ffProbes_ = 0;
     std::uint64_t dispatchStamp_ = 0;
+
+    /**
+     * Adaptive-probe state: tick() clears tickProgress_ and the stages
+     * set it on any state mutation; the run loops count consecutive
+     * no-progress ticks and only probe once the streak reaches
+     * ff_arm_streak, so the 1–2 cycle bubbles that pepper compute-bound
+     * runs never pay for a (mostly failing) gate replay. Skipping a
+     * probe never changes stats — an un-probed idle cycle is simply
+     * ticked.
+     */
+    static constexpr std::uint32_t ff_arm_streak = 2;
+    bool tickProgress_ = false;
+    std::uint32_t idleStreak_ = ff_arm_streak;
+
+    StageProfile *profile_ = nullptr;
     std::priority_queue<Completion, std::vector<Completion>,
                         CompletionLater>
         completions_;

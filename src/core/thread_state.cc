@@ -5,12 +5,23 @@
 namespace p5 {
 
 void
-ThreadState::attach(const SyntheticProgram *program)
+ThreadState::attach(const SyntheticProgram *program,
+                    std::size_t window_capacity)
 {
     if (!program)
         panic("ThreadState::attach(null program)");
     stream_ = std::make_unique<InstrStream>(program, tid_);
     window.clear();
+    if (window_capacity > 0) {
+        window.reserve(window_capacity);
+        // Pre-warm every pooled slot's wakeup-list spill buffer to the
+        // fan-out high-water mark (a hot producer in a tight loop feeds
+        // every consumer dispatched before it completes — ~30 on the
+        // compute-bound micro-benchmarks). Paying all the growth here
+        // keeps steady-state dispatch allocation-free (DESIGN §8).
+        window.forEachSlot(
+            [](InFlight &e) { e.dependents.reserve(dependents_reserve); });
+    }
     for (auto &e : renameMap)
         e = RenameEntry{};
     epoch = 0;

@@ -10,6 +10,7 @@
 #ifndef P5SIM_ISA_INSTRUCTION_HH
 #define P5SIM_ISA_INSTRUCTION_HH
 
+#include <cstdint>
 #include <string>
 
 #include "common/types.hh"
@@ -72,6 +73,29 @@ struct DynInstr
 
     /** Debug rendering, e.g. "t0#42 Load r5<-r3 @0x1000". */
     std::string toString() const;
+};
+
+/**
+ * One slot of a program's pre-decoded fetch table.
+ *
+ * Programs are pure functions of the dynamic index, so everything a
+ * fetch derives from the static instruction — op, registers, PC, which
+ * pattern produces the address / branch direction — is decoded once
+ * per program into this template. A fetch then copies the prototype
+ * and fills in only the truly dynamic fields (tid, seq, the pattern
+ * outputs), instead of re-deriving the whole DynInstr every time (and
+ * again on every re-fetch after a squash).
+ */
+struct PredecodedInstr
+{
+    /** Prototype with the static fields set; dynamic fields zeroed. */
+    DynInstr proto;
+
+    /** Memory-pattern id for loads/stores, -1 otherwise. */
+    std::int32_t memPattern = -1;
+
+    /** Branch-pattern id for branches, -1 otherwise. */
+    std::int32_t branchPattern = -1;
 };
 
 } // namespace p5

@@ -56,40 +56,65 @@ SyntheticProgram::SyntheticProgram(std::string name,
         phaseStart_.push_back(phaseStart_.back() + phase.instructions());
     }
     instrsPerExec_ = phaseStart_.back();
+
+    // Pre-decode the fetch table: every field of a DynInstr that does
+    // not depend on the dynamic occurrence count, decoded once.
+    flatStart_.push_back(0);
+    for (const auto &phase : phases_) {
+        for (const auto &si : phase.body) {
+            PredecodedInstr ps;
+            ps.proto.op = si.op;
+            ps.proto.dst = si.dst;
+            ps.proto.src0 = si.src0;
+            ps.proto.src1 = si.src1;
+            ps.proto.prioNopReg = si.prioNopReg;
+            ps.proto.pc = si.pc;
+            if (isMemOp(si.op))
+                ps.memPattern = si.memPattern;
+            if (si.op == OpClass::Branch)
+                ps.branchPattern = si.branchPattern;
+            fetchTable_.push_back(ps);
+        }
+        flatStart_.push_back(flatStart_.back() + phase.body.size());
+    }
+}
+
+SyntheticProgram::Cursor
+SyntheticProgram::locate(SeqNum seq) const
+{
+    Cursor cur;
+    cur.exec = seq / instrsPerExec_;
+    const std::uint64_t in_exec = seq % instrsPerExec_;
+
+    // Locate the phase containing in_exec (few phases: linear scan).
+    while (in_exec >= phaseStart_[cur.phase + 1])
+        ++cur.phase;
+    const ProgramPhase &phase = phases_[cur.phase];
+    const std::uint64_t in_phase = in_exec - phaseStart_[cur.phase];
+    cur.iter = in_phase / phase.body.size();
+    cur.bodyIdx =
+        static_cast<std::size_t>(in_phase % phase.body.size());
+    return cur;
 }
 
 DynInstr
 SyntheticProgram::materialize(SeqNum seq, ThreadId tid) const
 {
-    const std::uint64_t exec = seq / instrsPerExec_;
-    const std::uint64_t in_exec = seq % instrsPerExec_;
-
-    // Locate the phase containing in_exec (few phases: linear scan).
-    std::size_t p = 0;
-    while (in_exec >= phaseStart_[p + 1])
-        ++p;
-    const ProgramPhase &phase = phases_[p];
-    const std::uint64_t in_phase = in_exec - phaseStart_[p];
-    const std::uint64_t iter = in_phase / phase.body.size();
-    const std::uint64_t body_idx = in_phase % phase.body.size();
-    const StaticInstr &si = phase.body[body_idx];
+    const Cursor cur = locate(seq);
+    const ProgramPhase &phase = phases_[cur.phase];
+    const PredecodedInstr &ps =
+        fetchTable_[flatStart_[cur.phase] + cur.bodyIdx];
 
     // Dynamic occurrence count of this static instruction.
-    const std::uint64_t k = exec * phase.iterations + iter;
+    const std::uint64_t k = cur.exec * phase.iterations + cur.iter;
 
-    DynInstr di;
+    DynInstr di = ps.proto;
     di.tid = tid;
     di.seq = seq;
-    di.op = si.op;
-    di.dst = si.dst;
-    di.src0 = si.src0;
-    di.src1 = si.src1;
-    di.prioNopReg = si.prioNopReg;
-    di.pc = si.pc;
-    if (isMemOp(si.op))
-        di.addr = memPatterns_[si.memPattern].addressAt(k);
-    if (si.op == OpClass::Branch)
-        di.branchTaken = branchPatterns_[si.branchPattern].directionAt(k);
+    if (ps.memPattern >= 0)
+        di.addr = memPatterns_[ps.memPattern].addressAt(k);
+    if (ps.branchPattern >= 0)
+        di.branchTaken = branchPatterns_[ps.branchPattern].directionAt(k);
     return di;
 }
 

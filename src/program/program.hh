@@ -77,6 +77,37 @@ class SyntheticProgram
      */
     DynInstr materialize(SeqNum seq, ThreadId tid) const;
 
+    /** Decomposition of a global index into program coordinates. */
+    struct Cursor
+    {
+        std::uint64_t exec = 0;    ///< completed executions before seq
+        std::size_t phase = 0;     ///< phase containing seq
+        std::uint64_t iter = 0;    ///< loop iteration within the phase
+        std::size_t bodyIdx = 0;   ///< position within the loop body
+    };
+
+    /** Locate global index @p seq (the materialize() arithmetic). */
+    Cursor locate(SeqNum seq) const;
+
+    /**
+     * The pre-decoded fetch table: one slot per static instruction, in
+     * phase order (flat index = flatStart()[phase] + bodyIdx). Built
+     * once at construction; InstrStream fetches by copying prototypes
+     * from here instead of re-deriving every DynInstr field.
+     */
+    const std::vector<PredecodedInstr> &
+    fetchTable() const
+    {
+        return fetchTable_;
+    }
+
+    /** Flat fetch-table offset of each phase (size phases+1). */
+    const std::vector<std::size_t> &
+    flatStart() const
+    {
+        return flatStart_;
+    }
+
     /** Instruction-mix census over one execution (per op class). */
     std::vector<std::uint64_t> opClassMix() const;
 
@@ -89,6 +120,9 @@ class SyntheticProgram
     /** Prefix sums of per-phase instruction counts (size phases+1). */
     std::vector<std::uint64_t> phaseStart_;
     std::uint64_t instrsPerExec_ = 0;
+
+    std::vector<PredecodedInstr> fetchTable_;
+    std::vector<std::size_t> flatStart_;
 };
 
 } // namespace p5

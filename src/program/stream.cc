@@ -9,18 +9,67 @@ InstrStream::InstrStream(const SyntheticProgram *program, ThreadId tid)
 {
     if (!program_)
         panic("InstrStream constructed with null program");
+    reposition(0);
 }
 
 DynInstr
-InstrStream::fetch()
+InstrStream::materializeAtCursor() const
 {
-    return program_->materialize(pos_++, tid_);
+    const PredecodedInstr &ps = program_->fetchTable()[flatIdx_];
+    DynInstr di = ps.proto;
+    di.tid = tid_;
+    di.seq = pos_;
+
+    // Dynamic occurrence count of this static instruction.
+    const std::uint64_t k = exec_ * iterations_ + iter_;
+    if (ps.memPattern >= 0)
+        di.addr = program_->memPatterns()[ps.memPattern].addressAt(k);
+    if (ps.branchPattern >= 0)
+        di.branchTaken =
+            program_->branchPatterns()[ps.branchPattern].directionAt(k);
+    return di;
 }
 
-DynInstr
-InstrStream::peek() const
+void
+InstrStream::advance()
 {
-    return program_->materialize(pos_, tid_);
+    ++pos_;
+    ++flatIdx_;
+    if (++bodyIdx_ != bodySize_)
+        return;
+    bodyIdx_ = 0;
+    flatIdx_ -= bodySize_;
+    if (++iter_ != iterations_)
+        return;
+    iter_ = 0;
+    flatIdx_ += bodySize_;
+    if (++phase_ == program_->phases().size()) {
+        phase_ = 0;
+        flatIdx_ = 0;
+        ++exec_;
+    }
+    loadPhase();
+}
+
+void
+InstrStream::loadPhase()
+{
+    const ProgramPhase &phase = program_->phases()[phase_];
+    bodySize_ = phase.body.size();
+    iterations_ = phase.iterations;
+}
+
+void
+InstrStream::reposition(SeqNum seq)
+{
+    const SyntheticProgram::Cursor cur = program_->locate(seq);
+    pos_ = seq;
+    exec_ = cur.exec;
+    phase_ = cur.phase;
+    iter_ = cur.iter;
+    bodyIdx_ = cur.bodyIdx;
+    flatIdx_ = program_->flatStart()[phase_] + bodyIdx_;
+    loadPhase();
 }
 
 void
@@ -30,7 +79,7 @@ InstrStream::rewindTo(SeqNum seq)
         panic("InstrStream rewind forward: %llu > %llu",
               static_cast<unsigned long long>(seq),
               static_cast<unsigned long long>(pos_));
-    pos_ = seq;
+    reposition(seq);
 }
 
 } // namespace p5

@@ -7,6 +7,13 @@
  * the sequence number following the last surviving instruction; because
  * programs are pure functions of the index, re-fetched instructions are
  * identical to the squashed ones.
+ *
+ * Fetch is memoized: the stream keeps an incremental cursor (phase,
+ * iteration, body position) into the program's pre-decoded fetch table,
+ * so the common-path fetch is a prototype copy plus the two pattern
+ * evaluations — no per-fetch division back into program coordinates.
+ * Rewinds (and only rewinds) re-derive the cursor arithmetically, so
+ * mispredict-heavy replay hits the memoized table too.
  */
 
 #ifndef P5SIM_PROGRAM_STREAM_HH
@@ -24,10 +31,20 @@ class InstrStream
     InstrStream(const SyntheticProgram *program, ThreadId tid);
 
     /** Materialize the instruction at the current position and advance. */
-    DynInstr fetch();
+    DynInstr
+    fetch()
+    {
+        DynInstr di = materializeAtCursor();
+        advance();
+        return di;
+    }
 
     /** Peek without advancing. */
-    DynInstr peek() const;
+    DynInstr
+    peek() const
+    {
+        return materializeAtCursor();
+    }
 
     /** Sequence number the next fetch() will return. */
     SeqNum nextSeq() const { return pos_; }
@@ -46,9 +63,31 @@ class InstrStream
     ThreadId tid() const { return tid_; }
 
   private:
+    /** Build the DynInstr at the cursor (no divisions, no advance). */
+    DynInstr materializeAtCursor() const;
+
+    /** Step the cursor one instruction forward. */
+    void advance();
+
+    /** Re-derive the cursor for an arbitrary position (rewind path). */
+    void reposition(SeqNum seq);
+
+    /** Refresh the cached per-phase constants after a phase change. */
+    void loadPhase();
+
     const SyntheticProgram *program_;
     ThreadId tid_;
     SeqNum pos_ = 0;
+
+    // Memoized decode cursor: invariant flatIdx_ ==
+    // program_->flatStart()[phase_] + bodyIdx_.
+    std::uint64_t exec_ = 0;
+    std::size_t phase_ = 0;
+    std::uint64_t iter_ = 0;
+    std::size_t bodyIdx_ = 0;
+    std::size_t flatIdx_ = 0;
+    std::size_t bodySize_ = 0;
+    std::uint64_t iterations_ = 0;
 };
 
 } // namespace p5

@@ -111,23 +111,28 @@ TEST(FastForward, BitIdenticalStatsAcrossAllPriorityPairs)
  * Same sweep with the fatal p5check suite armed on the fast-forwarded
  * core: the skip-aware checkers independently verify each bulk jump
  * (no decode activity, exact forfeit conservation) and panic on any
- * deviation. One benchmark covers all 36 pairs; the memory-bound
- * ldint_mem produces the longest and most frequent idle gaps.
+ * deviation. All six presented benchmarks cover all 36 pairs, so the
+ * adaptive probe policy is exercised across the whole spectrum from
+ * compute-bound (probes rarely arm) to DRAM-bound (probes arm and
+ * skip constantly).
  */
 TEST(FastForward, SkipAwareCheckersAcceptAllPriorityPairs)
 {
     constexpr Cycle run_cycles = 2500;
-    const SyntheticProgram prog = makeUbench(UbenchId::LdintMem, 0.25);
-    for (int prio_p = 1; prio_p <= 6; ++prio_p) {
-        for (int prio_s = 1; prio_s <= 6; ++prio_s) {
-            const std::string label = "ldint_mem armed (" +
-                                      std::to_string(prio_p) + "," +
-                                      std::to_string(prio_s) + ")";
-            RunSnapshot slow = runPair(prog, prio_p, prio_s, false,
-                                       true, run_cycles);
-            RunSnapshot fast = runPair(prog, prio_p, prio_s, true,
-                                       true, run_cycles);
-            expectIdentical(fast, slow, label);
+    for (UbenchId id : presentedUbench()) {
+        const SyntheticProgram prog = makeUbench(id, 0.25);
+        for (int prio_p = 1; prio_p <= 6; ++prio_p) {
+            for (int prio_s = 1; prio_s <= 6; ++prio_s) {
+                const std::string label =
+                    std::string(ubenchName(id)) + " armed (" +
+                    std::to_string(prio_p) + "," +
+                    std::to_string(prio_s) + ")";
+                RunSnapshot slow = runPair(prog, prio_p, prio_s,
+                                           false, true, run_cycles);
+                RunSnapshot fast = runPair(prog, prio_p, prio_s,
+                                           true, true, run_cycles);
+                expectIdentical(fast, slow, label);
+            }
         }
     }
 }
@@ -213,6 +218,58 @@ TEST(FastForward, SkipsMajorityOfMemoryBoundCycles)
     core.attachThread(1, &prog, 4);
     core.run(20000);
     EXPECT_GT(core.idleCyclesSkipped(), 10000u);
+}
+
+/**
+ * Adaptive probing: a compute-bound pair keeps the core busy nearly
+ * every cycle, so the probe should almost never arm — the overhaul's
+ * whole point is that busy runs no longer pay a per-cycle gate replay.
+ * The memory-bound pair from SkipsMajorityOfMemoryBoundCycles still
+ * probes (and skips) constantly, pinning the other end.
+ */
+TEST(FastForward, BusyWorkloadRarelyProbes)
+{
+    const SyntheticProgram prog = makeUbench(UbenchId::CpuInt, 0.25);
+    CoreParams params;
+    SmtCore core(params);
+    core.attachThread(0, &prog, 4);
+    core.attachThread(1, &prog, 4);
+    core.run(20000);
+    // Well under the one-probe-per-cycle of the pre-adaptive engine;
+    // the streak hysteresis keeps 1-2 cycle bubbles from arming at all.
+    EXPECT_LT(core.fastForwardProbes(), 2000u);
+    EXPECT_EQ(core.idleCyclesSkipped(), 0u);
+}
+
+/** Memory-bound runs skip far more cycles than they spend probing. */
+TEST(FastForward, MemoryBoundProbesPayForThemselves)
+{
+    const SyntheticProgram prog = makeUbench(UbenchId::LdintMem, 0.25);
+    CoreParams params;
+    SmtCore core(params);
+    core.attachThread(0, &prog, 4);
+    core.attachThread(1, &prog, 4);
+    core.run(20000);
+    EXPECT_GT(core.idleCyclesSkipped(), 10000u);
+    EXPECT_GT(core.idleCyclesSkipped(), 4 * core.fastForwardProbes());
+}
+
+/**
+ * Mispredict-heavy equivalence (the memoized re-fetch path): br_miss
+ * squashes and rewinds the stream constantly, so every re-fetch runs
+ * through the stream's cursor reposition and the pre-decoded table.
+ * Stats must stay bit-identical between engine modes, armed included.
+ */
+TEST(FastForward, MispredictHeavyReplayIsBitIdentical)
+{
+    constexpr Cycle run_cycles = 10000;
+    const SyntheticProgram prog = makeUbench(UbenchId::BrMiss, 0.25);
+    RunSnapshot slow = runPair(prog, 4, 4, false, true, run_cycles);
+    RunSnapshot fast = runPair(prog, 4, 4, true, true, run_cycles);
+    expectIdentical(fast, slow, "br_miss armed (4,4)");
+    // The run must actually exercise the squash/rewind machinery.
+    EXPECT_GT(slow.stats.at("thread0.mispredicts"), 0.0);
+    EXPECT_GT(slow.stats.at("thread0.squashed"), 0.0);
 }
 
 /** The escape hatch really disables the engine. */
