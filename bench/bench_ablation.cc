@@ -1,158 +1,13 @@
 /**
  * @file
- * Ablation studies for the design choices DESIGN.md calls out:
- *
- *  1. dynamic hardware resource balancer on/off;
- *  2. strict vs work-conserving decode slots;
- *  3. minority-slot width (the calibrated low-priority decode penalty);
- *  4. priority-aware GCT thresholds;
- *  5. priority-aware table-walker scheduling;
- *  6. LMQ size sweep.
+ * Thin compatibility wrapper: equivalent to `p5sim ablation`. The
+ * experiment logic lives in src/driver/driver.cc.
  */
 
-#include <string>
-
-#include "bench_common.hh"
-#include "fame/fame.hh"
-#include "ubench/ubench.hh"
-#include "workloads/spec_proxy.hh"
-
-namespace {
-
-using namespace p5;
-
-struct PairResult
-{
-    double ipcP = 0.0;
-    double ipcS = 0.0;
-
-    double total() const { return ipcP + ipcS; }
-};
-
-PairResult
-runPair(const ExpConfig &config, UbenchId p, UbenchId s, int prio_p,
-        int prio_s)
-{
-    const SyntheticProgram pp = makeUbench(p, config.ubenchScale);
-    const SyntheticProgram ps = makeUbench(s, config.ubenchScale);
-    FameResult r = runFame(config.core, &pp, &ps, prio_p, prio_s,
-                           config.fame);
-    return {r.thread[0].avgIpc(), r.thread[1].avgIpc()};
-}
-
-PairResult
-runSpecPair(const ExpConfig &config, SpecProxyId p, SpecProxyId s,
-            int prio_p, int prio_s)
-{
-    const SyntheticProgram pp = makeSpecProxy(p, config.ubenchScale);
-    const SyntheticProgram ps = makeSpecProxy(s, config.ubenchScale);
-    FameResult r = runFame(config.core, &pp, &ps, prio_p, prio_s,
-                           config.fame);
-    return {r.thread[0].avgIpc(), r.thread[1].avgIpc()};
-}
-
-void
-addRow(Table &t, const std::string &name, const PairResult &r)
-{
-    t.addRow({name, Table::fmt(r.ipcP, 3), Table::fmt(r.ipcS, 3),
-              Table::fmt(r.total(), 3)});
-}
-
-} // namespace
+#include "driver/driver.hh"
 
 int
 main(int argc, char **argv)
 {
-    ExpConfig base = p5bench::parseConfig(argc, argv);
-
-    {
-        Table t("Ablation 1: balancer on/off — h264ref + mcf at (4,4) "
-                "(the window-sensitive thread needs GCT protection)");
-        t.setColumns({"config", "PThread IPC", "SThread IPC", "total"});
-        addRow(t, "balancer on",
-               runSpecPair(base, SpecProxyId::H264ref, SpecProxyId::Mcf,
-                           4, 4));
-        ExpConfig off = base;
-        off.core.balancer.enabled = false;
-        addRow(t, "balancer off",
-               runSpecPair(off, SpecProxyId::H264ref, SpecProxyId::Mcf,
-                           4, 4));
-        p5bench::print(t);
-    }
-
-    {
-        Table t("Ablation 2: strict vs work-conserving decode slots — "
-                "br_hit + ldint_mem at (4,4) (the decode-hungry thread "
-                "could use the memory thread's dead slots)");
-        t.setColumns({"config", "PThread IPC", "SThread IPC", "total"});
-        addRow(t, "strict slots (POWER5)",
-               runPair(base, UbenchId::BrHit, UbenchId::LdintMem, 4,
-                       4));
-        ExpConfig wc = base;
-        wc.core.workConservingSlots = true;
-        addRow(t, "work-conserving",
-               runPair(wc, UbenchId::BrHit, UbenchId::LdintMem, 4, 4));
-        p5bench::print(t);
-    }
-
-    {
-        Table t("Ablation 3: minority-slot width — cpu_int + cpu_int at "
-                "(2,6), PThread is the minority");
-        t.setColumns({"config", "PThread IPC", "SThread IPC", "total"});
-        for (int width : {1, 2, 5}) {
-            ExpConfig cfg = base;
-            cfg.core.minoritySlotWidth = width;
-            addRow(t, "width " + std::to_string(width),
-                   runPair(cfg, UbenchId::CpuInt, UbenchId::CpuInt, 2,
-                           6));
-        }
-        p5bench::print(t);
-    }
-
-    {
-        Table t("Ablation 4: priority-aware GCT threshold — h264ref + "
-                "mcf at (6,2) (prioritization must release the window)");
-        t.setColumns({"config", "PThread IPC", "SThread IPC", "total"});
-        addRow(t, "priority-aware",
-               runSpecPair(base, SpecProxyId::H264ref, SpecProxyId::Mcf,
-                           6, 2));
-        ExpConfig off = base;
-        off.core.balancer.priorityAwareGct = false;
-        addRow(t, "fixed threshold",
-               runSpecPair(off, SpecProxyId::H264ref, SpecProxyId::Mcf,
-                           6, 2));
-        p5bench::print(t);
-    }
-
-    {
-        Table t("Ablation 5: priority-aware table walker — ldint_mem + "
-                "ldint_mem at (6,2)");
-        t.setColumns({"config", "PThread IPC", "SThread IPC", "total"});
-        addRow(t, "priority-aware",
-               runPair(base, UbenchId::LdintMem, UbenchId::LdintMem, 6,
-                       2));
-        ExpConfig off = base;
-        off.core.priorityAwareWalker = false;
-        addRow(t, "FCFS walker",
-               runPair(off, UbenchId::LdintMem, UbenchId::LdintMem, 6,
-                       2));
-        p5bench::print(t);
-    }
-
-    {
-        Table t("Ablation 6: LMQ size — ldint_l2 + ldint_l2 at (4,4)");
-        t.setColumns({"config", "PThread IPC", "SThread IPC", "total"});
-        for (int entries : {2, 4, 8, 16}) {
-            ExpConfig cfg = base;
-            cfg.core.lmqEntries = entries;
-            cfg.core.balancer.lmqThreshold =
-                std::min(cfg.core.balancer.lmqThreshold, entries);
-            addRow(t, std::to_string(entries) + " entries",
-                   runPair(cfg, UbenchId::LdintL2, UbenchId::LdintL2, 4,
-                           4));
-        }
-        p5bench::print(t);
-    }
-
-    return 0;
+    return p5::driverMainAs("ablation", argc, argv);
 }

@@ -1,18 +1,13 @@
 /**
  * @file
- * Regenerates paper Figure 3: PThread performance degradation as its
- * priority decreases relative to the SThread (differences -1..-5).
+ * Thin compatibility wrapper: equivalent to `p5sim fig3`. The
+ * experiment logic lives in src/driver/driver.cc.
  */
 
-#include "bench_common.hh"
-#include "exp/report.hh"
+#include "driver/driver.hh"
 
 int
 main(int argc, char **argv)
 {
-    p5::ExpConfig config = p5bench::parseConfig(argc, argv);
-    p5::PrioCurveData data = p5::runFig3(config);
-    p5bench::print(p5::renderPrioCurves(data, "Figure 3"));
-    p5bench::maybeWriteJson("fig3", config, data);
-    return 0;
+    return p5::driverMainAs("fig3", argc, argv);
 }

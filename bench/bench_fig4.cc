@@ -1,18 +1,13 @@
 /**
  * @file
- * Regenerates paper Figure 4: total IPC throughput with respect to the
- * (4,4) baseline across priority differences -4..+4.
+ * Thin compatibility wrapper: equivalent to `p5sim fig4`. The
+ * experiment logic lives in src/driver/driver.cc.
  */
 
-#include "bench_common.hh"
-#include "exp/report.hh"
+#include "driver/driver.hh"
 
 int
 main(int argc, char **argv)
 {
-    p5::ExpConfig config = p5bench::parseConfig(argc, argv);
-    p5::ThroughputData data = p5::runFig4(config);
-    p5bench::print(p5::renderFig4(data));
-    p5bench::maybeWriteJson("fig4", config, data);
-    return 0;
+    return p5::driverMainAs("fig4", argc, argv);
 }

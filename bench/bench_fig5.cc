@@ -1,27 +1,13 @@
 /**
  * @file
- * Regenerates paper Figure 5: total IPC of the SPEC case-study pairs
- * (h264ref + mcf, applu + equake) with increasing priorities.
+ * Thin compatibility wrapper: equivalent to `p5sim fig5`. The
+ * experiment logic lives in src/driver/driver.cc.
  */
 
-#include "bench_common.hh"
-#include "exp/report.hh"
+#include "driver/driver.hh"
 
 int
 main(int argc, char **argv)
 {
-    p5::ExpConfig config = p5bench::parseConfig(argc, argv);
-    p5::CaseStudyData a = p5::runFig5(p5::SpecProxyId::H264ref,
-                                      p5::SpecProxyId::Mcf, config);
-    p5::CaseStudyData b = p5::runFig5(p5::SpecProxyId::Applu,
-                                      p5::SpecProxyId::Equake, config);
-    p5bench::print(p5::renderFig5(a));
-    p5bench::print(p5::renderFig5(b));
-    p5bench::maybeWriteJsonWith("fig5", config, [&](p5::JsonWriter &w) {
-        w.beginArray();
-        p5::writeJson(w, a);
-        p5::writeJson(w, b);
-        w.endArray();
-    });
-    return 0;
+    return p5::driverMainAs("fig5", argc, argv);
 }

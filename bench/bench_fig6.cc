@@ -1,20 +1,13 @@
 /**
  * @file
- * Regenerates paper Figure 6: transparent execution — the effect of a
- * priority-1 background thread on a foreground thread (panels a/b), the
- * worst-case background as the foreground priority drops (panel c) and
- * the background thread's own IPC (panel d).
+ * Thin compatibility wrapper: equivalent to `p5sim fig6`. The
+ * experiment logic lives in src/driver/driver.cc.
  */
 
-#include "bench_common.hh"
-#include "exp/report.hh"
+#include "driver/driver.hh"
 
 int
 main(int argc, char **argv)
 {
-    p5::ExpConfig config = p5bench::parseConfig(argc, argv);
-    p5::TransparencyData data = p5::runFig6(config);
-    p5bench::print(p5::renderFig6(data));
-    p5bench::maybeWriteJson("fig6", config, data);
-    return 0;
+    return p5::driverMainAs("fig6", argc, argv);
 }

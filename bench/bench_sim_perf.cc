@@ -23,6 +23,7 @@
 
 #include "common/json.hh"
 #include "core/smt_core.hh"
+#include "driver/driver.hh"
 #include "fame/fame.hh"
 #include "fame/sim_runner.hh"
 #include "mem/cache.hh"
@@ -212,216 +213,21 @@ BM_RunnerScaling(benchmark::State &state)
 BENCHMARK(BM_RunnerScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
-// --- --p5sim_perf_json report mode ------------------------------------
-
-/** One end-to-end case in the speedup report. */
-struct PerfCase
-{
-    const char *name;
-    UbenchId primary;
-    UbenchId secondary;
-    int prioP;
-    int prioS;
-};
-
-/**
- * The report suite. ldint_mem+ldint_mem (4,4) is the headline case
- * (the acceptance floor is a 3x end-to-end speedup there); the
- * compute-bound and mixed pairs — balanced and priority-skewed — pin
- * the "no overhead when there is nothing to skip" end of the spectrum.
- */
-constexpr PerfCase report_cases[] = {
-    {"ldint_mem+ldint_mem@4,4", UbenchId::LdintMem, UbenchId::LdintMem,
-     4, 4},
-    {"ldint_mem+ldint_mem@6,2", UbenchId::LdintMem, UbenchId::LdintMem,
-     6, 2},
-    {"ldint_mem+cpu_int@4,4", UbenchId::LdintMem, UbenchId::CpuInt, 4,
-     4},
-    {"ldint_mem+cpu_int@2,6", UbenchId::LdintMem, UbenchId::CpuInt, 2,
-     6},
-    {"cpu_int+cpu_int@4,4", UbenchId::CpuInt, UbenchId::CpuInt, 4, 4},
-    {"cpu_int+cpu_int@6,2", UbenchId::CpuInt, UbenchId::CpuInt, 6, 2},
-};
-
-struct TimedRun
-{
-    double wallMs = 0;
-    FameResult result;
-};
-
-TimedRun
-timedFameRun(const PerfCase &c, bool fast_forward)
-{
-    const SyntheticProgram pp = makeUbench(c.primary);
-    const SyntheticProgram ps = makeUbench(c.secondary);
-    CoreParams core;
-    core.fastForward = fast_forward;
-    const FameParams fame = endToEndFame();
-
-    TimedRun run;
-    const auto t0 = std::chrono::steady_clock::now();
-    run.result = runFame(core, &pp, &ps, c.prioP, c.prioS, fame);
-    const auto t1 = std::chrono::steady_clock::now();
-    run.wallMs =
-        std::chrono::duration<double, std::milli>(t1 - t0).count();
-    return run;
-}
-
-/**
- * Best-of-N timing for one case and mode. Repetitions of the two modes
- * are interleaved with alternating order (turbo/thermal effects favor
- * whichever mode runs first in a back-to-back pair) and the minimum
- * wall time per mode is kept: host-side drift inflates individual runs
- * but never deflates them, so min over order-balanced repetitions is
- * the bias-resistant estimator of the true per-mode cost.
- */
-constexpr int report_reps = 4;
-
-bool
-sameMeasurement(const FameResult &a, const FameResult &b)
-{
-    if (a.totalCycles != b.totalCycles || a.converged != b.converged ||
-        a.hitCycleLimit != b.hitCycleLimit)
-        return false;
-    for (size_t t = 0; t < num_hw_threads; ++t) {
-        if (a.thread[t].present != b.thread[t].present ||
-            a.thread[t].executions != b.thread[t].executions ||
-            a.thread[t].accountedCycles != b.thread[t].accountedCycles ||
-            a.thread[t].accountedInstrs != b.thread[t].accountedInstrs)
-            return false;
-    }
-    return true;
-}
-
-/**
- * Run the end-to-end suite once per engine mode and write the speedup
- * report. Returns a process exit code: nonzero when any case's stats
- * deviate between modes, so the CI job fails on a correctness breach
- * even before the tolerance diff runs.
- */
-int
-writePerfReport(const std::string &path)
-{
-    std::ofstream os(path);
-    if (!os) {
-        std::cerr << "bench_sim_perf: cannot open '" << path << "'\n";
-        return 1;
-    }
-
-    bool all_identical = true;
-    JsonWriter w(os);
-    w.beginObject();
-    w.member("experiment", "bench_sim_perf");
-    w.key("cases");
-    w.beginArray();
-    for (const PerfCase &c : report_cases) {
-        // Warm one fast run so first-touch costs (program build, page
-        // sets) don't pollute the slow/fast ratio, then measure the
-        // two modes interleaved and keep each mode's best repetition.
-        timedFameRun(c, true);
-        TimedRun fast, slow;
-        bool identical = true;
-        for (int rep = 0; rep < report_reps; ++rep) {
-            const bool slow_first = (rep % 2) == 0;
-            TimedRun s, f;
-            if (slow_first) {
-                s = timedFameRun(c, false);
-                f = timedFameRun(c, true);
-            } else {
-                f = timedFameRun(c, true);
-                s = timedFameRun(c, false);
-            }
-            identical =
-                identical && sameMeasurement(f.result, s.result);
-            if (rep == 0 || s.wallMs < slow.wallMs)
-                slow = s;
-            if (rep == 0 || f.wallMs < fast.wallMs)
-                fast = f;
-        }
-        all_identical = all_identical && identical;
-
-        w.beginObject();
-        w.member("name", c.name);
-        w.member("simCyclesFast",
-                 static_cast<std::uint64_t>(fast.result.totalCycles));
-        w.member("simCyclesSlow",
-                 static_cast<std::uint64_t>(slow.result.totalCycles));
-        w.member("ipcTotal", fast.result.totalIpc());
-        w.member("wallMsFast", fast.wallMs);
-        w.member("wallMsSlow", slow.wallMs);
-        w.member("speedup", slow.wallMs / fast.wallMs);
-        w.member("identicalStats", identical);
-        w.endObject();
-
-        std::cerr << c.name << ": " << slow.wallMs << " ms -> "
-                  << fast.wallMs << " ms ("
-                  << slow.wallMs / fast.wallMs << "x)"
-                  << (identical ? "" : "  STATS DEVIATE") << '\n';
-    }
-    w.endArray();
-    w.endObject();
-    os << '\n';
-
-    if (!all_identical) {
-        std::cerr << "bench_sim_perf: fast-forward stats deviated\n";
-        return 1;
-    }
-    return 0;
-}
-
-// --- --p5sim_profile_stages mode --------------------------------------
-
-/**
- * Per-stage wall-time breakdown: run every report case for a fixed
- * cycle budget with a StageProfile attached and print where the wall
- * clock goes (completions / issue / commit / decode / probe), plus the
- * adaptive-probe counters. This is the first tool to reach for when an
- * end-to-end speedup in the JSON report regresses: it attributes the
- * loss to a stage instead of a whole run.
- */
-int
-profileStages()
-{
-    constexpr Cycle profile_cycles = 500000;
-    std::printf("%-26s %10s %10s %10s %10s %10s  %9s %9s %9s\n", "case",
-                "complet ms", "issue ms", "commit ms", "decode ms",
-                "probe ms", "ticks", "probes", "skipped");
-    for (const PerfCase &c : report_cases) {
-        const SyntheticProgram pp = makeUbench(c.primary);
-        const SyntheticProgram ps = makeUbench(c.secondary);
-        CoreParams params;
-        SmtCore core(params);
-        SmtCore::StageProfile prof;
-        core.setStageProfile(&prof);
-        core.attachThread(0, &pp, c.prioP);
-        core.attachThread(1, &ps, c.prioS);
-        core.run(profile_cycles);
-        const auto ms = [](std::uint64_t ns) { return ns / 1e6; };
-        std::printf("%-26s %10.3f %10.3f %10.3f %10.3f %10.3f  %9llu "
-                    "%9llu %9llu\n",
-                    c.name, ms(prof.completionsNs), ms(prof.issueNs),
-                    ms(prof.commitNs), ms(prof.decodeNs),
-                    ms(prof.probeNs),
-                    static_cast<unsigned long long>(prof.timedTicks),
-                    static_cast<unsigned long long>(
-                        core.fastForwardProbes()),
-                    static_cast<unsigned long long>(
-                        core.idleCyclesSkipped()));
-    }
-    return 0;
-}
-
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    // The speedup report and the per-stage profile moved into the
+    // driver (`p5sim perf`); the legacy flags keep working here by
+    // delegating to the shared implementations.
     constexpr const char *json_flag = "--p5sim_perf_json=";
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], json_flag, std::strlen(json_flag)) == 0)
-            return writePerfReport(argv[i] + std::strlen(json_flag));
+            return p5::writePerfReport(argv[i] + std::strlen(json_flag),
+                                       std::cerr);
         if (std::strcmp(argv[i], "--p5sim_profile_stages") == 0)
-            return profileStages();
+            return p5::profileStages(std::cout);
     }
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))

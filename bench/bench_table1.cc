@@ -1,18 +1,13 @@
 /**
  * @file
- * Regenerates paper Table 1: the eight software-controlled priorities,
- * their privilege requirements and or-nop encodings.
+ * Thin compatibility wrapper: equivalent to `p5sim table1`. The
+ * experiment logic lives in src/driver/driver.cc.
  */
 
-#include "bench_common.hh"
-#include "exp/report.hh"
+#include "driver/driver.hh"
 
 int
 main(int argc, char **argv)
 {
-    p5::ExpConfig config = p5bench::parseConfig(argc, argv);
-    p5::Table table = p5::renderTable1();
-    p5bench::print(table);
-    p5bench::maybeWriteJson("table1", config, table);
-    return 0;
+    return p5::driverMainAs("table1", argc, argv);
 }

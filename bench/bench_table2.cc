@@ -1,17 +1,13 @@
 /**
  * @file
- * Regenerates paper Table 2: the micro-benchmark loop bodies.
+ * Thin compatibility wrapper: equivalent to `p5sim table2`. The
+ * experiment logic lives in src/driver/driver.cc.
  */
 
-#include "bench_common.hh"
-#include "exp/report.hh"
+#include "driver/driver.hh"
 
 int
 main(int argc, char **argv)
 {
-    p5::ExpConfig config = p5bench::parseConfig(argc, argv);
-    p5::Table table = p5::renderTable2();
-    p5bench::print(table);
-    p5bench::maybeWriteJson("table2", config, table);
-    return 0;
+    return p5::driverMainAs("table2", argc, argv);
 }

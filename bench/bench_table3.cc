@@ -1,18 +1,13 @@
 /**
  * @file
- * Regenerates paper Table 3: micro-benchmark IPC in ST mode and in all
- * pairwise SMT combinations at priorities (4,4).
+ * Thin compatibility wrapper: equivalent to `p5sim table3`. The
+ * experiment logic lives in src/driver/driver.cc.
  */
 
-#include "bench_common.hh"
-#include "exp/report.hh"
+#include "driver/driver.hh"
 
 int
 main(int argc, char **argv)
 {
-    p5::ExpConfig config = p5bench::parseConfig(argc, argv);
-    p5::Table3Data data = p5::runTable3(config);
-    p5bench::print(p5::renderTable3(data));
-    p5bench::maybeWriteJson("table3", config, data);
-    return 0;
+    return p5::driverMainAs("table3", argc, argv);
 }

@@ -1,19 +1,13 @@
 /**
  * @file
- * Regenerates paper Table 4: execution time of the FFT and LU pipeline
- * stages under increasing FFT priority, plus the single-thread
- * reference.
+ * Thin compatibility wrapper: equivalent to `p5sim table4`. The
+ * experiment logic lives in src/driver/driver.cc.
  */
 
-#include "bench_common.hh"
-#include "exp/report.hh"
+#include "driver/driver.hh"
 
 int
 main(int argc, char **argv)
 {
-    p5::ExpConfig config = p5bench::parseConfig(argc, argv);
-    p5::Table4Data data = p5::runTable4(config);
-    p5bench::print(p5::renderTable4(data));
-    p5bench::maybeWriteJson("table4", config, data);
-    return 0;
+    return p5::driverMainAs("table4", argc, argv);
 }

@@ -21,6 +21,18 @@ Cli::declare(const std::string &name, const std::string &default_value,
 }
 
 void
+Cli::declareMulti(const std::string &name, const std::string &help)
+{
+    if (flags_.count(name))
+        panic("CLI flag '--%s' declared twice", name.c_str());
+    Flag f;
+    f.help = help;
+    f.multi = true;
+    flags_[name] = f;
+    order_.push_back(name);
+}
+
+void
 Cli::parse(int argc, const char *const *argv)
 {
     for (int i = 1; i < argc; ++i) {
@@ -30,6 +42,10 @@ Cli::parse(int argc, const char *const *argv)
         arg = arg.substr(2);
 
         if (arg == "help") {
+            if (!exitOnHelp_) {
+                helpRequested_ = true;
+                continue;
+            }
             std::fputs(usage(argv[0]).c_str(), stdout);
             std::exit(0);
         }
@@ -59,7 +75,10 @@ Cli::parse(int argc, const char *const *argv)
                 value = "true";
             }
         }
-        it->second.value = value;
+        if (it->second.multi)
+            it->second.values.push_back(value);
+        else
+            it->second.value = value;
         it->second.set = true;
     }
 }
@@ -76,7 +95,10 @@ Cli::find(const std::string &name) const
 std::string
 Cli::str(const std::string &name) const
 {
-    return find(name).value;
+    const Flag &f = find(name);
+    if (f.multi)
+        panic("CLI flag '--%s' is repeatable; use list()", name.c_str());
+    return f.value;
 }
 
 std::int64_t
@@ -121,14 +143,26 @@ Cli::isSet(const std::string &name) const
     return find(name).set;
 }
 
+const std::vector<std::string> &
+Cli::list(const std::string &name) const
+{
+    const Flag &f = find(name);
+    if (!f.multi)
+        panic("CLI flag '--%s' is not repeatable", name.c_str());
+    return f.values;
+}
+
 std::string
 Cli::usage(const std::string &prog) const
 {
     std::string out = "usage: " + prog + " [flags]\n";
     for (const auto &name : order_) {
         const Flag &f = flags_.at(name);
-        out += "  --" + name + " (default: " + f.value + ")  " + f.help +
-               "\n";
+        if (f.multi)
+            out += "  --" + name + " (repeatable)  " + f.help + "\n";
+        else
+            out += "  --" + name + " (default: " + f.value + ")  " +
+                   f.help + "\n";
     }
     return out;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/json.hh"
 #include "common/log.hh"
 
 namespace p5 {
@@ -63,6 +64,20 @@ StatGroup::dump(std::ostream &os) const
 {
     for (const auto &kv : entries_)
         os << name_ << '.' << kv.first << ' ' << value(kv.first) << '\n';
+}
+
+void
+StatGroup::dumpJson(JsonWriter &w) const
+{
+    w.beginObject();
+    for (const auto &kv : entries_) {
+        const Entry &e = kv.second;
+        if (e.counter)
+            w.member(kv.first, e.counter->value());
+        else
+            w.member(kv.first, e.fn(e.ctx));
+    }
+    w.endObject();
 }
 
 } // namespace p5

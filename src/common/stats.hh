@@ -149,6 +149,13 @@ class StatGroup
     /** Write "group.stat value" lines to @p os. */
     void dump(std::ostream &os) const;
 
+    /**
+     * Emit one JSON object member per statistic (sorted by name) at
+     * @p w's current position. Counters that hold integral values are
+     * written as JSON integers, derived values as doubles.
+     */
+    void dumpJson(class JsonWriter &w) const;
+
     const std::string &name() const { return name_; }
 
   private:

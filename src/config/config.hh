@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Declarative configuration layer: one typed, serializable tree over
+ * every experiment parameter.
+ *
+ * The simulator's knobs live in plain param structs (CoreParams,
+ * BalancerParams, HierarchyParams/CacheParams/TlbParams, BhtParams,
+ * FameParams, ExpConfig). ConfigTree binds each field of an ExpConfig
+ * instance to a dotted snake_case path ("core.decode_width",
+ * "core.balancer.gct_share_threshold", "fame.min_repetitions", ...)
+ * and provides, over those bindings:
+ *
+ *  - JSON save/load (nested objects mirroring the dotted paths) with
+ *    unknown keys fatal, suggesting the nearest valid path;
+ *  - "--set key=value" style textual overrides with the same checking;
+ *  - per-field range validation (fatal at set time, not deep inside a
+ *    simulation);
+ *  - a canonical rendering of all *identity* fields — the ones that can
+ *    change a simulation's outcome — and a stable SplitMix64
+ *    fingerprint over it. The fingerprint is folded into every SimJob
+ *    key the experiment producers enumerate (ExpConfig::configTag) and
+ *    stamped into every JSON report for provenance. Execution-only
+ *    fields (worker count, benchmark selection) are serialized but
+ *    excluded from the fingerprint, so caching across runs that differ
+ *    only in how work is scheduled keeps coalescing.
+ *
+ * Adding a member to a bound param struct without binding it here is
+ * caught by tests/test_config.cc's field-coverage guard.
+ */
+
+#ifndef P5SIM_CONFIG_CONFIG_HH
+#define P5SIM_CONFIG_CONFIG_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "exp/experiments.hh"
+
+namespace p5 {
+
+/**
+ * Version of the dotted-path schema, folded into the canonical form so
+ * fingerprints from incompatible layouts never collide. Bump when a
+ * path is renamed, removed, or changes meaning (adding a new field with
+ * its default does not require a bump: fingerprints legitimately change
+ * because the identity set grew).
+ */
+constexpr int config_schema_version = 1;
+
+/** A typed view of one ExpConfig as a dotted-path config tree. */
+class ConfigTree
+{
+  public:
+    /**
+     * Bind @p config. The tree holds a reference; the ExpConfig must
+     * outlive it.
+     */
+    explicit ConfigTree(ExpConfig &config);
+
+    ConfigTree(const ConfigTree &) = delete;
+    ConfigTree &operator=(const ConfigTree &) = delete;
+
+    ExpConfig &config() { return config_; }
+    const ExpConfig &config() const { return config_; }
+
+    // --- field access --------------------------------------------------
+
+    /** All bound dotted paths, in declaration (serialization) order. */
+    std::vector<std::string> paths() const;
+
+    bool has(const std::string &path) const;
+
+    /** Canonical textual value of @p path; fatal() on unknown path. */
+    std::string get(const std::string &path) const;
+
+    /**
+     * Parse @p value and assign it to @p path. Unknown paths are fatal
+     * with a nearest-match suggestion; out-of-range values are fatal.
+     */
+    void set(const std::string &path, const std::string &value);
+
+    /** Apply one "--set" assignment of the form "path=value". */
+    void applyOverride(const std::string &assignment);
+
+    /** Nearest bound path to @p path by edit distance ("" if none). */
+    std::string suggest(const std::string &path) const;
+
+    /** One-line help text for @p path; fatal() on unknown path. */
+    std::string help(const std::string &path) const;
+
+    // --- JSON ----------------------------------------------------------
+
+    /** Write the full tree as nested JSON objects at @p w's position. */
+    void save(JsonWriter &w) const;
+
+    /** Serialize as a complete JSON document. */
+    std::string saveString() const;
+
+    void saveFile(const std::string &path) const;
+
+    /**
+     * Assign every leaf present in @p root (a nested object tree).
+     * Unknown keys are fatal with a suggestion; absent fields keep
+     * their current values, so a config file only needs the deltas.
+     */
+    void load(const JsonValue &root);
+
+    void loadString(const std::string &text, const std::string &where = "");
+
+    void loadFile(const std::string &path);
+
+    // --- identity -------------------------------------------------------
+
+    /**
+     * Canonical form: the schema version followed by "path=value" lines
+     * for every identity field, in a fixed order. Equal canonical forms
+     * iff two configs describe the same simulation.
+     */
+    std::string canonical() const;
+
+    /** SplitMix64 chain over canonical(). */
+    std::uint64_t fingerprint() const;
+
+    /** fingerprint() as a fixed-width hex string (the configTag form). */
+    std::string fingerprintHex() const;
+
+    /**
+     * Stamp config_.configTag with fingerprintHex() so jobs enumerated
+     * from this config carry the fingerprint in their cache keys.
+     */
+    void stampTag();
+
+    /** Range-check every field plus the cross-field struct checks. */
+    void validate() const;
+
+  private:
+    struct Field
+    {
+        std::string path;
+        std::string help;
+        bool identity = true;
+        std::function<std::string()> get;
+        std::function<void(const std::string &value)> set;
+        std::function<void(JsonWriter &w)> writeValue;
+        std::function<void(const JsonValue &v)> setFromJson;
+    };
+
+    void bindAll();
+    const Field *findField(const std::string &path) const;
+    const Field &requireField(const std::string &path) const;
+    void loadObject(const JsonValue &node, const std::string &prefix);
+
+    void bindBool(const std::string &path, bool &ref, const char *help,
+                  bool identity = true);
+    void bindInt(const std::string &path, int &ref, int lo, int hi,
+                 const char *help, bool identity = true);
+    void bindU64(const std::string &path, std::uint64_t &ref,
+                 std::uint64_t lo, std::uint64_t hi, const char *help,
+                 bool identity = true);
+    void bindDouble(const std::string &path, double &ref, double lo,
+                    double hi, const char *help, bool identity = true);
+    void bindUnsigned(const std::string &path, unsigned &ref, unsigned lo,
+                      unsigned hi, const char *help, bool identity = true);
+
+    ExpConfig &config_;
+    std::vector<Field> fields_;
+};
+
+/** Levenshtein edit distance (used for the nearest-path suggestion). */
+std::size_t editDistance(const std::string &a, const std::string &b);
+
+} // namespace p5
+
+#endif // P5SIM_CONFIG_CONFIG_HH

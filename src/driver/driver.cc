@@ -1,0 +1,1052 @@
+#include "driver/driver.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <optional>
+#include <sstream>
+
+#include "common/cli.hh"
+#include "common/json.hh"
+#include "common/log.hh"
+#include "common/table.hh"
+#include "common/thread_pool.hh"
+#include "config/config.hh"
+#include "core/smt_core.hh"
+#include "exp/experiments.hh"
+#include "exp/report.hh"
+#include "fame/fame.hh"
+#include "fame/sim_runner.hh"
+#include "ubench/ubench.hh"
+#include "workloads/spec_proxy.hh"
+
+namespace p5 {
+
+namespace {
+
+// --- output helpers ----------------------------------------------------
+
+/** Print a table per the context's --csv preference. */
+void
+printTable(const DriverContext &ctx, const Table &table)
+{
+    std::ostream &os = *ctx.out;
+    if (ctx.csv) {
+        os << "# " << table.title() << '\n';
+        table.printCsv(os);
+    } else {
+        table.printAscii(os);
+    }
+    os << '\n';
+}
+
+void
+printTables(const DriverContext &ctx, const std::vector<Table> &tables)
+{
+    for (const Table &t : tables)
+        printTable(ctx, t);
+}
+
+/**
+ * When --json=FILE was given, write the report envelope around a
+ * payload emitted under the "data" key. The envelope keeps the legacy
+ * members (experiment, jobs, scale, minRepetitions, maiv, cacheHits,
+ * cacheMisses) byte-compatible with the pre-driver bench binaries and
+ * adds a "provenance" object — schema version, config fingerprint,
+ * seed and sweep coordinates — before "data".
+ */
+void
+writeReport(const DriverContext &ctx, const char *experiment,
+            const ExpConfig &config,
+            const std::function<void(JsonWriter &)> &payload)
+{
+    if (ctx.jsonPath.empty())
+        return;
+    std::ofstream os(ctx.jsonPath);
+    if (!os)
+        fatal("cannot open --json file '%s'", ctx.jsonPath.c_str());
+
+    const ResultCache &cache =
+        config.cache ? *config.cache : ResultCache::process();
+    JsonWriter w(os);
+    w.beginObject();
+    w.member("experiment", experiment);
+    w.member("jobs",
+             config.jobs ? config.jobs : ThreadPool::defaultWorkers());
+    w.member("scale", config.ubenchScale);
+    w.member("minRepetitions", config.fame.minRepetitions);
+    w.member("maiv", config.fame.maiv);
+    w.member("cacheHits", cache.hits());
+    w.member("cacheMisses", cache.misses());
+    w.key("provenance");
+    w.beginObject();
+    w.member("schemaVersion", config_schema_version);
+    w.member("fingerprint", ctx.fingerprint);
+    w.member("seed", config.seed);
+    w.key("sweep");
+    w.beginObject();
+    for (const auto &coord : ctx.sweep)
+        w.member(coord.first, coord.second);
+    w.endObject();
+    w.endObject();
+    w.key("data");
+    payload(w);
+    w.endObject();
+}
+
+// --- flag sets ---------------------------------------------------------
+
+/** The experiment flags every data-producing subcommand shares. */
+void
+declareExperimentFlags(Cli &cli)
+{
+    cli.declare("fast", "false",
+                "reduced repetitions/benchmarks for a quick smoke run");
+    cli.declare("config", "",
+                "load configuration from this JSON file first");
+    cli.declareMulti("set",
+                     "override one config key, e.g. "
+                     "--set core.decode_width=4 (after --config and the "
+                     "legacy flags; repeatable)");
+    cli.declare("save-config", "",
+                "write the effective configuration to this JSON file");
+    cli.declare("seed", "0",
+                "master seed folded into the config fingerprint");
+    cli.declare("reps", "10", "minimum FAME repetitions per benchmark");
+    cli.declare("maiv", "0.01", "maximum allowable IPC variation");
+    cli.declare("scale", "1.0", "work multiplier per repetition");
+    cli.declare("all15", "false",
+                "sweep all 15 micro-benchmarks instead of the paper's 6");
+    cli.declare("csv", "false", "emit CSV instead of ASCII tables");
+    cli.declare("jobs", "0",
+                "simulation worker threads (0 = hardware concurrency)");
+    cli.declare("json", "",
+                "also write machine-readable results to this file");
+    cli.declare("no-fast-forward", "false",
+                "tick every cycle instead of skipping verified-idle "
+                "gaps (stats are bit-identical; this is ~a 3-10x "
+                "slowdown escape hatch)");
+}
+
+/** Flags naming the FAME pair the run/sweep subcommands simulate. */
+void
+declarePairFlags(Cli &cli)
+{
+    cli.declare("primary", "cpu_int",
+                "PThread micro-benchmark (paper name)");
+    cli.declare("secondary", "ldint_mem",
+                "SThread micro-benchmark (paper name, or 'none' for "
+                "single-thread mode)");
+    cli.declare("prio-p", "4", "PThread priority (0..7)");
+    cli.declare("prio-s", "4", "SThread priority (0..7)");
+}
+
+/**
+ * Build the effective ExpConfig from the parsed flags, in fixed
+ * precedence order: defaults (or the --fast preset), then the --config
+ * file, then the legacy convenience flags, then --set overrides.
+ * Validates, stamps the fingerprint into config.configTag and fills
+ * the context's provenance fields.
+ */
+ExpConfig
+buildConfig(const Cli &cli, DriverContext &ctx)
+{
+    ExpConfig config;
+    if (cli.boolean("fast"))
+        config = ExpConfig::fast();
+
+    ConfigTree tree(config);
+    if (cli.isSet("config"))
+        tree.loadFile(cli.str("config"));
+    if (cli.isSet("reps"))
+        tree.set("fame.min_repetitions", cli.str("reps"));
+    if (cli.isSet("maiv"))
+        tree.set("fame.maiv", cli.str("maiv"));
+    if (cli.isSet("scale"))
+        tree.set("exp.ubench_scale", cli.str("scale"));
+    if (cli.boolean("all15"))
+        tree.set("exp.benchmarks", "all");
+    if (cli.isSet("jobs"))
+        tree.set("exp.jobs", cli.str("jobs"));
+    if (cli.boolean("no-fast-forward"))
+        tree.set("core.fast_forward", "false");
+    if (cli.isSet("seed"))
+        tree.set("exp.seed", cli.str("seed"));
+    for (const std::string &assignment : cli.list("set"))
+        tree.applyOverride(assignment);
+
+    tree.validate();
+    tree.stampTag();
+    ctx.fingerprint = config.configTag;
+    ctx.seed = config.seed;
+
+    if (cli.isSet("save-config"))
+        tree.saveFile(cli.str("save-config"));
+    return config;
+}
+
+// --- table/figure subcommands ------------------------------------------
+
+int
+cmdTable1(const Cli &, DriverContext &ctx, ExpConfig &config)
+{
+    const Table table = renderTable1();
+    printTable(ctx, table);
+    writeReport(ctx, "table1", config,
+                [&](JsonWriter &w) { writeJson(w, table); });
+    return 0;
+}
+
+int
+cmdTable2(const Cli &, DriverContext &ctx, ExpConfig &config)
+{
+    const Table table = renderTable2();
+    printTable(ctx, table);
+    writeReport(ctx, "table2", config,
+                [&](JsonWriter &w) { writeJson(w, table); });
+    return 0;
+}
+
+int
+cmdTable3(const Cli &, DriverContext &ctx, ExpConfig &config)
+{
+    const Table3Data data = runTable3(config);
+    printTable(ctx, renderTable3(data));
+    writeReport(ctx, "table3", config,
+                [&](JsonWriter &w) { writeJson(w, data); });
+    return 0;
+}
+
+int
+cmdFig2(const Cli &, DriverContext &ctx, ExpConfig &config)
+{
+    const PrioCurveData data = runFig2(config);
+    printTables(ctx, renderPrioCurves(data, "Figure 2"));
+    writeReport(ctx, "fig2", config,
+                [&](JsonWriter &w) { writeJson(w, data); });
+    return 0;
+}
+
+int
+cmdFig3(const Cli &, DriverContext &ctx, ExpConfig &config)
+{
+    const PrioCurveData data = runFig3(config);
+    printTables(ctx, renderPrioCurves(data, "Figure 3"));
+    writeReport(ctx, "fig3", config,
+                [&](JsonWriter &w) { writeJson(w, data); });
+    return 0;
+}
+
+int
+cmdFig4(const Cli &, DriverContext &ctx, ExpConfig &config)
+{
+    const ThroughputData data = runFig4(config);
+    printTables(ctx, renderFig4(data));
+    writeReport(ctx, "fig4", config,
+                [&](JsonWriter &w) { writeJson(w, data); });
+    return 0;
+}
+
+int
+cmdFig5(const Cli &, DriverContext &ctx, ExpConfig &config)
+{
+    const CaseStudyData a =
+        runFig5(SpecProxyId::H264ref, SpecProxyId::Mcf, config);
+    const CaseStudyData b =
+        runFig5(SpecProxyId::Applu, SpecProxyId::Equake, config);
+    printTable(ctx, renderFig5(a));
+    printTable(ctx, renderFig5(b));
+    writeReport(ctx, "fig5", config, [&](JsonWriter &w) {
+        w.beginArray();
+        writeJson(w, a);
+        writeJson(w, b);
+        w.endArray();
+    });
+    return 0;
+}
+
+int
+cmdTable4(const Cli &, DriverContext &ctx, ExpConfig &config)
+{
+    const Table4Data data = runTable4(config);
+    printTable(ctx, renderTable4(data));
+    writeReport(ctx, "table4", config,
+                [&](JsonWriter &w) { writeJson(w, data); });
+    return 0;
+}
+
+int
+cmdFig6(const Cli &, DriverContext &ctx, ExpConfig &config)
+{
+    const TransparencyData data = runFig6(config);
+    printTables(ctx, renderFig6(data));
+    writeReport(ctx, "fig6", config,
+                [&](JsonWriter &w) { writeJson(w, data); });
+    return 0;
+}
+
+// --- ablation ----------------------------------------------------------
+
+struct PairResult
+{
+    double ipcP = 0.0;
+    double ipcS = 0.0;
+
+    double total() const { return ipcP + ipcS; }
+};
+
+PairResult
+runAblationPair(const ExpConfig &config, UbenchId p, UbenchId s,
+                int prio_p, int prio_s)
+{
+    const SyntheticProgram pp = makeUbench(p, config.ubenchScale);
+    const SyntheticProgram ps = makeUbench(s, config.ubenchScale);
+    const FameResult r =
+        runFame(config.core, &pp, &ps, prio_p, prio_s, config.fame);
+    return {r.thread[0].avgIpc(), r.thread[1].avgIpc()};
+}
+
+PairResult
+runAblationSpecPair(const ExpConfig &config, SpecProxyId p, SpecProxyId s,
+                    int prio_p, int prio_s)
+{
+    const SyntheticProgram pp = makeSpecProxy(p, config.ubenchScale);
+    const SyntheticProgram ps = makeSpecProxy(s, config.ubenchScale);
+    const FameResult r =
+        runFame(config.core, &pp, &ps, prio_p, prio_s, config.fame);
+    return {r.thread[0].avgIpc(), r.thread[1].avgIpc()};
+}
+
+void
+addAblationRow(Table &t, const std::string &name, const PairResult &r)
+{
+    t.addRow({name, Table::fmt(r.ipcP, 3), Table::fmt(r.ipcS, 3),
+              Table::fmt(r.total(), 3)});
+}
+
+int
+cmdAblation(const Cli &, DriverContext &ctx, ExpConfig &base)
+{
+    {
+        Table t("Ablation 1: balancer on/off — h264ref + mcf at (4,4) "
+                "(the window-sensitive thread needs GCT protection)");
+        t.setColumns({"config", "PThread IPC", "SThread IPC", "total"});
+        addAblationRow(t, "balancer on",
+                       runAblationSpecPair(base, SpecProxyId::H264ref,
+                                           SpecProxyId::Mcf, 4, 4));
+        ExpConfig off = base;
+        off.core.balancer.enabled = false;
+        addAblationRow(t, "balancer off",
+                       runAblationSpecPair(off, SpecProxyId::H264ref,
+                                           SpecProxyId::Mcf, 4, 4));
+        printTable(ctx, t);
+    }
+
+    {
+        Table t("Ablation 2: strict vs work-conserving decode slots — "
+                "br_hit + ldint_mem at (4,4) (the decode-hungry thread "
+                "could use the memory thread's dead slots)");
+        t.setColumns({"config", "PThread IPC", "SThread IPC", "total"});
+        addAblationRow(t, "strict slots (POWER5)",
+                       runAblationPair(base, UbenchId::BrHit,
+                                       UbenchId::LdintMem, 4, 4));
+        ExpConfig wc = base;
+        wc.core.workConservingSlots = true;
+        addAblationRow(t, "work-conserving",
+                       runAblationPair(wc, UbenchId::BrHit,
+                                       UbenchId::LdintMem, 4, 4));
+        printTable(ctx, t);
+    }
+
+    {
+        Table t("Ablation 3: minority-slot width — cpu_int + cpu_int at "
+                "(2,6), PThread is the minority");
+        t.setColumns({"config", "PThread IPC", "SThread IPC", "total"});
+        for (int width : {1, 2, 5}) {
+            ExpConfig cfg = base;
+            cfg.core.minoritySlotWidth = width;
+            addAblationRow(t, "width " + std::to_string(width),
+                           runAblationPair(cfg, UbenchId::CpuInt,
+                                           UbenchId::CpuInt, 2, 6));
+        }
+        printTable(ctx, t);
+    }
+
+    {
+        Table t("Ablation 4: priority-aware GCT threshold — h264ref + "
+                "mcf at (6,2) (prioritization must release the window)");
+        t.setColumns({"config", "PThread IPC", "SThread IPC", "total"});
+        addAblationRow(t, "priority-aware",
+                       runAblationSpecPair(base, SpecProxyId::H264ref,
+                                           SpecProxyId::Mcf, 6, 2));
+        ExpConfig off = base;
+        off.core.balancer.priorityAwareGct = false;
+        addAblationRow(t, "fixed threshold",
+                       runAblationSpecPair(off, SpecProxyId::H264ref,
+                                           SpecProxyId::Mcf, 6, 2));
+        printTable(ctx, t);
+    }
+
+    {
+        Table t("Ablation 5: priority-aware table walker — ldint_mem + "
+                "ldint_mem at (6,2)");
+        t.setColumns({"config", "PThread IPC", "SThread IPC", "total"});
+        addAblationRow(t, "priority-aware",
+                       runAblationPair(base, UbenchId::LdintMem,
+                                       UbenchId::LdintMem, 6, 2));
+        ExpConfig off = base;
+        off.core.priorityAwareWalker = false;
+        addAblationRow(t, "FCFS walker",
+                       runAblationPair(off, UbenchId::LdintMem,
+                                       UbenchId::LdintMem, 6, 2));
+        printTable(ctx, t);
+    }
+
+    {
+        Table t("Ablation 6: LMQ size — ldint_l2 + ldint_l2 at (4,4)");
+        t.setColumns({"config", "PThread IPC", "SThread IPC", "total"});
+        for (int entries : {2, 4, 8, 16}) {
+            ExpConfig cfg = base;
+            cfg.core.lmqEntries = entries;
+            cfg.core.balancer.lmqThreshold =
+                std::min(cfg.core.balancer.lmqThreshold, entries);
+            addAblationRow(t, std::to_string(entries) + " entries",
+                           runAblationPair(cfg, UbenchId::LdintL2,
+                                           UbenchId::LdintL2, 4, 4));
+        }
+        printTable(ctx, t);
+    }
+
+    return 0;
+}
+
+// --- run ---------------------------------------------------------------
+
+/**
+ * One FAME run of a named pair on the calling thread, with the full
+ * per-core StatGroup routed into the JSON report — the introspection
+ * path the batch producers (which only keep the FAME measurements)
+ * deliberately do not have.
+ */
+int
+cmdRun(const Cli &cli, DriverContext &ctx, ExpConfig &config)
+{
+    const UbenchId primary = ubenchFromName(cli.str("primary"));
+    const std::string secondary_name = cli.str("secondary");
+    const bool has_secondary =
+        !secondary_name.empty() && secondary_name != "none";
+    const int prio_p = static_cast<int>(cli.integer("prio-p"));
+    const int prio_s = static_cast<int>(cli.integer("prio-s"));
+
+    const SyntheticProgram prog_p =
+        makeUbench(primary, config.ubenchScale);
+    std::optional<SyntheticProgram> prog_s;
+    if (has_secondary)
+        prog_s.emplace(makeUbench(ubenchFromName(secondary_name),
+                                  config.ubenchScale));
+
+    SmtCore core(config.core);
+    core.attachThread(0, &prog_p, prio_p);
+    if (prog_s)
+        core.attachThread(1, &*prog_s, prio_s);
+    FameRunner runner(config.fame);
+    const FameResult result = runner.run(core);
+
+    Table t("p5sim run: " + std::string(ubenchName(primary)) + " + " +
+            (has_secondary ? secondary_name : std::string("none")) +
+            " at (" + std::to_string(prio_p) + "," +
+            std::to_string(prio_s) + ")");
+    t.setColumns({"thread", "benchmark", "priority", "executions",
+                  "avg exec cycles", "IPC"});
+    t.addRow({"P", ubenchName(primary), std::to_string(prio_p),
+              std::to_string(result.thread[0].executions),
+              Table::fmt(result.thread[0].avgExecTime(), 1),
+              Table::fmt(result.thread[0].avgIpc(), 3)});
+    if (has_secondary)
+        t.addRow({"S", secondary_name, std::to_string(prio_s),
+                  std::to_string(result.thread[1].executions),
+                  Table::fmt(result.thread[1].avgExecTime(), 1),
+                  Table::fmt(result.thread[1].avgIpc(), 3)});
+    printTable(ctx, t);
+
+    writeReport(ctx, "run", config, [&](JsonWriter &w) {
+        w.beginObject();
+        w.member("primary", ubenchName(primary));
+        w.member("secondary",
+                 has_secondary ? secondary_name.c_str() : "none");
+        w.member("prioP", prio_p);
+        w.member("prioS", prio_s);
+        w.member("converged", result.converged);
+        w.member("totalCycles",
+                 static_cast<std::uint64_t>(result.totalCycles));
+        w.member("ipcPrimary", result.thread[0].avgIpc());
+        w.member("ipcSecondary", result.thread[1].avgIpc());
+        w.member("ipcTotal", result.totalIpc());
+        w.key("stats");
+        core.stats().dumpJson(w);
+        w.endObject();
+    });
+    return 0;
+}
+
+// --- sweep -------------------------------------------------------------
+
+struct SweepAxis
+{
+    std::string path;
+    std::vector<std::string> values;
+};
+
+struct SweepPoint
+{
+    std::vector<std::pair<std::string, std::string>> coords;
+    ExpConfig config;
+};
+
+std::vector<std::string>
+splitList(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : text) {
+        if (c == ',') {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+int finishSweep(DriverContext &ctx, ExpConfig &base,
+                const std::vector<SweepAxis> &axes,
+                const std::vector<SweepPoint> &points, UbenchId primary,
+                UbenchId secondary, bool has_secondary, int prio_p,
+                int prio_s);
+
+/**
+ * Fan the cartesian product of the --sweep axes out as one SimJob
+ * batch through the thread pool, then aggregate per-point results
+ * (with each point's own fingerprint) into a single table + report.
+ */
+int
+cmdSweep(const Cli &cli, DriverContext &ctx, ExpConfig &base)
+{
+    std::vector<SweepAxis> axes;
+    for (const std::string &spec : cli.list("sweep")) {
+        const auto eq = spec.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size())
+            fatal("--sweep expects key=v1,v2,..., got '%s'",
+                  spec.c_str());
+        SweepAxis axis;
+        axis.path = spec.substr(0, eq);
+        for (const std::string &v : splitList(spec.substr(eq + 1))) {
+            if (v.empty())
+                fatal("--sweep axis '%s' has an empty value",
+                      axis.path.c_str());
+            axis.values.push_back(v);
+        }
+        axes.push_back(std::move(axis));
+    }
+    if (axes.empty())
+        fatal("sweep requires at least one --sweep key=v1,v2,... axis");
+
+    const UbenchId primary = ubenchFromName(cli.str("primary"));
+    const std::string secondary_name = cli.str("secondary");
+    const bool has_secondary =
+        !secondary_name.empty() && secondary_name != "none";
+    const UbenchId secondary =
+        has_secondary ? ubenchFromName(secondary_name) : primary;
+    const int prio_p = static_cast<int>(cli.integer("prio-p"));
+    const int prio_s = static_cast<int>(cli.integer("prio-s"));
+
+    // Enumerate the cartesian product; the last axis varies fastest.
+    std::vector<SweepPoint> points;
+    std::vector<std::size_t> idx(axes.size(), 0);
+    bool done = false;
+    while (!done) {
+        SweepPoint pt;
+        pt.config = base;
+        {
+            ConfigTree tree(pt.config);
+            for (std::size_t a = 0; a < axes.size(); ++a) {
+                tree.set(axes[a].path, axes[a].values[idx[a]]);
+                pt.coords.emplace_back(axes[a].path,
+                                       axes[a].values[idx[a]]);
+            }
+            tree.validate();
+            tree.stampTag();
+        }
+        points.push_back(std::move(pt));
+
+        std::size_t a = axes.size();
+        for (;;) {
+            if (a == 0) {
+                done = true;
+                break;
+            }
+            --a;
+            if (++idx[a] < axes[a].values.size())
+                break;
+            idx[a] = 0;
+        }
+    }
+
+    return finishSweep(ctx, base, axes, points, primary, secondary,
+                       has_secondary, prio_p, prio_s);
+}
+
+int
+finishSweep(DriverContext &ctx, ExpConfig &base,
+            const std::vector<SweepAxis> &axes,
+            const std::vector<SweepPoint> &points, UbenchId primary,
+            UbenchId secondary, bool has_secondary, int prio_p,
+            int prio_s)
+{
+    // One batch: every point becomes a job, and the pool (plus the
+    // result cache) fans them out together.
+    std::vector<SimJob> batch;
+    batch.reserve(points.size());
+    for (const SweepPoint &pt : points) {
+        SimJob job;
+        if (has_secondary) {
+            job = SimJob::famePair(
+                ProgramSpec::ubench(primary, pt.config.ubenchScale),
+                ProgramSpec::ubench(secondary, pt.config.ubenchScale),
+                prio_p, prio_s, pt.config.core, pt.config.fame);
+        } else {
+            job = SimJob::fameSingle(
+                ProgramSpec::ubench(primary, pt.config.ubenchScale),
+                pt.config.core, pt.config.fame, prio_p);
+        }
+        job.configTag = pt.config.configTag;
+        batch.push_back(std::move(job));
+    }
+
+    SimRunner runner(base.jobs, base.cache);
+    const std::vector<SimResult> results = runner.run(batch);
+
+    Table t("p5sim sweep: " + std::string(ubenchName(primary)) + " + " +
+            (has_secondary ? ubenchName(secondary) : "none") + " at (" +
+            std::to_string(prio_p) + "," + std::to_string(prio_s) +
+            "), " + std::to_string(points.size()) + " points");
+    std::vector<std::string> columns;
+    for (const SweepAxis &axis : axes)
+        columns.push_back(axis.path);
+    columns.insert(columns.end(),
+                   {"fingerprint", "PThread IPC", "SThread IPC",
+                    "total"});
+    t.setColumns(columns);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        std::vector<std::string> row;
+        for (const auto &coord : points[i].coords)
+            row.push_back(coord.second);
+        row.push_back(points[i].config.configTag);
+        row.push_back(Table::fmt(results[i].fame.thread[0].avgIpc(), 3));
+        row.push_back(Table::fmt(results[i].fame.thread[1].avgIpc(), 3));
+        row.push_back(Table::fmt(results[i].fame.totalIpc(), 3));
+        t.addRow(std::move(row));
+    }
+    printTable(ctx, t);
+
+    // The envelope's sweep coordinates describe the axes; each point
+    // carries its own coordinates and fingerprint in the payload.
+    for (const SweepAxis &axis : axes) {
+        std::string joined;
+        for (std::size_t i = 0; i < axis.values.size(); ++i) {
+            if (i)
+                joined += ',';
+            joined += axis.values[i];
+        }
+        ctx.sweep.emplace_back(axis.path, joined);
+    }
+
+    writeReport(ctx, "sweep", base, [&](JsonWriter &w) {
+        w.beginObject();
+        w.member("primary", ubenchName(primary));
+        w.member("secondary",
+                 has_secondary ? ubenchName(secondary) : "none");
+        w.member("prioP", prio_p);
+        w.member("prioS", prio_s);
+        w.key("points");
+        w.beginArray();
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            w.beginObject();
+            w.key("coords");
+            w.beginObject();
+            for (const auto &coord : points[i].coords)
+                w.member(coord.first, coord.second);
+            w.endObject();
+            w.member("fingerprint", points[i].config.configTag);
+            w.member("converged", results[i].fame.converged);
+            w.member("ipcPrimary",
+                     results[i].fame.thread[0].avgIpc());
+            w.member("ipcSecondary",
+                     results[i].fame.thread[1].avgIpc());
+            w.member("ipcTotal", results[i].fame.totalIpc());
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    });
+    return 0;
+}
+
+// --- perf --------------------------------------------------------------
+
+int
+cmdPerf(const Cli &cli, DriverContext &ctx, ExpConfig &)
+{
+    if (cli.boolean("profile-stages"))
+        return profileStages(*ctx.out);
+    if (!ctx.jsonPath.empty())
+        return writePerfReport(ctx.jsonPath, *ctx.err);
+    fatal("perf requires --json=FILE (speedup report) or "
+          "--profile-stages");
+}
+
+// --- dispatch ----------------------------------------------------------
+
+using SubcommandFn = int (*)(const Cli &, DriverContext &, ExpConfig &);
+
+struct Subcommand
+{
+    const char *name;
+    const char *help;
+    SubcommandFn fn;
+    bool pairFlags; ///< also declare --primary/--secondary/--prio-*
+    bool sweepFlag; ///< also declare --sweep
+};
+
+constexpr Subcommand subcommands[] = {
+    {"table1", "paper Table 1: priorities, privilege, or-nop encodings",
+     cmdTable1, false, false},
+    {"table2", "paper Table 2: micro-benchmark loop bodies", cmdTable2,
+     false, false},
+    {"table3", "paper Table 3: ST IPC + pairwise SMT(4,4) matrix",
+     cmdTable3, false, false},
+    {"table4", "paper Table 4: FFT/LU pipeline timings", cmdTable4,
+     false, false},
+    {"fig2", "paper Figure 2: speedup at positive priority differences",
+     cmdFig2, false, false},
+    {"fig3", "paper Figure 3: slowdown at negative priority differences",
+     cmdFig3, false, false},
+    {"fig4", "paper Figure 4: total IPC w.r.t. the (4,4) baseline",
+     cmdFig4, false, false},
+    {"fig5", "paper Figure 5: SPEC case-study pairs", cmdFig5, false,
+     false},
+    {"fig6", "paper Figure 6: transparent execution", cmdFig6, false,
+     false},
+    {"ablation", "ablation studies of the simulator's design choices",
+     cmdAblation, false, false},
+    {"run", "one FAME pair with a full per-core stats dump", cmdRun,
+     true, false},
+    {"sweep", "cartesian config sweep fanned out as one job batch",
+     cmdSweep, true, true},
+    {"perf", "simulator speedup report / per-stage profile", cmdPerf,
+     false, false},
+};
+
+std::string
+globalUsage()
+{
+    std::ostringstream os;
+    os << "usage: p5sim <subcommand> [flags]\n\n"
+       << "subcommands:\n";
+    for (const Subcommand &sub : subcommands) {
+        os << "  ";
+        os.width(10);
+        os << std::left << sub.name;
+        os << sub.help << '\n';
+    }
+    os << "\nRun 'p5sim <subcommand> --help' for the subcommand's "
+          "flags.\n";
+    return os.str();
+}
+
+} // namespace
+
+int
+driverMain(int argc, const char *const *argv, std::ostream &out,
+           std::ostream &err)
+{
+    if (argc < 2) {
+        err << globalUsage();
+        return 1;
+    }
+    const std::string name = argv[1];
+    if (name == "help" || name == "--help" || name == "-h") {
+        out << globalUsage();
+        return 0;
+    }
+
+    const Subcommand *sub = nullptr;
+    for (const Subcommand &s : subcommands)
+        if (name == s.name)
+            sub = &s;
+    if (!sub) {
+        err << "p5sim: unknown subcommand '" << name << "'\n\n"
+            << globalUsage();
+        return 1;
+    }
+
+    Cli cli;
+    if (sub->fn == cmdPerf) {
+        cli.declare("json", "",
+                    "write the fast-forward speedup report here");
+        cli.declare("profile-stages", "false",
+                    "print the per-stage wall-time breakdown instead");
+    } else {
+        declareExperimentFlags(cli);
+        if (sub->pairFlags)
+            declarePairFlags(cli);
+        if (sub->sweepFlag)
+            cli.declareMulti("sweep",
+                            "one sweep axis, e.g. --sweep "
+                            "core.lmq_entries=4,8,16 (repeatable; the "
+                            "cartesian product of all axes runs)");
+    }
+    cli.setExitOnHelp(false);
+
+    // Strip the subcommand before parsing its flags.
+    std::vector<const char *> args;
+    args.push_back(argv[0]);
+    for (int i = 2; i < argc; ++i)
+        args.push_back(argv[i]);
+    cli.parse(static_cast<int>(args.size()), args.data());
+
+    if (cli.helpRequested()) {
+        out << cli.usage("p5sim " + std::string(sub->name));
+        return 0;
+    }
+
+    DriverContext ctx;
+    ctx.out = &out;
+    ctx.err = &err;
+
+    ExpConfig config;
+    if (sub->fn != cmdPerf) {
+        config = buildConfig(cli, ctx);
+        ctx.csv = cli.boolean("csv");
+    }
+    ctx.jsonPath = cli.str("json");
+    return sub->fn(cli, ctx, config);
+}
+
+int
+driverMainAs(const std::string &subcommand, int argc,
+             const char *const *argv)
+{
+    std::vector<const char *> args;
+    args.push_back(argc > 0 ? argv[0] : "p5sim");
+    args.push_back(subcommand.c_str());
+    for (int i = 1; i < argc; ++i)
+        args.push_back(argv[i]);
+    return driverMain(static_cast<int>(args.size()), args.data());
+}
+
+// --- perf report implementation ---------------------------------------
+// (Shared with bench_sim_perf's legacy --p5sim_perf_json flag.)
+
+namespace {
+
+/** One end-to-end case in the speedup report. */
+struct PerfCase
+{
+    const char *name;
+    UbenchId primary;
+    UbenchId secondary;
+    int prioP;
+    int prioS;
+};
+
+/**
+ * The report suite. ldint_mem+ldint_mem (4,4) is the headline case
+ * (the acceptance floor is a 3x end-to-end speedup there); the
+ * compute-bound and mixed pairs — balanced and priority-skewed — pin
+ * the "no overhead when there is nothing to skip" end of the spectrum.
+ */
+constexpr PerfCase report_cases[] = {
+    {"ldint_mem+ldint_mem@4,4", UbenchId::LdintMem, UbenchId::LdintMem,
+     4, 4},
+    {"ldint_mem+ldint_mem@6,2", UbenchId::LdintMem, UbenchId::LdintMem,
+     6, 2},
+    {"ldint_mem+cpu_int@4,4", UbenchId::LdintMem, UbenchId::CpuInt, 4,
+     4},
+    {"ldint_mem+cpu_int@2,6", UbenchId::LdintMem, UbenchId::CpuInt, 2,
+     6},
+    {"cpu_int+cpu_int@4,4", UbenchId::CpuInt, UbenchId::CpuInt, 4, 4},
+    {"cpu_int+cpu_int@6,2", UbenchId::CpuInt, UbenchId::CpuInt, 6, 2},
+};
+
+struct TimedRun
+{
+    double wallMs = 0;
+    FameResult result;
+};
+
+FameParams
+endToEndFame()
+{
+    FameParams fame;
+    fame.minRepetitions = 5;
+    return fame;
+}
+
+TimedRun
+timedFameRun(const PerfCase &c, bool fast_forward)
+{
+    const SyntheticProgram pp = makeUbench(c.primary);
+    const SyntheticProgram ps = makeUbench(c.secondary);
+    CoreParams core;
+    core.fastForward = fast_forward;
+    const FameParams fame = endToEndFame();
+
+    TimedRun run;
+    const auto t0 = std::chrono::steady_clock::now();
+    run.result = runFame(core, &pp, &ps, c.prioP, c.prioS, fame);
+    const auto t1 = std::chrono::steady_clock::now();
+    run.wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return run;
+}
+
+bool
+sameMeasurement(const FameResult &a, const FameResult &b)
+{
+    if (a.totalCycles != b.totalCycles || a.converged != b.converged ||
+        a.hitCycleLimit != b.hitCycleLimit)
+        return false;
+    for (size_t t = 0; t < num_hw_threads; ++t) {
+        if (a.thread[t].present != b.thread[t].present ||
+            a.thread[t].executions != b.thread[t].executions ||
+            a.thread[t].accountedCycles != b.thread[t].accountedCycles ||
+            a.thread[t].accountedInstrs != b.thread[t].accountedInstrs)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Best-of-N timing per mode. Repetitions of the two modes are
+ * interleaved with alternating order (turbo/thermal effects favor
+ * whichever mode runs first in a back-to-back pair) and the minimum
+ * wall time per mode is kept: host-side drift inflates individual runs
+ * but never deflates them, so min over order-balanced repetitions is
+ * the bias-resistant estimator of the true per-mode cost.
+ */
+constexpr int report_reps = 4;
+
+} // namespace
+
+int
+writePerfReport(const std::string &path, std::ostream &err)
+{
+    std::ofstream os(path);
+    if (!os) {
+        err << "p5sim perf: cannot open '" << path << "'\n";
+        return 1;
+    }
+
+    bool all_identical = true;
+    JsonWriter w(os);
+    w.beginObject();
+    w.member("experiment", "bench_sim_perf");
+    w.key("cases");
+    w.beginArray();
+    for (const PerfCase &c : report_cases) {
+        // Warm one fast run so first-touch costs (program build, page
+        // sets) don't pollute the slow/fast ratio, then measure the
+        // two modes interleaved and keep each mode's best repetition.
+        timedFameRun(c, true);
+        TimedRun fast, slow;
+        bool identical = true;
+        for (int rep = 0; rep < report_reps; ++rep) {
+            const bool slow_first = (rep % 2) == 0;
+            TimedRun s, f;
+            if (slow_first) {
+                s = timedFameRun(c, false);
+                f = timedFameRun(c, true);
+            } else {
+                f = timedFameRun(c, true);
+                s = timedFameRun(c, false);
+            }
+            identical =
+                identical && sameMeasurement(f.result, s.result);
+            if (rep == 0 || s.wallMs < slow.wallMs)
+                slow = s;
+            if (rep == 0 || f.wallMs < fast.wallMs)
+                fast = f;
+        }
+        all_identical = all_identical && identical;
+
+        w.beginObject();
+        w.member("name", c.name);
+        w.member("simCyclesFast",
+                 static_cast<std::uint64_t>(fast.result.totalCycles));
+        w.member("simCyclesSlow",
+                 static_cast<std::uint64_t>(slow.result.totalCycles));
+        w.member("ipcTotal", fast.result.totalIpc());
+        w.member("wallMsFast", fast.wallMs);
+        w.member("wallMsSlow", slow.wallMs);
+        w.member("speedup", slow.wallMs / fast.wallMs);
+        w.member("identicalStats", identical);
+        w.endObject();
+
+        err << c.name << ": " << slow.wallMs << " ms -> " << fast.wallMs
+            << " ms (" << slow.wallMs / fast.wallMs << "x)"
+            << (identical ? "" : "  STATS DEVIATE") << '\n';
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+
+    if (!all_identical) {
+        err << "p5sim perf: fast-forward stats deviated\n";
+        return 1;
+    }
+    return 0;
+}
+
+int
+profileStages(std::ostream &out)
+{
+    constexpr Cycle profile_cycles = 500000;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "%-26s %10s %10s %10s %10s %10s  %9s %9s %9s\n",
+                  "case", "complet ms", "issue ms", "commit ms",
+                  "decode ms", "probe ms", "ticks", "probes",
+                  "skipped");
+    out << line;
+    for (const PerfCase &c : report_cases) {
+        const SyntheticProgram pp = makeUbench(c.primary);
+        const SyntheticProgram ps = makeUbench(c.secondary);
+        CoreParams params;
+        SmtCore core(params);
+        SmtCore::StageProfile prof;
+        core.setStageProfile(&prof);
+        core.attachThread(0, &pp, c.prioP);
+        core.attachThread(1, &ps, c.prioS);
+        core.run(profile_cycles);
+        const auto ms = [](std::uint64_t ns) { return ns / 1e6; };
+        std::snprintf(
+            line, sizeof(line),
+            "%-26s %10.3f %10.3f %10.3f %10.3f %10.3f  %9llu %9llu "
+            "%9llu\n",
+            c.name, ms(prof.completionsNs), ms(prof.issueNs),
+            ms(prof.commitNs), ms(prof.decodeNs), ms(prof.probeNs),
+            static_cast<unsigned long long>(prof.timedTicks),
+            static_cast<unsigned long long>(core.fastForwardProbes()),
+            static_cast<unsigned long long>(core.idleCyclesSkipped()));
+        out << line;
+    }
+    return 0;
+}
+
+} // namespace p5

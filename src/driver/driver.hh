@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The unified p5sim driver: every paper table/figure, the ablation
+ * studies, the simulator perf report, single-pair runs with full stat
+ * dumps and multi-axis config sweeps behind one binary with
+ * subcommands (tools/p5sim). The per-experiment bench binaries are
+ * thin wrappers over driverMainAs() so existing scripts keep working.
+ *
+ * All per-invocation state (output streams, the --csv preference, the
+ * --json destination, config provenance) lives in an explicit
+ * DriverContext that is threaded through the subcommand handlers —
+ * there are no process-wide mutable globals, so tests drive the whole
+ * CLI in-process and concurrently.
+ */
+
+#ifndef P5SIM_DRIVER_DRIVER_HH
+#define P5SIM_DRIVER_DRIVER_HH
+
+#include <cstdint>
+#include <iostream>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace p5 {
+
+/**
+ * Per-invocation driver state (replaces the old bench_common.hh
+ * csvFlag()/jsonPath() process-wide statics).
+ */
+struct DriverContext
+{
+    /** Emit CSV instead of ASCII tables. */
+    bool csv = false;
+
+    /** Destination of the machine-readable report ("" = off). */
+    std::string jsonPath;
+
+    /** Human-readable output (tables, run summaries). */
+    std::ostream *out = &std::cout;
+
+    /** Diagnostics. */
+    std::ostream *err = &std::cerr;
+
+    // Provenance stamped into every JSON report.
+    std::string fingerprint;     ///< hex config-tree fingerprint
+    std::uint64_t seed = 0;      ///< exp.seed of the effective config
+    /** Sweep coordinates ("" outside the sweep subcommand). */
+    std::vector<std::pair<std::string, std::string>> sweep;
+};
+
+/**
+ * Entry point of the p5sim binary: argv[1] selects the subcommand
+ * (table1..table4, fig2..fig6, ablation, perf, run, sweep), the rest
+ * are its flags. Returns the process exit code; all user errors are
+ * fatal() (exit 1) like the rest of the CLI surface.
+ */
+int driverMain(int argc, const char *const *argv,
+               std::ostream &out = std::cout,
+               std::ostream &err = std::cerr);
+
+/**
+ * driverMain() with @p subcommand injected as argv[1] — the
+ * compatibility entry used by the thin bench_* wrapper binaries.
+ */
+int driverMainAs(const std::string &subcommand, int argc,
+                 const char *const *argv);
+
+/**
+ * Run the end-to-end fast-forward speedup suite once per engine mode
+ * and write the machine-readable report consumed by
+ * tools/compare_perf.py. Returns nonzero when any case's stats deviate
+ * between modes. Exposed so bench_sim_perf's legacy
+ * --p5sim_perf_json=FILE flag and `p5sim perf --json=FILE` share one
+ * implementation.
+ */
+int writePerfReport(const std::string &path, std::ostream &err);
+
+/** Per-stage wall-time breakdown of the report cases (perf triage). */
+int profileStages(std::ostream &out);
+
+} // namespace p5
+
+#endif // P5SIM_DRIVER_DRIVER_HH

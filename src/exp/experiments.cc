@@ -62,8 +62,10 @@ ubSpec(const ExpConfig &config, UbenchId id)
 SimJob
 stJob(const ExpConfig &config, UbenchId id)
 {
-    return SimJob::fameSingle(ubSpec(config, id), config.core,
-                              config.fame);
+    SimJob job = SimJob::fameSingle(ubSpec(config, id), config.core,
+                                    config.fame);
+    job.configTag = config.configTag;
+    return job;
 }
 
 /** Two-thread job for a micro-benchmark pair under (prio_p, prio_s). */
@@ -71,8 +73,11 @@ SimJob
 pairJob(const ExpConfig &config, UbenchId p, UbenchId s, int prio_p,
         int prio_s)
 {
-    return SimJob::famePair(ubSpec(config, p), ubSpec(config, s), prio_p,
-                            prio_s, config.core, config.fame);
+    SimJob job = SimJob::famePair(ubSpec(config, p), ubSpec(config, s),
+                                  prio_p, prio_s, config.core,
+                                  config.fame);
+    job.configTag = config.configTag;
+    return job;
 }
 
 } // namespace
@@ -248,8 +253,10 @@ runFig5(SpecProxyId primary, SpecProxyId secondary,
     jobs.reserve(data.diffs.size());
     for (int d : data.diffs) {
         auto [pp, ps] = prioPairForDiff(d);
-        jobs.push_back(
-            SimJob::famePair(p, s, pp, ps, config.core, config.fame));
+        SimJob job =
+            SimJob::famePair(p, s, pp, ps, config.core, config.fame);
+        job.configTag = config.configTag;
+        jobs.push_back(std::move(job));
     }
 
     SimRunner runner = makeRunner(config);
@@ -276,14 +283,18 @@ runTable4(const ExpConfig &config)
     {
         PipelineParams pp;
         pp.scale = config.ubenchScale;
-        jobs.push_back(SimJob::pipelineSingleThread(pp, config.core));
+        SimJob job = SimJob::pipelineSingleThread(pp, config.core);
+        job.configTag = config.configTag;
+        jobs.push_back(std::move(job));
     }
     for (auto [pf, pl] : prio_rows) {
         PipelineParams pp;
         pp.prioFft = pf;
         pp.prioLu = pl;
         pp.scale = config.ubenchScale;
-        jobs.push_back(SimJob::pipelineSmt(pp, config.core));
+        SimJob job = SimJob::pipelineSmt(pp, config.core);
+        job.configTag = config.configTag;
+        jobs.push_back(std::move(job));
     }
 
     SimRunner runner = makeRunner(config);

@@ -9,6 +9,8 @@
 #define P5SIM_EXP_EXPERIMENTS_HH
 
 #include <array>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/params.hh"
@@ -46,6 +48,22 @@ struct ExpConfig
      * private cache to force re-execution.
      */
     ResultCache *cache = nullptr;
+
+    /**
+     * Master seed folded into the config fingerprint; per-job RNG
+     * streams derive from the job key (which embeds the fingerprint via
+     * configTag), so changing the seed re-keys every randomized draw a
+     * job ever grows without touching any other configuration.
+     */
+    std::uint64_t seed = 0;
+
+    /**
+     * Config-tree fingerprint of the run this config was materialized
+     * from ("" when the config was built in code rather than through a
+     * ConfigTree). Producers fold it into every enumerated SimJob key;
+     * see SimJob::configTag.
+     */
+    std::string configTag;
 
     /** Reduced-accuracy configuration for smoke tests. */
     static ExpConfig fast();

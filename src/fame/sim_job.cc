@@ -252,6 +252,11 @@ SimJob::key() const
     out += "core{";
     appendKey(out, core);
     out += "}";
+    if (!configTag.empty()) {
+        out += "cfg{";
+        out += configTag;
+        out += "}";
+    }
     return out;
 }
 

@@ -91,6 +91,17 @@ struct SimJob
     // Shared.
     CoreParams core;
 
+    /**
+     * Fingerprint of the config tree this job was enumerated from, or
+     * "" for jobs built directly in code. Folded into key() — and so
+     * into the ResultCache key and the rngSeed() stream — so results
+     * cached under one declared configuration are never served to
+     * another, even if a future config field stops being mirrored in
+     * the param structs above. Identical (config, job) pairs still
+     * coalesce exactly as before: equal configs yield equal tags.
+     */
+    std::string configTag;
+
     // --- factories ----------------------------------------------------
 
     /** Primary-only (single-thread mode) FAME job. */

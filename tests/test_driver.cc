@@ -1,0 +1,470 @@
+/**
+ * @file
+ * In-process tests of the unified p5sim driver: per-subcommand --help,
+ * unknown-key suggestions, provenance-stamped reports, equivalence of
+ * the driver's data payload with the direct producer path (the
+ * pre-driver bench binaries' output), sweep fan-out through the job
+ * pool, and the `run` subcommand's StatGroup JSON dump.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+#include "common/thread_pool.hh"
+#include "config/config.hh"
+#include "driver/driver.hh"
+#include "exp/experiments.hh"
+#include "exp/report.hh"
+#include "fame/sim_runner.hh"
+
+namespace p5 {
+namespace {
+
+struct Invocation
+{
+    int exitCode = 0;
+    std::string out;
+    std::string err;
+};
+
+/** Run the driver in-process with "p5sim" prepended as argv[0]. */
+Invocation
+invoke(std::initializer_list<const char *> args)
+{
+    std::vector<const char *> argv;
+    argv.push_back("p5sim");
+    argv.insert(argv.end(), args);
+    std::ostringstream out, err;
+    Invocation result;
+    result.exitCode = driverMain(static_cast<int>(argv.size()),
+                                 argv.data(), out, err);
+    result.out = out.str();
+    result.err = err.str();
+    return result;
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "p5sim_driver_" + name;
+}
+
+JsonValue
+readReport(const std::string &path)
+{
+    return parseJsonFile(path);
+}
+
+/** Dump a report with its "provenance" member removed. */
+std::string
+dumpWithoutProvenance(const JsonValue &report)
+{
+    JsonValue stripped = JsonValue::makeObject();
+    for (const auto &m : report.members())
+        if (m.first != "provenance")
+            stripped.setMember(m.first, m.second);
+    return stripped.dump();
+}
+
+// --- help / dispatch ---------------------------------------------------
+
+TEST(Driver, GlobalHelpListsSubcommands)
+{
+    const Invocation help = invoke({"help"});
+    EXPECT_EQ(help.exitCode, 0);
+    for (const char *sub :
+         {"table1", "table2", "table3", "table4", "fig2", "fig3",
+          "fig4", "fig5", "fig6", "ablation", "run", "sweep", "perf"})
+        EXPECT_NE(help.out.find(sub), std::string::npos) << sub;
+}
+
+TEST(Driver, EverySubcommandAnswersHelp)
+{
+    for (const char *sub :
+         {"table1", "table2", "table3", "table4", "fig2", "fig3",
+          "fig4", "fig5", "fig6", "ablation", "run", "sweep", "perf"}) {
+        const Invocation help = invoke({sub, "--help"});
+        EXPECT_EQ(help.exitCode, 0) << sub;
+        EXPECT_NE(help.out.find("usage: p5sim " + std::string(sub)),
+                  std::string::npos)
+            << sub;
+    }
+    // The pair/sweep flags only appear where they apply.
+    EXPECT_NE(invoke({"sweep", "--help"}).out.find("--sweep"),
+              std::string::npos);
+    EXPECT_NE(invoke({"run", "--help"}).out.find("--primary"),
+              std::string::npos);
+    EXPECT_EQ(invoke({"table3", "--help"}).out.find("--sweep"),
+              std::string::npos);
+}
+
+TEST(Driver, NoArgumentsFailsWithUsage)
+{
+    const Invocation bare = invoke({});
+    EXPECT_EQ(bare.exitCode, 1);
+    EXPECT_NE(bare.err.find("usage:"), std::string::npos);
+}
+
+TEST(Driver, UnknownSubcommandFails)
+{
+    const Invocation bad = invoke({"table9"});
+    EXPECT_EQ(bad.exitCode, 1);
+    EXPECT_NE(bad.err.find("unknown subcommand 'table9'"),
+              std::string::npos);
+}
+
+TEST(Driver, UnknownSetKeySuggestsNearestPath)
+{
+    EXPECT_EXIT(invoke({"table1", "--set", "core.decode_widht=4"}),
+                ::testing::ExitedWithCode(1),
+                "did you mean 'core.decode_width'");
+}
+
+TEST(Driver, OutOfRangeSetIsFatal)
+{
+    EXPECT_EXIT(invoke({"table1", "--set", "core.decode_width=99"}),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+// --- provenance --------------------------------------------------------
+
+TEST(Driver, ReportsCarryProvenance)
+{
+    const std::string path = tempPath("table1.json");
+    const Invocation run =
+        invoke({"table1", ("--json=" + path).c_str()});
+    ASSERT_EQ(run.exitCode, 0);
+
+    const JsonValue report = readReport(path);
+    const JsonValue *prov = report.find("provenance");
+    ASSERT_NE(prov, nullptr);
+    EXPECT_EQ(prov->find("schemaVersion")->asInt(),
+              config_schema_version);
+    EXPECT_EQ(prov->find("fingerprint")->asString().size(), 16u);
+    EXPECT_EQ(prov->find("seed")->asInt(), 0);
+    EXPECT_TRUE(prov->find("sweep")->isObject());
+    std::remove(path.c_str());
+}
+
+TEST(Driver, FingerprintIsStableAndTracksOverrides)
+{
+    const std::string path_a = tempPath("fp_a.json");
+    const std::string path_b = tempPath("fp_b.json");
+    const std::string path_c = tempPath("fp_c.json");
+    ASSERT_EQ(invoke({"table1", ("--json=" + path_a).c_str()}).exitCode,
+              0);
+    ASSERT_EQ(invoke({"table1", ("--json=" + path_b).c_str()}).exitCode,
+              0);
+    ASSERT_EQ(invoke({"table1", "--set", "core.lmq_entries=16",
+                      ("--json=" + path_c).c_str()})
+                  .exitCode,
+              0);
+
+    const std::string fp_a = readReport(path_a)
+                                 .find("provenance")
+                                 ->find("fingerprint")
+                                 ->asString();
+    const std::string fp_b = readReport(path_b)
+                                 .find("provenance")
+                                 ->find("fingerprint")
+                                 ->asString();
+    const std::string fp_c = readReport(path_c)
+                                 .find("provenance")
+                                 ->find("fingerprint")
+                                 ->asString();
+    EXPECT_EQ(fp_a, fp_b);
+    EXPECT_NE(fp_a, fp_c);
+
+    // The driver's fingerprint equals the one ConfigTree computes for
+    // the same effective configuration.
+    ExpConfig config;
+    EXPECT_EQ(fp_a, ConfigTree(config).fingerprintHex());
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
+    std::remove(path_c.c_str());
+}
+
+TEST(Driver, SeedIsStampedIntoProvenanceAndFingerprint)
+{
+    const std::string path = tempPath("seed.json");
+    ASSERT_EQ(invoke({"table1", "--seed=42",
+                      ("--json=" + path).c_str()})
+                  .exitCode,
+              0);
+    const JsonValue report = readReport(path);
+    EXPECT_EQ(report.find("provenance")->find("seed")->asInt(), 42);
+
+    ExpConfig config;
+    ConfigTree tree(config);
+    tree.set("exp.seed", "42");
+    EXPECT_EQ(report.find("provenance")->find("fingerprint")->asString(),
+              tree.fingerprintHex());
+    std::remove(path.c_str());
+}
+
+// --- equivalence with the direct producer path ------------------------
+
+/**
+ * Write the pre-driver bench_common.hh envelope (no provenance) around
+ * the given payload — the exact byte layout the standalone bench
+ * binaries produced before the driver refactor.
+ */
+template <typename PayloadFn>
+std::string
+legacyEnvelope(const char *experiment, const ExpConfig &config,
+               std::uint64_t hits, std::uint64_t misses,
+               PayloadFn &&payload)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        w.beginObject();
+        w.member("experiment", experiment);
+        w.member("jobs", config.jobs ? config.jobs
+                                     : ThreadPool::defaultWorkers());
+        w.member("scale", config.ubenchScale);
+        w.member("minRepetitions", config.fame.minRepetitions);
+        w.member("maiv", config.fame.maiv);
+        w.member("cacheHits", hits);
+        w.member("cacheMisses", misses);
+        w.key("data");
+        payload(w);
+        w.endObject();
+    }
+    return os.str();
+}
+
+/**
+ * The driver's report must be byte-identical to the legacy bench
+ * binary's, modulo the added "provenance" member. The cache counters
+ * are process-cumulative, so the expected document borrows the actual
+ * report's values for those two members — everything else (including
+ * the full "data" payload) is compared byte-for-byte.
+ */
+void
+expectLegacyEquivalent(const std::string &json_path,
+                       const char *experiment,
+                       const std::function<void(JsonWriter &)> &payload)
+{
+    const JsonValue report = readReport(json_path);
+    ExpConfig config = ExpConfig::fast();
+    const std::string expected = legacyEnvelope(
+        experiment, config,
+        static_cast<std::uint64_t>(
+            report.find("cacheHits")->asInt()),
+        static_cast<std::uint64_t>(
+            report.find("cacheMisses")->asInt()),
+        payload);
+    EXPECT_EQ(dumpWithoutProvenance(report),
+              parseJson(expected, "expected").dump());
+}
+
+TEST(Driver, Table3MatchesDirectProducerByteForByte)
+{
+    const std::string path = tempPath("table3.json");
+    ASSERT_EQ(
+        invoke({"table3", "--fast", ("--json=" + path).c_str()})
+            .exitCode,
+        0);
+
+    // Direct producer path with a private cache (the driver's jobs are
+    // keyed with the config fingerprint, so the process cache would
+    // re-simulate anyway; a private cache keeps this test hermetic).
+    ExpConfig config = ExpConfig::fast();
+    ResultCache cache;
+    config.cache = &cache;
+    const Table3Data data = runTable3(config);
+    expectLegacyEquivalent(path, "table3", [&](JsonWriter &w) {
+        writeJson(w, data);
+    });
+    std::remove(path.c_str());
+}
+
+TEST(Driver, Fig6MatchesDirectProducerByteForByte)
+{
+    const std::string path = tempPath("fig6.json");
+    ASSERT_EQ(invoke({"fig6", "--fast", ("--json=" + path).c_str()})
+                  .exitCode,
+              0);
+
+    ExpConfig config = ExpConfig::fast();
+    ResultCache cache;
+    config.cache = &cache;
+    const TransparencyData data = runFig6(config);
+    expectLegacyEquivalent(path, "fig6", [&](JsonWriter &w) {
+        writeJson(w, data);
+    });
+    std::remove(path.c_str());
+}
+
+// --- sweep -------------------------------------------------------------
+
+TEST(Driver, SweepFansTheCartesianProductThroughThePool)
+{
+    const std::string path = tempPath("sweep.json");
+    const Invocation run = invoke(
+        {"sweep", "--fast", "--jobs=2", "--sweep",
+         "core.lmq_entries=8,16", "--sweep", "core.walker_port_gap=0,2",
+         ("--json=" + path).c_str()});
+    ASSERT_EQ(run.exitCode, 0);
+
+    const JsonValue report = readReport(path);
+    EXPECT_EQ(report.find("experiment")->asString(), "sweep");
+    EXPECT_EQ(report.find("jobs")->asInt(), 2);
+
+    // The envelope records the axes...
+    const JsonValue *sweep =
+        report.find("provenance")->find("sweep");
+    ASSERT_NE(sweep->find("core.lmq_entries"), nullptr);
+    EXPECT_EQ(sweep->find("core.lmq_entries")->asString(), "8,16");
+    EXPECT_EQ(sweep->find("core.walker_port_gap")->asString(), "0,2");
+
+    // ...and the payload one point per product element, each with its
+    // own coordinates and a distinct fingerprint.
+    const JsonValue *points = report.find("data")->find("points");
+    ASSERT_EQ(points->elements().size(), 4u);
+    std::vector<std::string> fingerprints;
+    for (const JsonValue &pt : points->elements()) {
+        const JsonValue *coords = pt.find("coords");
+        ASSERT_NE(coords->find("core.lmq_entries"), nullptr);
+        ASSERT_NE(coords->find("core.walker_port_gap"), nullptr);
+        fingerprints.push_back(pt.find("fingerprint")->asString());
+        EXPECT_GT(pt.find("ipcTotal")->asDouble(), 0.0);
+    }
+    std::sort(fingerprints.begin(), fingerprints.end());
+    EXPECT_EQ(std::unique(fingerprints.begin(), fingerprints.end()),
+              fingerprints.end())
+        << "every sweep point must have a distinct fingerprint";
+    std::remove(path.c_str());
+}
+
+TEST(Driver, RepeatedSweepIsServedFromTheResultCache)
+{
+    const std::string path_a = tempPath("sweep_a.json");
+    const std::string path_b = tempPath("sweep_b.json");
+    ASSERT_EQ(invoke({"sweep", "--fast", "--sweep",
+                      "core.mem.dram_latency=200,260",
+                      ("--json=" + path_a).c_str()})
+                  .exitCode,
+              0);
+    const Invocation second = invoke(
+        {"sweep", "--fast", "--sweep", "core.mem.dram_latency=200,260",
+         ("--json=" + path_b).c_str()});
+    ASSERT_EQ(second.exitCode, 0);
+
+    // Identical (config, job) pairs coalesce: the second run adds no
+    // misses to the process-wide cache, only hits.
+    const JsonValue a = readReport(path_a);
+    const JsonValue b = readReport(path_b);
+    EXPECT_EQ(a.find("cacheMisses")->asInt(),
+              b.find("cacheMisses")->asInt());
+    EXPECT_GE(b.find("cacheHits")->asInt(),
+              a.find("cacheHits")->asInt() + 2);
+    // Same configs -> same per-point fingerprints.
+    EXPECT_EQ(a.find("data")->dump(), b.find("data")->dump());
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
+}
+
+TEST(Driver, SweepWithoutAxesIsFatal)
+{
+    EXPECT_EXIT(invoke({"sweep", "--fast"}),
+                ::testing::ExitedWithCode(1), "--sweep");
+    EXPECT_EXIT(invoke({"sweep", "--fast", "--sweep", "no-equals"}),
+                ::testing::ExitedWithCode(1), "key=v1,v2");
+    EXPECT_EXIT(invoke({"sweep", "--fast", "--sweep",
+                        "core.lmq_entrees=4,8"}),
+                ::testing::ExitedWithCode(1), "did you mean");
+}
+
+// --- run ---------------------------------------------------------------
+
+TEST(Driver, RunRoutesCoreStatsThroughDumpJson)
+{
+    const std::string path = tempPath("run.json");
+    const Invocation run =
+        invoke({"run", "--fast", "--primary=cpu_int",
+                "--secondary=cpu_int", "--prio-p=6", "--prio-s=2",
+                ("--json=" + path).c_str()});
+    ASSERT_EQ(run.exitCode, 0);
+    EXPECT_NE(run.out.find("p5sim run: cpu_int + cpu_int at (6,2)"),
+              std::string::npos);
+
+    const JsonValue report = readReport(path);
+    const JsonValue *data = report.find("data");
+    EXPECT_EQ(data->find("primary")->asString(), "cpu_int");
+    EXPECT_EQ(data->find("prioP")->asInt(), 6);
+    EXPECT_TRUE(data->find("converged")->asBool());
+    EXPECT_GT(data->find("ipcTotal")->asDouble(), 0.0);
+
+    // The full per-core StatGroup rides along as one flat object.
+    const JsonValue *stats = data->find("stats");
+    ASSERT_NE(stats, nullptr);
+    ASSERT_TRUE(stats->isObject());
+    EXPECT_GT(stats->members().size(), 20u);
+    bool has_cycle_counter = false;
+    for (const auto &m : stats->members())
+        if (m.second.isInt() || m.second.isDouble())
+            has_cycle_counter = true;
+    EXPECT_TRUE(has_cycle_counter);
+    std::remove(path.c_str());
+}
+
+TEST(Driver, RunSingleThreadMode)
+{
+    const Invocation run =
+        invoke({"run", "--fast", "--primary=cpu_int",
+                "--secondary=none"});
+    EXPECT_EQ(run.exitCode, 0);
+    EXPECT_NE(run.out.find("cpu_int + none"), std::string::npos);
+}
+
+// --- config file / save-config round trip ------------------------------
+
+TEST(Driver, SaveConfigThenLoadReproducesTheFingerprint)
+{
+    const std::string cfg = tempPath("saved_config.json");
+    const std::string path_a = tempPath("cfgrt_a.json");
+    const std::string path_b = tempPath("cfgrt_b.json");
+
+    ASSERT_EQ(invoke({"table1", "--set", "core.lmq_entries=16", "--set",
+                      "core.balancer.action=flush",
+                      ("--save-config=" + cfg).c_str(),
+                      ("--json=" + path_a).c_str()})
+                  .exitCode,
+              0);
+    ASSERT_EQ(invoke({"table1", ("--config=" + cfg).c_str(),
+                      ("--json=" + path_b).c_str()})
+                  .exitCode,
+              0);
+
+    EXPECT_EQ(readReport(path_a)
+                  .find("provenance")
+                  ->find("fingerprint")
+                  ->asString(),
+              readReport(path_b)
+                  .find("provenance")
+                  ->find("fingerprint")
+                  ->asString());
+    std::remove(cfg.c_str());
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
+}
+
+TEST(Driver, CsvModeEmitsCsvTables)
+{
+    const Invocation run = invoke({"table1", "--csv"});
+    EXPECT_EQ(run.exitCode, 0);
+    EXPECT_EQ(run.out.rfind("# ", 0), 0u)
+        << "CSV mode starts with the '# <title>' comment line";
+}
+
+} // namespace
+} // namespace p5

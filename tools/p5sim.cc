@@ -1,0 +1,13 @@
+/**
+ * @file
+ * The unified p5sim experiment driver. `p5sim help` lists the
+ * subcommands; see src/driver/driver.cc for the implementation.
+ */
+
+#include "driver/driver.hh"
+
+int
+main(int argc, char **argv)
+{
+    return p5::driverMain(argc, argv);
+}
