@@ -22,12 +22,15 @@
 #include <string>
 
 #include "common/json.hh"
+#include "core/chip.hh"
 #include "core/smt_core.hh"
 #include "driver/driver.hh"
 #include "fame/fame.hh"
 #include "fame/sim_runner.hh"
 #include "mem/cache.hh"
 #include "prio/slot_allocator.hh"
+#include "sched/alloc_engine.hh"
+#include "sched/workload.hh"
 #include "ubench/ubench.hh"
 
 namespace {
@@ -171,6 +174,48 @@ BM_FameCpuPairSlow(benchmark::State &state)
     famePair(state, UbenchId::CpuInt, UbenchId::CpuInt, 4, 4, false);
 }
 BENCHMARK(BM_FameCpuPairSlow)->Unit(benchmark::kMillisecond);
+
+/**
+ * End-to-end chip run: 8 ldint_mem threads pinned on a 4-core chip
+ * through the allocation engine, with chip-level fast-forward per
+ * @p fast_forward. A chip skip needs every core idle at once, so this
+ * pair makes the multi-core engine cost visible alongside the
+ * single-core Fame pairs above (and mirrors the chip case in the
+ * `p5sim perf` speedup report).
+ */
+void
+chipAlloc(benchmark::State &state, bool fast_forward)
+{
+    const Workload workload = Workload::fromMix(
+        "ldint_mem,ldint_mem,ldint_mem,ldint_mem,"
+        "ldint_mem,ldint_mem,ldint_mem,ldint_mem");
+    ChipParams params;
+    params.numCores = 4;
+    params.core.fastForward = fast_forward;
+    double ipc = 0;
+    for (auto _ : state) {
+        Chip chip(params);
+        AllocEngine engine(chip, workload, SchedParams{}, 1);
+        AllocRunResult res = engine.run(300000);
+        ipc = res.aggregateIpc;
+        benchmark::DoNotOptimize(res);
+    }
+    state.counters["aggregateIpc"] = ipc;
+}
+
+void
+BM_ChipAllocPinnedFast(benchmark::State &state)
+{
+    chipAlloc(state, true);
+}
+BENCHMARK(BM_ChipAllocPinnedFast)->Unit(benchmark::kMillisecond);
+
+void
+BM_ChipAllocPinnedSlow(benchmark::State &state)
+{
+    chipAlloc(state, false);
+}
+BENCHMARK(BM_ChipAllocPinnedSlow)->Unit(benchmark::kMillisecond);
 
 /**
  * Parallel-runner scaling: a fixed batch of 8 distinct fast FAME jobs

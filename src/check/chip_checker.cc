@@ -1,0 +1,91 @@
+#include "check/chip_checker.hh"
+
+#include "common/log.hh"
+#include "core/chip.hh"
+
+namespace p5 {
+namespace check {
+
+ChipConservation::ChipConservation(const Chip &chip) : chip_(chip)
+{
+    committed_.resize(static_cast<std::size_t>(chip.numCores()));
+    beyondL2_.resize(static_cast<std::size_t>(chip.numCores()));
+}
+
+void
+ChipConservation::onQuantumBoundary(std::uint64_t attributed_committed)
+{
+    const int n = chip_.numCores();
+
+    // Lockstep: Chip::cycle() asserts in debug builds; re-verify here
+    // in all builds since a violation invalidates every attribution.
+    const Cycle now = chip_.core(0).cycle();
+    for (int c = 1; c < n; ++c) {
+        if (chip_.core(c).cycle() != now) {
+            ++violations_;
+            checkfail("ChipConservation: core %d at cycle %llu but core "
+                      "0 at %llu (lockstep contract violated)",
+                      c,
+                      static_cast<unsigned long long>(
+                          chip_.core(c).cycle()),
+                      static_cast<unsigned long long>(now));
+        }
+    }
+
+    std::uint64_t chip_delta = 0;
+    for (int c = 0; c < n; ++c) {
+        const SmtCore &core = chip_.core(c);
+        for (ThreadId t = 0; t < num_hw_threads; ++t) {
+            const auto ci = static_cast<std::size_t>(c);
+            const auto ti = static_cast<std::size_t>(t);
+            const std::uint64_t com = core.thread(t).committedCtr.value();
+            const std::uint64_t bl2 = core.hierarchy().beyondL2Of(t);
+            if (baselined_) {
+                if (com < committed_[ci][ti]) {
+                    ++violations_;
+                    checkfail("ChipConservation: core %d thread %d "
+                              "committed went backwards (%llu -> %llu)",
+                              c, t,
+                              static_cast<unsigned long long>(
+                                  committed_[ci][ti]),
+                              static_cast<unsigned long long>(com));
+                }
+                if (bl2 < beyondL2_[ci][ti]) {
+                    ++violations_;
+                    checkfail("ChipConservation: core %d thread %d "
+                              "beyondL2 went backwards (%llu -> %llu)",
+                              c, t,
+                              static_cast<unsigned long long>(
+                                  beyondL2_[ci][ti]),
+                              static_cast<unsigned long long>(bl2));
+                }
+                chip_delta += com - committed_[ci][ti];
+            }
+            committed_[ci][ti] = com;
+            beyondL2_[ci][ti] = bl2;
+        }
+    }
+
+    if (baselined_) {
+        if (now < lastCycle_) {
+            ++violations_;
+            checkfail("ChipConservation: chip cycle went backwards "
+                      "(%llu -> %llu)",
+                      static_cast<unsigned long long>(lastCycle_),
+                      static_cast<unsigned long long>(now));
+        }
+        if (chip_delta != attributed_committed) {
+            ++violations_;
+            checkfail("ChipConservation: quantum attributed %llu "
+                      "committed instructions but the chip retired %llu",
+                      static_cast<unsigned long long>(
+                          attributed_committed),
+                      static_cast<unsigned long long>(chip_delta));
+        }
+    }
+    lastCycle_ = now;
+    baselined_ = true;
+}
+
+} // namespace check
+} // namespace p5

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Chip-level conservation invariants across cores and migrations.
+ *
+ * The per-core checkers (check.hh) verify one SmtCore at cycle
+ * boundaries; ChipConservation verifies the properties an allocation
+ * study depends on at *quantum* boundaries:
+ *
+ *  - lockstep: every core is at the same cycle whenever the scheduler
+ *    looks (a violation means someone advanced a core behind the
+ *    chip's back);
+ *  - monotonicity: the per-slot committed / beyond-L2 counters the
+ *    engine attributes work from never decrease, across migrations,
+ *    detach/attach and fast-forward skips alike;
+ *  - conservation: the instructions the engine attributed to runnable
+ *    threads over a quantum equal the chip-wide committed delta —
+ *    nothing is double-counted or lost when threads move.
+ *
+ * Violations go through checkfail() (counted; warn-level log) so a
+ * study can run to completion and report them, exactly like the
+ * collect-mode per-core registries.
+ */
+
+#ifndef P5SIM_CHECK_CHIP_CHECKER_HH
+#define P5SIM_CHECK_CHIP_CHECKER_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace p5 {
+
+class Chip;
+
+namespace check {
+
+/** Quantum-boundary conservation checker for one Chip. */
+class ChipConservation
+{
+  public:
+    explicit ChipConservation(const Chip &chip);
+
+    /**
+     * Verify the invariants at a quantum boundary.
+     *
+     * @param attributed_committed committed-instruction delta the
+     *        caller attributed to runnable threads since the previous
+     *        call. The first call only records baselines.
+     */
+    void onQuantumBoundary(std::uint64_t attributed_committed);
+
+    /** Violations detected so far. */
+    std::uint64_t violations() const { return violations_; }
+
+  private:
+    const Chip &chip_;
+    bool baselined_ = false;
+    Cycle lastCycle_ = 0;
+    std::vector<std::array<std::uint64_t, num_hw_threads>> committed_;
+    std::vector<std::array<std::uint64_t, num_hw_threads>> beyondL2_;
+    std::uint64_t violations_ = 0;
+};
+
+} // namespace check
+} // namespace p5
+
+#endif // P5SIM_CHECK_CHIP_CHECKER_HH

@@ -31,10 +31,46 @@ StatGroup::registerDerived(const std::string &stat_name,
     entries_[stat_name] = e;
 }
 
+void
+StatGroup::registerSeries(const std::string &series_name,
+                          const std::vector<double> *v)
+{
+    if (series_.count(series_name))
+        panic("series '%s.%s' registered twice", name_.c_str(),
+              series_name.c_str());
+    series_[series_name] = v;
+}
+
 bool
 StatGroup::has(const std::string &stat_name) const
 {
     return entries_.count(stat_name) != 0;
+}
+
+bool
+StatGroup::hasSeries(const std::string &series_name) const
+{
+    return series_.count(series_name) != 0;
+}
+
+std::vector<std::string>
+StatGroup::seriesNames() const
+{
+    std::vector<std::string> out;
+    out.reserve(series_.size());
+    for (const auto &kv : series_)
+        out.push_back(kv.first);
+    return out;
+}
+
+const std::vector<double> &
+StatGroup::series(const std::string &series_name) const
+{
+    auto it = series_.find(series_name);
+    if (it == series_.end())
+        fatal("unknown series '%s.%s'", name_.c_str(),
+              series_name.c_str());
+    return *it->second;
 }
 
 double
@@ -76,6 +112,13 @@ StatGroup::dumpJson(JsonWriter &w) const
             w.member(kv.first, e.counter->value());
         else
             w.member(kv.first, e.fn(e.ctx));
+    }
+    for (const auto &kv : series_) {
+        w.key(kv.first);
+        w.beginArray();
+        for (double v : *kv.second)
+            w.value(v);
+        w.endArray();
     }
     w.endObject();
 }

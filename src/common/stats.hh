@@ -137,8 +137,28 @@ class StatGroup
     void registerDerived(const std::string &stat_name,
                          double (*fn)(const void *), const void *ctx);
 
+    /**
+     * Register a per-quantum time-series under @p series_name. Series
+     * live in their own namespace: they are emitted by dumpJson()
+     * (after the scalars, as JSON arrays) but deliberately do not
+     * appear in names()/value()/dump(), so the *scalar* stat set — the
+     * identity that the fast-forward and perf-gate machinery compares —
+     * is unchanged by attaching a sampler. Pointer must outlive group.
+     */
+    void registerSeries(const std::string &series_name,
+                        const std::vector<double> *v);
+
     /** True iff @p stat_name is registered. */
     bool has(const std::string &stat_name) const;
+
+    /** True iff a series named @p series_name is registered. */
+    bool hasSeries(const std::string &series_name) const;
+
+    /** All registered series names, sorted. */
+    std::vector<std::string> seriesNames() const;
+
+    /** Read a series by name; fatal() if unknown. */
+    const std::vector<double> &series(const std::string &series_name) const;
 
     /** Read a statistic by name; fatal() if unknown. */
     double value(const std::string &stat_name) const;
@@ -168,6 +188,7 @@ class StatGroup
 
     std::string name_;
     std::map<std::string, Entry> entries_;
+    std::map<std::string, const std::vector<double> *> series_;
 };
 
 } // namespace p5

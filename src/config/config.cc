@@ -9,6 +9,7 @@
 
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "core/chip.hh"
 #include "ubench/ubench.hh"
 
 namespace p5 {
@@ -418,6 +419,36 @@ ConfigTree::bindAll()
             std::uint64_t{1} << 32,
             "simulation chunk between convergence checks");
 
+    bindInt("chip.num_cores", config_.numCores, 1, max_cores,
+            "SMT cores per chip in chip-level studies");
+
+    SchedParams &sched = config_.sched;
+    {
+        Field f;
+        f.path = "sched.policy";
+        f.help = "allocation policy: 'pinned', 'random' or 'symbiosis'";
+        AllocPolicy *p = &sched.policy;
+        const std::string path = f.path;
+        f.get = [p] { return std::string(allocPolicyName(*p)); };
+        f.set = [p](const std::string &value) {
+            *p = allocPolicyFromName(value);
+        };
+        f.writeValue = [p](JsonWriter &w) {
+            w.value(allocPolicyName(*p));
+        };
+        f.setFromJson = [p, path](const JsonValue &v) {
+            if (!v.isString())
+                fatal("config key '%s' expects a JSON string",
+                      path.c_str());
+            *p = allocPolicyFromName(v.asString());
+        };
+        fields_.push_back(std::move(f));
+    }
+    bindU64("sched.quantum", sched.quantum, 256,
+            std::uint64_t{1} << 32, "cycles between allocation decisions");
+    bindInt("sched.history_quanta", sched.historyQuanta, 1, 64,
+            "per-thread counter samples the allocator may look back over");
+
     bindDouble("exp.ubench_scale", config_.ubenchScale, 0.001, 1000.0,
                "work multiplier per micro-benchmark repetition");
     bindU64("exp.seed", config_.seed, 0,
@@ -707,6 +738,9 @@ ConfigTree::validate() const
         f.set(f.get());
     // Cross-field invariants.
     config_.core.validate();
+    config_.sched.validate();
+    if (config_.numCores < 1 || config_.numCores > max_cores)
+        fatal("chip.num_cores must be in [1, %d]", max_cores);
     if (config_.fame.maiv <= 0.0)
         fatal("fame.maiv must be positive");
     if (config_.benchmarks.empty())

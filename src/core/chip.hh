@@ -1,48 +1,95 @@
 /**
  * @file
- * Dual-core POWER5 chip: two SMT cores sharing the L2/L3/DRAM backside.
+ * N-core POWER5-like chip: SMT cores sharing the L2/L3/DRAM backside.
  *
  * The paper's methodology pins all OS noise (user-land daemons, IRQs) to
  * the first core and measures on the second; the Chip class makes that
- * setup expressible — core 0 can run a noise workload while core 1 runs
- * the experiment, contending only below L1.
+ * setup expressible — one core can run a noise workload while another
+ * runs the experiment, contending only below L1. Beyond the paper's
+ * dual-core part, the core count is a ChipParams knob (ROADMAP item 3:
+ * the SYNPA-style allocation studies in src/sched/ schedule M runnable
+ * threads onto N cores x 2 hardware contexts).
+ *
+ * Lockstep contract: every Chip entry point (tick(), run()) advances
+ * all cores together, so all cores always agree on the current cycle.
+ * This is not cosmetic — cores interact through the shared backside
+ * (DRAM bandwidth gates, L2/L3 service gaps), whose state depends on
+ * the global arrival order of accesses; letting one core run ahead
+ * would reorder arrivals and change results. Driving an individual
+ * core(i).run() directly breaks the contract; cycle() asserts
+ * agreement in debug builds to catch exactly that.
  */
 
 #ifndef P5SIM_CORE_CHIP_HH
 #define P5SIM_CORE_CHIP_HH
 
 #include <memory>
+#include <vector>
 
 #include "core/smt_core.hh"
 
 namespace p5 {
 
-/** Number of cores per chip. */
-constexpr int num_cores = 2;
+/** Upper bound on cores per chip (CoreParams::coreId is 0..7). */
+constexpr int max_cores = 8;
 
-/** The dual-core chip. */
+/** Chip-level configuration. */
+struct ChipParams
+{
+    /** Cores on the chip, 1..max_cores. */
+    int numCores = 2;
+
+    /** Per-core base configuration; coreId is set per core. */
+    CoreParams core;
+
+    /** fatal() on out-of-range values (includes core.validate()). */
+    void validate() const;
+};
+
+/** The N-core chip. */
 class Chip
 {
   public:
-    /** @param base per-core configuration; coreId is set per core. */
+    explicit Chip(const ChipParams &params);
+
+    /** Dual-core chip from a per-core base (the paper's setup). */
     explicit Chip(const CoreParams &base);
+
+    int numCores() const { return static_cast<int>(cores_.size()); }
 
     SmtCore &core(int idx);
     const SmtCore &core(int idx) const;
 
     MemBackside &backside() { return *backside_; }
 
-    /** Advance both cores one cycle. */
+    /** Advance all cores one cycle, in core-index order. */
     void tick();
 
-    /** Advance both cores @p cycles cycles. */
+    /**
+     * Advance all cores @p cycles cycles in lockstep. With
+     * fastForward enabled on the base CoreParams, stretches where
+     * *every* core is provably idle are skipped in one coordinated
+     * jump to the earliest event on any core; stats are bit-identical
+     * to cycle-by-cycle ticking. A joint skip is the only safe kind:
+     * while any core has work it may touch the shared backside, whose
+     * first-come-first-served gates make results depend on the global
+     * order of accesses.
+     */
     void run(Cycle cycles);
 
-    Cycle cycle() const { return core(0).cycle(); }
+    /**
+     * Current cycle of the chip. All cores agree by the lockstep
+     * contract above; debug builds assert it (a mismatch means some
+     * core was advanced behind the chip's back).
+     */
+    Cycle cycle() const;
 
   private:
     std::unique_ptr<MemBackside> backside_;
-    std::unique_ptr<SmtCore> cores_[num_cores];
+    std::vector<std::unique_ptr<SmtCore>> cores_;
+
+    /** Scratch gates for the coordinated fast-forward (one per core). */
+    std::vector<SmtCore::IdleGate> gates_;
 };
 
 } // namespace p5

@@ -474,26 +474,52 @@ SmtCore::advanceIdle(Cycle target, const IdleGate &gate)
     cycle_ = target;
 }
 
+Cycle
+SmtCore::computeIdleTarget(Cycle limit, IdleGate *gate)
+{
+    // Reset the caller's gate: Chip::run() reuses per-core gate
+    // storage across probes, and probeDecodeIdle() only ever *sets*
+    // fields — a stale canUse[] from an earlier probe would make
+    // every later probe report busy (and mis-attribute skipped-cycle
+    // stats in advanceIdle()).
+    *gate = IdleGate{};
+    if (!completions_.empty() && completions_.top().cycle <= cycle_)
+        return cycle_;
+    for (FuClass fc : issue_classes)
+        if (!readyQ_.empty(fc) && fuPool_.freeUnits(fc, cycle_) > 0)
+            return cycle_;
+    for (ThreadId t = 0; t < num_hw_threads; ++t)
+        if (commitReady(t))
+            return cycle_;
+    if (!probeDecodeIdle(gate))
+        return cycle_;
+    return nextInterestingCycle(limit, *gate);
+}
+
 bool
 SmtCore::tryFastForward(Cycle limit)
 {
-    if (!completions_.empty() && completions_.top().cycle <= cycle_)
-        return false;
-    for (FuClass fc : issue_classes)
-        if (!readyQ_.empty(fc) && fuPool_.freeUnits(fc, cycle_) > 0)
-            return false;
-    for (ThreadId t = 0; t < num_hw_threads; ++t)
-        if (commitReady(t))
-            return false;
     IdleGate gate;
-    if (!probeDecodeIdle(&gate))
-        return false;
-
-    const Cycle target = nextInterestingCycle(limit, gate);
+    const Cycle target = computeIdleTarget(limit, &gate);
     if (target <= cycle_)
         return false;
     advanceIdle(target, gate);
     return true;
+}
+
+Cycle
+SmtCore::idleTarget(Cycle limit, IdleGate *gate)
+{
+    ++ffProbes_;
+    return computeIdleTarget(limit, gate);
+}
+
+void
+SmtCore::skipIdleTo(Cycle target, const IdleGate &gate)
+{
+    if (target <= cycle_)
+        return;
+    advanceIdle(target, gate);
 }
 
 // --- pipeline stages ---------------------------------------------------

@@ -194,6 +194,59 @@ class SmtCore
      */
     std::uint64_t fastForwardProbes() const { return ffProbes_; }
 
+    // --- chip-coordinated fast-forward ---------------------------------
+
+    /**
+     * Side-effect-free replica of the per-cycle gating: the balancer
+     * decision and per-thread decode usability at cycle(), plus how
+     * each non-usable thread's stall would be classified by
+     * decodeStage(). Opaque to callers: Chip::run() holds one per core
+     * between idleTarget() and skipIdleTo().
+     */
+    struct IdleGate
+    {
+        BalancerDecision bd;
+        std::array<bool, num_hw_threads> canUse{};
+        enum class Stall : std::uint8_t
+        {
+            None,
+            Balancer,
+            Redirect,
+            Gct
+        };
+        std::array<Stall, num_hw_threads> stall{};
+    };
+
+    /**
+     * Probe for a chip-coordinated fast-forward: when the current
+     * cycle is provably idle for this core, return the earliest cycle
+     * in (cycle(), limit] at which anything can happen here and fill
+     * @p gate; return cycle() itself when this cycle has work. The
+     * caller (Chip::run) intersects the targets of all cores — a joint
+     * skip is only valid when every core is idle, since an active core
+     * could touch the shared backside mid-gap — and then jumps each
+     * core with skipIdleTo(). Counts as a fast-forward probe; no other
+     * side effects.
+     */
+    Cycle idleTarget(Cycle limit, IdleGate *gate);
+
+    /**
+     * Jump cycle() to @p target across a gap idleTarget() verified
+     * (with the gate it filled), advancing all counters exactly as
+     * (target - cycle()) individual ticks would have. @p target may be
+     * earlier than this core's own idleTarget() — any prefix of a
+     * verified-idle gap is idle — which is what lets Chip::run() jump
+     * every core to the chip-wide minimum.
+     */
+    void skipIdleTo(Cycle target, const IdleGate &gate);
+
+    /**
+     * Whether the most recent tick() mutated any state (completion,
+     * issue, commit, decode or flush). Chip::run() uses it to arm its
+     * coordinated probe the same way run() arms the per-core one.
+     */
+    bool tickMadeProgress() const { return tickProgress_; }
+
     /**
      * Per-stage wall-time accumulators for --p5sim_profile_stages.
      * While a profile is attached every tick routes through a timed
@@ -244,25 +297,6 @@ class SmtCore
     // --- idle-cycle fast-forward --------------------------------------
 
     /**
-     * Side-effect-free replica of the per-cycle gating: the balancer
-     * decision and per-thread decode usability at cycle_, plus how each
-     * non-usable thread's stall would be classified by decodeStage().
-     */
-    struct IdleGate
-    {
-        BalancerDecision bd;
-        std::array<bool, num_hw_threads> canUse{};
-        enum class Stall : std::uint8_t
-        {
-            None,
-            Balancer,
-            Redirect,
-            Gct
-        };
-        std::array<Stall, num_hw_threads> stall{};
-    };
-
-    /**
      * Probe whether decode could make progress (or mutate state) at
      * cycle_. Returns false — "activity, must tick" — when the slot
      * owner (or a work-conserving sibling) could decode, or when a
@@ -283,6 +317,12 @@ class SmtCore
      * source here.
      */
     Cycle nextInterestingCycle(Cycle limit, const IdleGate &gate) const;
+
+    /**
+     * idleTarget() without the probe accounting: the shared body of
+     * the per-core and chip-coordinated fast-forward paths.
+     */
+    Cycle computeIdleTarget(Cycle limit, IdleGate *gate);
 
     /**
      * Jump cycle_ -> target across a verified-idle gap, advancing the

@@ -15,11 +15,15 @@
 #include "common/table.hh"
 #include "common/thread_pool.hh"
 #include "config/config.hh"
+#include "core/chip.hh"
 #include "core/smt_core.hh"
 #include "exp/experiments.hh"
 #include "exp/report.hh"
 #include "fame/fame.hh"
 #include "fame/sim_runner.hh"
+#include "sched/alloc_engine.hh"
+#include "sched/monitor.hh"
+#include "sched/workload.hh"
 #include "ubench/ubench.hh"
 #include "workloads/spec_proxy.hh"
 
@@ -129,6 +133,21 @@ declareExperimentFlags(Cli &cli)
                 "tick every cycle instead of skipping verified-idle "
                 "gaps (stats are bit-identical; this is ~a 3-10x "
                 "slowdown escape hatch)");
+}
+
+/** Flags naming the workload the alloc subcommand schedules. */
+void
+declareAllocFlags(Cli &cli)
+{
+    cli.declare("mix",
+                "cpu_int,cpu_int,cpu_int,cpu_int,"
+                "ldint_mem,ldint_mem,ldint_mem,ldint_mem",
+                "comma-separated micro-benchmark names; one runnable "
+                "thread each");
+    cli.declare("policies", "pinned,random,symbiosis",
+                "comma-separated allocation policies to compare");
+    cli.declare("cycles", "400000",
+                "simulated chip cycles per policy run");
 }
 
 /** Flags naming the FAME pair the run/sweep subcommands simulate. */
@@ -452,7 +471,14 @@ cmdRun(const Cli &cli, DriverContext &ctx, ExpConfig &config)
     core.attachThread(0, &prog_p, prio_p);
     if (prog_s)
         core.attachThread(1, &*prog_s, prio_s);
+
+    // Sample the symbiosis-predictor inputs (per-thread IPC, L2
+    // misses, GCT occupancy) once per sched.quantum; the series land
+    // in the "stats" dump below, so this run's JSON is enough to
+    // replay an allocation decision offline.
+    QuantumMonitor monitor(core, config.sched.quantum);
     FameRunner runner(config.fame);
+    runner.setChunkHook([&monitor](SmtCore &) { monitor.poll(); });
     const FameResult result = runner.run(core);
 
     Table t("p5sim run: " + std::string(ubenchName(primary)) + " + " +
@@ -485,6 +511,9 @@ cmdRun(const Cli &cli, DriverContext &ctx, ExpConfig &config)
         w.member("ipcPrimary", result.thread[0].avgIpc());
         w.member("ipcSecondary", result.thread[1].avgIpc());
         w.member("ipcTotal", result.totalIpc());
+        w.member("symbiosisQuanta", monitor.quantaRecorded());
+        w.member("symbiosisQuantum",
+                 static_cast<std::uint64_t>(monitor.quantum()));
         w.key("stats");
         core.stats().dumpJson(w);
         w.endObject();
@@ -697,6 +726,45 @@ finishSweep(DriverContext &ctx, ExpConfig &base,
     return 0;
 }
 
+// --- alloc -------------------------------------------------------------
+
+/**
+ * Compare thread-to-core allocation policies on one N-core chip: the
+ * --mix benchmarks become runnable threads, each --policies entry gets
+ * one AllocEngine run over --cycles, and the table reports aggregate
+ * IPC relative to the pinned baseline. Chip width and scheduling knobs
+ * come from the config tree (chip.num_cores, sched.*), so a run is
+ * reproducible from its fingerprint plus the flag values.
+ */
+int
+cmdAlloc(const Cli &cli, DriverContext &ctx, ExpConfig &config)
+{
+    std::vector<UbenchId> mix;
+    for (const std::string &name : splitList(cli.str("mix"))) {
+        if (name.empty())
+            fatal("--mix has an empty benchmark name");
+        mix.push_back(ubenchFromName(name));
+    }
+
+    std::vector<AllocPolicy> policies;
+    for (const std::string &name : splitList(cli.str("policies"))) {
+        if (name.empty())
+            fatal("--policies has an empty policy name");
+        policies.push_back(allocPolicyFromName(name));
+    }
+
+    const long cycles = cli.integer("cycles");
+    if (cycles <= 0)
+        fatal("--cycles must be positive, got %ld", cycles);
+
+    const AllocStudyData data = runAllocStudy(
+        mix, policies, static_cast<Cycle>(cycles), config);
+    printTable(ctx, renderAllocStudy(data));
+    writeReport(ctx, "alloc", config,
+                [&](JsonWriter &w) { writeJson(w, data); });
+    return 0;
+}
+
 // --- perf --------------------------------------------------------------
 
 int
@@ -719,37 +787,40 @@ struct Subcommand
     const char *name;
     const char *help;
     SubcommandFn fn;
-    bool pairFlags; ///< also declare --primary/--secondary/--prio-*
-    bool sweepFlag; ///< also declare --sweep
+    bool pairFlags;  ///< also declare --primary/--secondary/--prio-*
+    bool sweepFlag;  ///< also declare --sweep
+    bool allocFlags; ///< also declare --mix/--policies/--cycles
 };
 
 constexpr Subcommand subcommands[] = {
     {"table1", "paper Table 1: priorities, privilege, or-nop encodings",
-     cmdTable1, false, false},
+     cmdTable1, false, false, false},
     {"table2", "paper Table 2: micro-benchmark loop bodies", cmdTable2,
-     false, false},
+     false, false, false},
     {"table3", "paper Table 3: ST IPC + pairwise SMT(4,4) matrix",
-     cmdTable3, false, false},
+     cmdTable3, false, false, false},
     {"table4", "paper Table 4: FFT/LU pipeline timings", cmdTable4,
-     false, false},
+     false, false, false},
     {"fig2", "paper Figure 2: speedup at positive priority differences",
-     cmdFig2, false, false},
+     cmdFig2, false, false, false},
     {"fig3", "paper Figure 3: slowdown at negative priority differences",
-     cmdFig3, false, false},
+     cmdFig3, false, false, false},
     {"fig4", "paper Figure 4: total IPC w.r.t. the (4,4) baseline",
-     cmdFig4, false, false},
+     cmdFig4, false, false, false},
     {"fig5", "paper Figure 5: SPEC case-study pairs", cmdFig5, false,
-     false},
-    {"fig6", "paper Figure 6: transparent execution", cmdFig6, false,
-     false},
-    {"ablation", "ablation studies of the simulator's design choices",
-     cmdAblation, false, false},
-    {"run", "one FAME pair with a full per-core stats dump", cmdRun,
-     true, false},
-    {"sweep", "cartesian config sweep fanned out as one job batch",
-     cmdSweep, true, true},
-    {"perf", "simulator speedup report / per-stage profile", cmdPerf,
      false, false},
+    {"fig6", "paper Figure 6: transparent execution", cmdFig6, false,
+     false, false},
+    {"ablation", "ablation studies of the simulator's design choices",
+     cmdAblation, false, false, false},
+    {"run", "one FAME pair with a full per-core stats dump", cmdRun,
+     true, false, false},
+    {"sweep", "cartesian config sweep fanned out as one job batch",
+     cmdSweep, true, true, false},
+    {"alloc", "thread-to-core allocation policies on an N-core chip",
+     cmdAlloc, false, false, true},
+    {"perf", "simulator speedup report / per-stage profile", cmdPerf,
+     false, false, false},
 };
 
 std::string
@@ -805,6 +876,8 @@ driverMain(int argc, const char *const *argv, std::ostream &out,
         declareExperimentFlags(cli);
         if (sub->pairFlags)
             declarePairFlags(cli);
+        if (sub->allocFlags)
+            declareAllocFlags(cli);
         if (sub->sweepFlag)
             cli.declareMulti("sweep",
                             "one sweep axis, e.g. --sweep "
@@ -942,6 +1015,63 @@ sameMeasurement(const FameResult &a, const FameResult &b)
  */
 constexpr int report_reps = 4;
 
+// --- chip-level case ---------------------------------------------------
+
+/**
+ * The multi-core end-to-end case: a 4-core chip running an 8-thread
+ * pinned ldint_mem mix through the allocation engine. Chip
+ * fast-forward only fires when every core is idle at once, so this
+ * case gates both joint-skip correctness (identical stats across
+ * engine modes) and that the chip probe never costs wall clock.
+ */
+constexpr const char *chip_case_name = "chip4+ldint_mem*8@pinned";
+constexpr int chip_case_cores = 4;
+constexpr Cycle chip_case_cycles = 300000;
+
+struct ChipTimedRun
+{
+    double wallMs = 0;
+    AllocRunResult result;
+};
+
+ChipTimedRun
+timedChipRun(bool fast_forward)
+{
+    const Workload workload = Workload::fromMix(
+        "ldint_mem,ldint_mem,ldint_mem,ldint_mem,"
+        "ldint_mem,ldint_mem,ldint_mem,ldint_mem");
+    ChipParams params;
+    params.numCores = chip_case_cores;
+    params.core.fastForward = fast_forward;
+    Chip chip(params);
+    AllocEngine engine(chip, workload, SchedParams{}, 1);
+
+    ChipTimedRun run;
+    const auto t0 = std::chrono::steady_clock::now();
+    run.result = engine.run(chip_case_cycles);
+    const auto t1 = std::chrono::steady_clock::now();
+    run.wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return run;
+}
+
+bool
+sameChipMeasurement(const AllocRunResult &a, const AllocRunResult &b)
+{
+    if (a.cycles != b.cycles || a.quanta != b.quanta ||
+        a.migrations != b.migrations || a.committed != b.committed ||
+        a.checkViolations != b.checkViolations ||
+        a.threads.size() != b.threads.size())
+        return false;
+    for (std::size_t t = 0; t < a.threads.size(); ++t) {
+        if (a.threads[t].committed != b.threads[t].committed ||
+            a.threads[t].l2Misses != b.threads[t].l2Misses ||
+            a.threads[t].cyclesScheduled != b.threads[t].cyclesScheduled)
+            return false;
+    }
+    return true;
+}
+
 } // namespace
 
 int
@@ -1001,6 +1131,51 @@ writePerfReport(const std::string &path, std::ostream &err)
         err << c.name << ": " << slow.wallMs << " ms -> " << fast.wallMs
             << " ms (" << slow.wallMs / fast.wallMs << "x)"
             << (identical ? "" : "  STATS DEVIATE") << '\n';
+    }
+
+    {
+        // The chip case follows the same warm + order-balanced
+        // min-of-N protocol as the single-core pairs above.
+        timedChipRun(true);
+        ChipTimedRun fast, slow;
+        bool identical = true;
+        for (int rep = 0; rep < report_reps; ++rep) {
+            const bool slow_first = (rep % 2) == 0;
+            ChipTimedRun s, f;
+            if (slow_first) {
+                s = timedChipRun(false);
+                f = timedChipRun(true);
+            } else {
+                f = timedChipRun(true);
+                s = timedChipRun(false);
+            }
+            identical =
+                identical && sameChipMeasurement(f.result, s.result);
+            if (rep == 0 || s.wallMs < slow.wallMs)
+                slow = std::move(s);
+            if (rep == 0 || f.wallMs < fast.wallMs)
+                fast = std::move(f);
+        }
+        all_identical = all_identical && identical;
+
+        w.beginObject();
+        w.member("name", chip_case_name);
+        w.member("simCyclesFast",
+                 static_cast<std::uint64_t>(fast.result.cycles));
+        w.member("simCyclesSlow",
+                 static_cast<std::uint64_t>(slow.result.cycles));
+        w.member("ipcTotal", fast.result.aggregateIpc);
+        w.member("wallMsFast", fast.wallMs);
+        w.member("wallMsSlow", slow.wallMs);
+        w.member("speedup", slow.wallMs / fast.wallMs);
+        w.member("identicalStats", identical);
+        w.member("migrations",
+                 static_cast<std::uint64_t>(fast.result.migrations));
+        w.endObject();
+
+        err << chip_case_name << ": " << slow.wallMs << " ms -> "
+            << fast.wallMs << " ms (" << slow.wallMs / fast.wallMs
+            << "x)" << (identical ? "" : "  STATS DEVIATE") << '\n';
     }
     w.endArray();
     w.endObject();

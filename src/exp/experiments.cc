@@ -416,4 +416,56 @@ runFig6(const ExpConfig &config)
     return data;
 }
 
+AllocStudyData
+runAllocStudy(const std::vector<UbenchId> &mix,
+              const std::vector<AllocPolicy> &policies, Cycle cycles,
+              const ExpConfig &config)
+{
+    if (mix.empty())
+        fatal("runAllocStudy: empty mix");
+    if (policies.empty())
+        fatal("runAllocStudy: no policies");
+
+    AllocStudyData data;
+    data.numCores = config.numCores;
+    data.cycles = cycles;
+
+    std::vector<ProgramSpec> specs;
+    specs.reserve(mix.size());
+    for (UbenchId id : mix) {
+        specs.push_back(ubSpec(config, id));
+        data.mixNames.push_back(ubenchName(id));
+    }
+
+    // One job per policy; the runner coalesces repeated policies.
+    std::vector<SimJob> jobs;
+    jobs.reserve(policies.size());
+    for (AllocPolicy policy : policies) {
+        SchedParams sched = config.sched;
+        sched.policy = policy;
+        SimJob job = SimJob::allocMix(specs, sched, config.numCores,
+                                      cycles, config.core);
+        job.configTag = config.configTag;
+        jobs.push_back(std::move(job));
+    }
+
+    SimRunner runner = makeRunner(config);
+    const std::vector<SimResult> res = runner.run(jobs);
+
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+        const AllocRunResult &r = res[i].alloc;
+        AllocPolicyOutcome out;
+        out.policy = policies[i];
+        out.aggregateIpc = r.aggregateIpc;
+        out.migrations = r.migrations;
+        out.quanta = r.quanta;
+        out.checkViolations = r.checkViolations;
+        out.rngSeed = res[i].rngSeed;
+        for (const AllocThreadTotals &t : r.threads)
+            out.threadIpc.push_back(t.ipc());
+        data.outcomes.push_back(std::move(out));
+    }
+    return data;
+}
+
 } // namespace p5

@@ -15,6 +15,7 @@
 
 #include "core/params.hh"
 #include "fame/fame.hh"
+#include "sched/sched_params.hh"
 #include "ubench/ubench.hh"
 #include "workloads/pipeline_app.hh"
 #include "workloads/spec_proxy.hh"
@@ -28,6 +29,12 @@ struct ExpConfig
 {
     CoreParams core;
     FameParams fame;
+
+    /** Cores per chip for chip-level studies (chip.num_cores). */
+    int numCores = 2;
+
+    /** Scheduler configuration for allocation studies (sched.*). */
+    SchedParams sched;
 
     /** Work multiplier for micro-benchmark executions. */
     double ubenchScale = 1.0;
@@ -203,6 +210,51 @@ struct TransparencyData
 };
 
 TransparencyData runFig6(const ExpConfig &config);
+
+// --- Allocation studies (src/sched) ------------------------------------
+
+/** One allocation policy's outcome on one thread mix. */
+struct AllocPolicyOutcome
+{
+    AllocPolicy policy = AllocPolicy::Pinned;
+
+    /** Chip-wide committed IPC over the study. */
+    double aggregateIpc = 0.0;
+
+    std::uint64_t migrations = 0;
+    std::uint64_t quanta = 0;
+
+    /** ChipConservation violations (0 on a healthy run). */
+    std::uint64_t checkViolations = 0;
+
+    /** Per-runnable-thread IPC over its scheduled cycles. */
+    std::vector<double> threadIpc;
+
+    /** rngSeed of the job (provenance for offline replay). */
+    std::uint64_t rngSeed = 0;
+};
+
+/** Policy comparison on a fixed mix (the `p5sim alloc` experiment). */
+struct AllocStudyData
+{
+    /** Benchmark name per runnable thread, workload order. */
+    std::vector<std::string> mixNames;
+
+    int numCores = 2;
+    Cycle cycles = 0;
+
+    /** One outcome per requested policy, request order. */
+    std::vector<AllocPolicyOutcome> outcomes;
+};
+
+/**
+ * Run the mix under each policy (config.sched supplies quantum and
+ * history depth; its policy field is overridden per outcome) on a
+ * config.numCores-core chip for @p cycles chip cycles.
+ */
+AllocStudyData runAllocStudy(const std::vector<UbenchId> &mix,
+                             const std::vector<AllocPolicy> &policies,
+                             Cycle cycles, const ExpConfig &config);
 
 } // namespace p5
 

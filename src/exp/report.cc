@@ -414,4 +414,64 @@ writeJson(JsonWriter &w, const TransparencyData &data)
     w.endObject();
 }
 
+Table
+renderAllocStudy(const AllocStudyData &data)
+{
+    std::string mix;
+    for (const std::string &name : data.mixNames) {
+        if (!mix.empty())
+            mix += "+";
+        mix += name;
+    }
+    Table t("Allocation policies on " + std::to_string(data.numCores) +
+            " cores: " + mix);
+    t.setColumns({"Policy", "Aggregate IPC", "vs pinned", "Migrations",
+                  "Quanta", "Violations"});
+
+    // The pinned outcome (when requested) is the natural baseline.
+    double base = 0.0;
+    for (const AllocPolicyOutcome &out : data.outcomes)
+        if (out.policy == AllocPolicy::Pinned)
+            base = out.aggregateIpc;
+
+    for (const AllocPolicyOutcome &out : data.outcomes) {
+        t.addRow({allocPolicyName(out.policy),
+                  Table::fmt(out.aggregateIpc, 3),
+                  base > 0.0
+                      ? Table::fmtPercent(out.aggregateIpc / base - 1.0)
+                      : "-",
+                  std::to_string(out.migrations),
+                  std::to_string(out.quanta),
+                  std::to_string(out.checkViolations)});
+    }
+    return t;
+}
+
+void
+writeJson(JsonWriter &w, const AllocStudyData &data)
+{
+    w.beginObject();
+    w.member("kind", "alloc_study");
+    w.key("mix").beginArray();
+    for (const std::string &name : data.mixNames)
+        w.value(name);
+    w.endArray();
+    w.member("numCores", data.numCores);
+    w.member("cycles", static_cast<std::uint64_t>(data.cycles));
+    w.key("outcomes").beginArray();
+    for (const AllocPolicyOutcome &out : data.outcomes) {
+        w.beginObject();
+        w.member("policy", allocPolicyName(out.policy));
+        w.member("aggregateIpc", out.aggregateIpc);
+        w.member("migrations", out.migrations);
+        w.member("quanta", out.quanta);
+        w.member("checkViolations", out.checkViolations);
+        w.member("rngSeed", out.rngSeed);
+        jsonDoubleArray(w, "threadIpc", out.threadIpc);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
 } // namespace p5

@@ -41,6 +41,9 @@ Table renderTable4(const Table4Data &data);
 /** Figure 6 panels (a)-(d). */
 std::vector<Table> renderFig6(const TransparencyData &data);
 
+/** Allocation-policy comparison (`p5sim alloc`). */
+Table renderAllocStudy(const AllocStudyData &data);
+
 // --- machine-readable (JSON) reports -----------------------------------
 //
 // Each overload writes one JSON value (an object tagged with a "kind"
@@ -55,6 +58,7 @@ void writeJson(JsonWriter &w, const ThroughputData &data);
 void writeJson(JsonWriter &w, const CaseStudyData &data);
 void writeJson(JsonWriter &w, const Table4Data &data);
 void writeJson(JsonWriter &w, const TransparencyData &data);
+void writeJson(JsonWriter &w, const AllocStudyData &data);
 
 /** Write @p data to @p os as a complete JSON document. */
 template <typename Data>

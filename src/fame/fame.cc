@@ -84,6 +84,8 @@ FameRunner::run(SmtCore &core)
     const Cycle warmup_limit = start + params_.maxCycles / 4;
     while (true) {
         core.run(params_.checkPeriod);
+        if (hook_)
+            hook_(core);
         bool warm = true;
         for (ThreadId t = 0; t < num_hw_threads; ++t) {
             const auto ti = static_cast<size_t>(t);
@@ -135,6 +137,8 @@ FameRunner::run(SmtCore &core)
 
     while (true) {
         core.run(params_.checkPeriod);
+        if (hook_)
+            hook_(core);
 
         bool all_done = true;
         for (ThreadId t = 0; t < num_hw_threads; ++t) {

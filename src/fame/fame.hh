@@ -115,8 +115,19 @@ class FameRunner
 
     const FameParams &params() const { return params_; }
 
+    /** Observer invoked after every simulation chunk (checkPeriod). */
+    using ChunkHook = std::function<void(SmtCore &)>;
+
+    /**
+     * Attach a per-chunk observer (e.g. a sched::QuantumMonitor
+     * sampling symbiosis inputs). Purely observational: the hook must
+     * not advance or mutate the core; convergence is unaffected.
+     */
+    void setChunkHook(ChunkHook hook) { hook_ = std::move(hook); }
+
   private:
     FameParams params_;
+    ChunkHook hook_;
 };
 
 /**

@@ -4,6 +4,8 @@
 
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "sched/alloc_engine.hh"
+#include "sched/workload.hh"
 
 namespace p5 {
 
@@ -109,6 +111,16 @@ appendKey(std::string &out, const FameParams &p)
     kv(out, "warmTol", p.warmupTolerance);
     kv(out, "maxCycles", static_cast<std::uint64_t>(p.maxCycles));
     kv(out, "checkPeriod", static_cast<std::uint64_t>(p.checkPeriod));
+}
+
+void
+appendKey(std::string &out, const SchedParams &p)
+{
+    out += "policy=";
+    out += allocPolicyName(p.policy);
+    out += ";";
+    kv(out, "quantum", static_cast<std::uint64_t>(p.quantum));
+    kv(out, "historyQuanta", p.historyQuanta);
 }
 
 void
@@ -228,6 +240,20 @@ SimJob::pipelineSmt(const PipelineParams &pipeline, const CoreParams &core)
     return job;
 }
 
+SimJob
+SimJob::allocMix(std::vector<ProgramSpec> mix, const SchedParams &sched,
+                 int num_cores, Cycle cycles, const CoreParams &core)
+{
+    SimJob job;
+    job.kind = SimJobKind::AllocMix;
+    job.mix = std::move(mix);
+    job.sched = sched;
+    job.numCores = num_cores;
+    job.allocCycles = cycles;
+    job.core = core;
+    return job;
+}
+
 std::string
 SimJob::key() const
 {
@@ -247,6 +273,18 @@ SimJob::key() const
         out += "pipe{";
         appendKey(out, pipeline);
         out += "}";
+        break;
+      case SimJobKind::AllocMix:
+        out = "alloc|mix{";
+        for (const ProgramSpec &spec : mix) {
+            out += spec.key();
+            out += "|";
+        }
+        out += "}sched{";
+        appendKey(out, sched);
+        out += "}";
+        kv(out, "numCores", numCores);
+        kv(out, "cycles", static_cast<std::uint64_t>(allocCycles));
         break;
     }
     out += "core{";
@@ -300,6 +338,18 @@ SimJob::execute() const
       case SimJobKind::PipelineSmt: {
         PipelineApp app(pipeline);
         res.pipeline = app.runSmt(core);
+        break;
+      }
+      case SimJobKind::AllocMix: {
+        Workload workload;
+        for (const ProgramSpec &spec : mix)
+            workload.add(spec);
+        ChipParams cp;
+        cp.numCores = numCores;
+        cp.core = core;
+        Chip chip(cp);
+        AllocEngine engine(chip, workload, sched, rngSeed());
+        res.alloc = engine.run(allocCycles);
         break;
       }
     }

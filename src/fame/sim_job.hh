@@ -23,9 +23,12 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/params.hh"
 #include "fame/fame.hh"
+#include "sched/alloc_result.hh"
+#include "sched/sched_params.hh"
 #include "ubench/ubench.hh"
 #include "workloads/pipeline_app.hh"
 #include "workloads/spec_proxy.hh"
@@ -59,7 +62,8 @@ enum class SimJobKind
 {
     FamePair,             ///< FAME-run primary (+ optional secondary)
     PipelineSingleThread, ///< FFT->LU pipeline, both stages on one thread
-    PipelineSmt           ///< FFT->LU pipeline in SMT mode
+    PipelineSmt,          ///< FFT->LU pipeline in SMT mode
+    AllocMix              ///< N-core allocation study over a thread mix
 };
 
 /** Uniform result record; the field matching kind is valid. */
@@ -68,6 +72,7 @@ struct SimResult
     SimJobKind kind = SimJobKind::FamePair;
     FameResult fame;
     PipelineResult pipeline;
+    AllocRunResult alloc;
 
     /** The rngSeed() of the job that produced this result. */
     std::uint64_t rngSeed = 0;
@@ -87,6 +92,12 @@ struct SimJob
 
     // Pipeline* configuration.
     PipelineParams pipeline;
+
+    // AllocMix configuration.
+    std::vector<ProgramSpec> mix; ///< runnable threads, workload order
+    SchedParams sched;
+    int numCores = 2;
+    Cycle allocCycles = 0; ///< chip cycles the study runs
 
     // Shared.
     CoreParams core;
@@ -119,6 +130,14 @@ struct SimJob
 
     static SimJob pipelineSmt(const PipelineParams &pipeline,
                               const CoreParams &core);
+
+    /**
+     * Allocation study: schedule @p mix onto @p num_cores cores under
+     * @p sched for @p cycles chip cycles.
+     */
+    static SimJob allocMix(std::vector<ProgramSpec> mix,
+                           const SchedParams &sched, int num_cores,
+                           Cycle cycles, const CoreParams &core);
 
     // --- identity -----------------------------------------------------
 

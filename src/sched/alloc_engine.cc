@@ -1,0 +1,235 @@
+#include "sched/alloc_engine.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace p5 {
+
+AllocEngine::AllocEngine(Chip &chip, const Workload &workload,
+                         const SchedParams &sched, std::uint64_t seed)
+    : chip_(chip), workload_(workload), sched_(sched), seed_(seed),
+      allocator_(makeAllocator(sched.policy)),
+      current_(Assignment::empty(chip.numCores())), checker_(chip)
+{
+    sched_.validate();
+    if (workload_.size() == 0)
+        fatal("AllocEngine: empty workload");
+    lastScheduled_.assign(static_cast<std::size_t>(workload_.size()), 0);
+    history_.resize(static_cast<std::size_t>(workload_.size()));
+}
+
+std::vector<int>
+AllocEngine::chooseEligible() const
+{
+    const int contexts = chip_.numCores() * num_hw_threads;
+    std::vector<int> ids(static_cast<std::size_t>(workload_.size()));
+    for (int i = 0; i < workload_.size(); ++i)
+        ids[static_cast<std::size_t>(i)] = i;
+    if (workload_.size() <= contexts)
+        return ids;
+
+    // Round-robin fairness: least-recently-scheduled first, id as the
+    // deterministic tie-break; the allocator only places this set.
+    std::sort(ids.begin(), ids.end(), [this](int a, int b) {
+        const auto la = lastScheduled_[static_cast<std::size_t>(a)];
+        const auto lb = lastScheduled_[static_cast<std::size_t>(b)];
+        if (la != lb)
+            return la < lb;
+        return a < b;
+    });
+    ids.resize(static_cast<std::size_t>(contexts));
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+void
+AllocEngine::applyAssignment(const Assignment &next)
+{
+    // Detach first (a slot's occupant may move to another slot), then
+    // attach changed slots. An unchanged slot is left alone — pinned
+    // studies never detach after the first quantum, so they are
+    // bit-identical to attaching once and running the chip directly.
+    for (int c = 0; c < chip_.numCores(); ++c) {
+        for (int h = 0; h < num_hw_threads; ++h) {
+            const int prev = current_.core(c)[static_cast<std::size_t>(h)];
+            const int want = next.core(c)[static_cast<std::size_t>(h)];
+            if (prev != want && prev >= 0)
+                chip_.core(c).detachThread(static_cast<ThreadId>(h));
+        }
+    }
+    for (int c = 0; c < chip_.numCores(); ++c) {
+        for (int h = 0; h < num_hw_threads; ++h) {
+            const int prev = current_.core(c)[static_cast<std::size_t>(h)];
+            const int want = next.core(c)[static_cast<std::size_t>(h)];
+            if (prev != want && want >= 0) {
+                const RunnableThread &rt = workload_.thread(want);
+                chip_.core(c).attachThread(static_cast<ThreadId>(h),
+                                           &workload_.program(want),
+                                           rt.priority);
+            }
+        }
+    }
+}
+
+void
+AllocEngine::runQuantum(Cycle quantum, AllocRunResult &res)
+{
+    const std::vector<int> eligible = chooseEligible();
+
+    AllocContext ctx;
+    ctx.numCores = chip_.numCores();
+    ctx.quantumIndex = quantumIndex_;
+    ctx.seed = seed_;
+    ctx.gctCapacity = chip_.core(0).params().gctGroups;
+    ctx.eligible = &eligible;
+    ctx.history = &history_;
+    ctx.previous = haveCurrent_ ? &current_ : nullptr;
+
+    const Assignment next = allocator_->decide(ctx);
+
+    // Enforce the Allocator contract: exactly the eligible set, each
+    // placed once.
+    {
+        std::vector<int> placed;
+        for (int c = 0; c < next.numCores; ++c)
+            for (int h = 0; h < num_hw_threads; ++h) {
+                const int tid = next.core(c)[static_cast<std::size_t>(h)];
+                if (tid >= 0)
+                    placed.push_back(tid);
+            }
+        std::sort(placed.begin(), placed.end());
+        if (placed != eligible)
+            panic("allocator '%s' violated the placement contract at "
+                  "quantum %llu (placed %zu threads, eligible %zu)",
+                  allocator_->name(),
+                  static_cast<unsigned long long>(quantumIndex_),
+                  placed.size(), eligible.size());
+    }
+
+    // Migrations: scheduled threads whose core changed.
+    int migrations = 0;
+    if (haveCurrent_) {
+        for (int tid : eligible) {
+            const int prev_core = current_.coreOf(tid);
+            if (prev_core >= 0 && prev_core != next.coreOf(tid))
+                ++migrations;
+        }
+    }
+
+    applyAssignment(next);
+    current_ = next;
+    haveCurrent_ = true;
+
+    // Quantum-start baselines of the monotonic per-slot counters.
+    struct SlotBase
+    {
+        int tid = -1;
+        std::uint64_t committed = 0;
+        std::uint64_t beyondL2 = 0;
+        double occSum = 0.0;
+    };
+    std::vector<std::array<SlotBase, num_hw_threads>> base(
+        static_cast<std::size_t>(chip_.numCores()));
+    for (int c = 0; c < chip_.numCores(); ++c)
+        for (int h = 0; h < num_hw_threads; ++h) {
+            SlotBase &sb = base[static_cast<std::size_t>(c)]
+                               [static_cast<std::size_t>(h)];
+            sb.tid = next.core(c)[static_cast<std::size_t>(h)];
+            const auto t = static_cast<ThreadId>(h);
+            sb.committed =
+                chip_.core(c).thread(t).committedCtr.value();
+            sb.beyondL2 = chip_.core(c).hierarchy().beyondL2Of(t);
+        }
+
+    // Run the quantum in chunks, sampling GCT occupancy at each stop.
+    const int nsamp = static_cast<int>(std::min<Cycle>(
+        gct_samples_per_quantum, std::max<Cycle>(quantum, 1)));
+    Cycle remaining = quantum;
+    for (int s = 0; s < nsamp; ++s) {
+        const Cycle chunk = remaining / static_cast<Cycle>(nsamp - s);
+        chip_.run(chunk);
+        remaining -= chunk;
+        for (int c = 0; c < chip_.numCores(); ++c)
+            for (int h = 0; h < num_hw_threads; ++h)
+                base[static_cast<std::size_t>(c)]
+                    [static_cast<std::size_t>(h)]
+                        .occSum += chip_.core(c).gct().occupancyOf(
+                            static_cast<ThreadId>(h));
+    }
+
+    // Attribute the quantum's deltas to runnable threads.
+    QuantumRecord rec;
+    rec.index = quantumIndex_;
+    rec.assignment = next;
+    rec.migrations = migrations;
+    rec.samples.resize(static_cast<std::size_t>(workload_.size()));
+    std::uint64_t attributed = 0;
+    for (int c = 0; c < chip_.numCores(); ++c)
+        for (int h = 0; h < num_hw_threads; ++h) {
+            const SlotBase &sb = base[static_cast<std::size_t>(c)]
+                                     [static_cast<std::size_t>(h)];
+            if (sb.tid < 0)
+                continue;
+            const auto t = static_cast<ThreadId>(h);
+            ThreadSample s;
+            s.committed =
+                chip_.core(c).thread(t).committedCtr.value() -
+                sb.committed;
+            s.l2Misses =
+                chip_.core(c).hierarchy().beyondL2Of(t) - sb.beyondL2;
+            s.gctOccupancy = sb.occSum / nsamp;
+            s.cycles = quantum;
+            rec.samples[static_cast<std::size_t>(sb.tid)] = s;
+
+            history_[static_cast<std::size_t>(sb.tid)].push(
+                s, sched_.historyQuanta);
+            lastScheduled_[static_cast<std::size_t>(sb.tid)] =
+                quantumIndex_ + 1;
+
+            AllocThreadTotals &tot =
+                res.threads[static_cast<std::size_t>(sb.tid)];
+            tot.committed += s.committed;
+            tot.l2Misses += s.l2Misses;
+            tot.cyclesScheduled += s.cycles;
+            attributed += s.committed;
+        }
+
+    checker_.onQuantumBoundary(attributed);
+
+    res.committed += attributed;
+    res.migrations += static_cast<std::uint64_t>(migrations);
+    ++res.quanta;
+    if (res.log.size() < AllocRunResult::max_log_records)
+        res.log.push_back(std::move(rec));
+    ++quantumIndex_;
+}
+
+AllocRunResult
+AllocEngine::run(Cycle cycles)
+{
+    AllocRunResult res;
+    res.threads.resize(static_cast<std::size_t>(workload_.size()));
+
+    // Baseline the conservation checker before the first quantum so
+    // pre-study activity on a reused chip is never attributed here.
+    checker_.onQuantumBoundary(0);
+
+    const Cycle start = chip_.cycle();
+    const Cycle end = saturatingAdd(start, cycles);
+    while (chip_.cycle() < end) {
+        const Cycle q =
+            std::min<Cycle>(sched_.quantum, end - chip_.cycle());
+        runQuantum(q, res);
+    }
+
+    res.cycles = chip_.cycle() - start;
+    res.aggregateIpc =
+        res.cycles > 0 ? static_cast<double>(res.committed) /
+                             static_cast<double>(res.cycles)
+                       : 0.0;
+    res.checkViolations = checker_.violations();
+    return res;
+}
+
+} // namespace p5

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * AllocEngine: drives a Chip through an allocation study.
+ *
+ * The engine owns the time axis (quanta) and fairness; the Allocator
+ * owns placement. Every quantum the engine
+ *
+ *  1. picks the *eligible* set — when the workload has more runnable
+ *     threads than the chip has hardware contexts (M > 2N), the
+ *     least-recently-scheduled up-to-2N threads run (round-robin
+ *     fairness the allocator cannot override);
+ *  2. asks the Allocator to place the eligible set;
+ *  3. applies the assignment with detach/attach (a migrated thread
+ *     restarts its synthetic program — the cold-start cost is the
+ *     price of migration in this model);
+ *  4. runs the chip for the quantum, sampling per-thread GCT occupancy
+ *     a few times along the way;
+ *  5. attributes committed instructions and L2 misses to runnable
+ *     threads via per-slot *monotonic* stat counters baselined at the
+ *     quantum start (the counters survive detach/attach, so
+ *     attribution is migration-safe), feeds the samples into the
+ *     history the symbiosis allocator scores from, and hands the
+ *     attributed totals to the ChipConservation checker.
+ */
+
+#ifndef P5SIM_SCHED_ALLOC_ENGINE_HH
+#define P5SIM_SCHED_ALLOC_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "check/chip_checker.hh"
+#include "core/chip.hh"
+#include "sched/alloc_result.hh"
+#include "sched/allocator.hh"
+#include "sched/sched_params.hh"
+#include "sched/workload.hh"
+
+namespace p5 {
+
+/** Drives one Chip + Workload under one allocation policy. */
+class AllocEngine
+{
+  public:
+    /**
+     * @param seed deterministic study seed (a SimJob rngSeed()); all
+     *        allocator randomness derives from it.
+     */
+    AllocEngine(Chip &chip, const Workload &workload,
+                const SchedParams &sched, std::uint64_t seed);
+
+    /** Run @p cycles chip cycles' worth of quanta; composable. */
+    AllocRunResult run(Cycle cycles);
+
+    /** GCT-occupancy samples taken per quantum (chunked chip runs). */
+    static constexpr int gct_samples_per_quantum = 8;
+
+  private:
+    std::vector<int> chooseEligible() const;
+    void applyAssignment(const Assignment &next);
+    void runQuantum(Cycle quantum, AllocRunResult &res);
+
+    Chip &chip_;
+    const Workload &workload_;
+    SchedParams sched_;
+    std::uint64_t seed_;
+    std::unique_ptr<Allocator> allocator_;
+
+    Assignment current_;
+    bool haveCurrent_ = false;
+    std::uint64_t quantumIndex_ = 0;
+
+    /** 1 + index of the last quantum each runnable ran (0 = never). */
+    std::vector<std::uint64_t> lastScheduled_;
+
+    std::vector<ThreadHistory> history_;
+    check::ChipConservation checker_;
+};
+
+} // namespace p5
+
+#endif // P5SIM_SCHED_ALLOC_ENGINE_HH

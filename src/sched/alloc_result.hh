@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Result types of an allocation study, separated from the engine so the
+ * job layer (fame/sim_job.hh) can carry them without pulling in the
+ * Workload (which itself builds on the job layer's ProgramSpec).
+ */
+
+#ifndef P5SIM_SCHED_ALLOC_RESULT_HH
+#define P5SIM_SCHED_ALLOC_RESULT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/allocator.hh"
+
+namespace p5 {
+
+/** What one quantum did (for offline replay and tests). */
+struct QuantumRecord
+{
+    std::uint64_t index = 0;
+    Assignment assignment;
+
+    /** Threads whose core changed relative to the previous quantum. */
+    int migrations = 0;
+
+    /** Per-runnable-id samples; zero for threads not scheduled. */
+    std::vector<ThreadSample> samples;
+};
+
+/** Whole-study accounting for one runnable thread. */
+struct AllocThreadTotals
+{
+    std::uint64_t committed = 0;
+    std::uint64_t l2Misses = 0;
+    Cycle cyclesScheduled = 0;
+
+    double
+    ipc() const
+    {
+        return cyclesScheduled > 0
+            ? static_cast<double>(committed) /
+                  static_cast<double>(cyclesScheduled)
+            : 0.0;
+    }
+};
+
+/** Result of AllocEngine::run(). */
+struct AllocRunResult
+{
+    Cycle cycles = 0;
+    std::uint64_t quanta = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t committed = 0;
+
+    /** Chip-wide committed instructions per elapsed chip cycle. */
+    double aggregateIpc = 0.0;
+
+    /** ChipConservation violations observed during the study. */
+    std::uint64_t checkViolations = 0;
+
+    std::vector<AllocThreadTotals> threads;
+
+    /** One record per quantum, capped at max_log_records. */
+    std::vector<QuantumRecord> log;
+
+    static constexpr std::size_t max_log_records = 65536;
+};
+
+} // namespace p5
+
+#endif // P5SIM_SCHED_ALLOC_RESULT_HH

@@ -1,0 +1,325 @@
+#include "sched/allocator.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace p5 {
+
+void
+ThreadHistory::push(const ThreadSample &s, int cap)
+{
+    samples.push_back(s);
+    if (cap > 0 && samples.size() > static_cast<std::size_t>(cap))
+        samples.erase(samples.begin(),
+                      samples.end() - static_cast<std::ptrdiff_t>(cap));
+}
+
+ThreadSample
+ThreadHistory::average() const
+{
+    ThreadSample avg;
+    if (samples.empty())
+        return avg;
+    double occ = 0.0;
+    for (const ThreadSample &s : samples) {
+        avg.committed += s.committed;
+        avg.l2Misses += s.l2Misses;
+        avg.cycles += s.cycles;
+        occ += s.gctOccupancy;
+    }
+    const auto n = static_cast<double>(samples.size());
+    avg.committed = static_cast<std::uint64_t>(
+        static_cast<double>(avg.committed) / n);
+    avg.l2Misses = static_cast<std::uint64_t>(
+        static_cast<double>(avg.l2Misses) / n);
+    avg.cycles = static_cast<Cycle>(static_cast<double>(avg.cycles) / n);
+    avg.gctOccupancy = occ / n;
+    return avg;
+}
+
+Assignment
+Assignment::empty(int num_cores)
+{
+    Assignment a;
+    a.numCores = num_cores;
+    for (auto &core : a.slot)
+        core.fill(-1);
+    return a;
+}
+
+Assignment
+Assignment::pinned(const std::vector<int> &eligible, int num_cores)
+{
+    Assignment a = empty(num_cores);
+    for (std::size_t k = 0; k < eligible.size(); ++k) {
+        const auto c = k / num_hw_threads;
+        const auto h = k % num_hw_threads;
+        if (c >= static_cast<std::size_t>(num_cores))
+            panic("Assignment::pinned: %zu eligible threads exceed %d "
+                  "cores x %d contexts",
+                  eligible.size(), num_cores, num_hw_threads);
+        a.slot[c][h] = eligible[k];
+    }
+    return a;
+}
+
+int
+Assignment::coreOf(int tid) const
+{
+    for (int c = 0; c < numCores; ++c)
+        for (int h = 0; h < num_hw_threads; ++h)
+            if (slot[static_cast<std::size_t>(c)]
+                    [static_cast<std::size_t>(h)] == tid)
+                return c;
+    return -1;
+}
+
+bool
+Assignment::operator==(const Assignment &o) const
+{
+    return numCores == o.numCores && slot == o.slot;
+}
+
+namespace {
+
+/** Static placement: identical to the pre-scheduler dual-core path. */
+class PinnedAllocator : public Allocator
+{
+  public:
+    const char *name() const override { return "pinned"; }
+
+    Assignment
+    decide(const AllocContext &ctx) override
+    {
+        return Assignment::pinned(*ctx.eligible, ctx.numCores);
+    }
+};
+
+/** Deterministic uniform re-pairing every quantum. */
+class RandomAllocator : public Allocator
+{
+  public:
+    const char *name() const override { return "random"; }
+
+    Assignment
+    decide(const AllocContext &ctx) override
+    {
+        std::vector<int> order = *ctx.eligible;
+        // Seeded per (study, quantum): the shuffle depends only on what
+        // is simulated, never on scheduling order or wall clock.
+        Rng rng(hashCombine(ctx.seed, ctx.quantumIndex));
+        for (std::size_t i = order.size(); i > 1; --i)
+            std::swap(order[i - 1], order[rng.below(i)]);
+        return Assignment::pinned(order, ctx.numCores);
+    }
+};
+
+/**
+ * SYNPA-style symbiosis predictor.
+ *
+ * Each core's predicted throughput is the pair's history IPC minus two
+ * interference terms: co-missing beyond L2 (two streaming threads
+ * fight over the shared backside) and GCT oversubscription (the
+ * paper's Sec. 5 contention taxonomy). Note the raw IPC terms sum to
+ * the same value for every way of pairing a fixed eligible set, so the
+ * *penalties* are what distinguish pairings — a greedy
+ * best-pair-first matcher is blind to that (it happily grabs the two
+ * high-IPC threads and leaves the two streamers together). Instead
+ * the allocator seeds from the previous assignment (or the static
+ * packing) and hill-climbs with pairwise slot exchanges until no swap
+ * improves the predicted chip throughput; a per-thread retention
+ * bonus makes the search sticky so equivalent pairings don't thrash.
+ */
+class SymbiosisAllocator : public Allocator
+{
+  public:
+    const char *name() const override { return "symbiosis"; }
+
+    Assignment
+    decide(const AllocContext &ctx) override
+    {
+        const std::vector<int> &elig = *ctx.eligible;
+
+        // No history yet (first quantum): the static placement is as
+        // good as any prediction.
+        if (missingHistory(ctx))
+            return Assignment::pinned(elig, ctx.numCores);
+
+        cacheMetrics(ctx);
+        Assignment cur = seed(ctx);
+
+        // First-improvement pairwise exchange over slot coordinates.
+        // Only the two touched cores' scores change per swap, so the
+        // delta is cheap; the pass loop is bounded for determinism
+        // and as a safety net (each accepted swap strictly raises the
+        // total, so termination is guaranteed anyway).
+        for (int pass = 0; pass < max_passes; ++pass) {
+            bool improved = false;
+            for (int c1 = 0; c1 < ctx.numCores; ++c1)
+                for (int h1 = 0; h1 < num_hw_threads; ++h1)
+                    for (int c2 = c1 + 1; c2 < ctx.numCores; ++c2)
+                        for (int h2 = 0; h2 < num_hw_threads; ++h2)
+                            improved |=
+                                trySwap(ctx, cur, c1, h1, c2, h2);
+            if (!improved)
+                break;
+        }
+        return cur;
+    }
+
+  private:
+    // Model constants (not config: they parameterize the predictor, not
+    // the simulated machine).
+    static constexpr double w_mem = 0.60;  ///< co-miss interference
+    static constexpr double w_gct = 0.40;  ///< GCT oversubscription
+    static constexpr double mpki_half = 10.0; ///< mpki normalization knee
+    static constexpr double retain_eps = 0.01; ///< placement stability
+    static constexpr int max_passes = 16;
+
+    /** Averaged predictor inputs for one thread. */
+    struct Metric
+    {
+        double ipc = 0.0;
+        double mem = 0.0; ///< backside pressure in [0, 1)
+        double occ = 0.0; ///< mean GCT groups held
+    };
+
+    std::vector<Metric> metric_;
+
+    static bool
+    missingHistory(const AllocContext &ctx)
+    {
+        for (int tid : *ctx.eligible)
+            if ((*ctx.history)[static_cast<std::size_t>(tid)].empty())
+                return true;
+        return false;
+    }
+
+    void
+    cacheMetrics(const AllocContext &ctx)
+    {
+        int max_id = 0;
+        for (int tid : *ctx.eligible)
+            max_id = std::max(max_id, tid);
+        metric_.assign(static_cast<std::size_t>(max_id) + 1, Metric{});
+        for (int tid : *ctx.eligible) {
+            const ThreadSample s =
+                (*ctx.history)[static_cast<std::size_t>(tid)].average();
+            Metric &m = metric_[static_cast<std::size_t>(tid)];
+            m.ipc = s.ipc();
+            m.mem = s.l2MissesPerKiloInstr() /
+                    (s.l2MissesPerKiloInstr() + mpki_half);
+            m.occ = s.gctOccupancy;
+        }
+    }
+
+    /**
+     * Start from the previous assignment when it placed exactly this
+     * eligible set (the common steady state; keeps the search sticky),
+     * else from the static packing.
+     */
+    Assignment
+    seed(const AllocContext &ctx) const
+    {
+        const Assignment *prev = ctx.previous;
+        if (prev && prev->numCores == ctx.numCores) {
+            std::vector<int> placed;
+            for (int c = 0; c < prev->numCores; ++c)
+                for (int h = 0; h < num_hw_threads; ++h) {
+                    const int tid = prev->core(c)[static_cast<
+                        std::size_t>(h)];
+                    if (tid >= 0)
+                        placed.push_back(tid);
+                }
+            std::sort(placed.begin(), placed.end());
+            if (placed == *ctx.eligible)
+                return *prev;
+        }
+        return Assignment::pinned(*ctx.eligible, ctx.numCores);
+    }
+
+    /** Predicted throughput of one core holding @p a and @p b
+     *  (either may be -1 = empty context). */
+    double
+    coreScore(const AllocContext &ctx, int a, int b) const
+    {
+        if (a < 0 && b < 0)
+            return 0.0;
+        if (a < 0 || b < 0) {
+            const int t = a < 0 ? b : a;
+            return metric_[static_cast<std::size_t>(t)].ipc;
+        }
+        const Metric &ma = metric_[static_cast<std::size_t>(a)];
+        const Metric &mb = metric_[static_cast<std::size_t>(b)];
+        const double cap = std::max(1, ctx.gctCapacity);
+        const double gct_over =
+            std::max(0.0, ma.occ + mb.occ - cap) / cap;
+        return ma.ipc + mb.ipc - w_mem * ma.mem * mb.mem -
+               w_gct * gct_over;
+    }
+
+    /** Stability bonus: staying on the previous core has a value the
+     *  counters can't see (warm L1/TLB; a move restarts the thread). */
+    double
+    retention(const AllocContext &ctx, int tid, int core) const
+    {
+        if (tid < 0 || !ctx.previous)
+            return 0.0;
+        return ctx.previous->coreOf(tid) == core ? retain_eps : 0.0;
+    }
+
+    /** Score of both cores a swap would touch, plus retention. */
+    double
+    localScore(const AllocContext &ctx, const Assignment &a, int c1,
+               int c2) const
+    {
+        double s = 0.0;
+        for (int c : {c1, c2}) {
+            const auto &core = a.core(c);
+            s += coreScore(ctx, core[0], core[1]);
+            s += retention(ctx, core[0], c);
+            s += retention(ctx, core[1], c);
+        }
+        return s;
+    }
+
+    /** Swap the occupants of (c1,h1) and (c2,h2) if that strictly
+     *  improves the predicted throughput. */
+    bool
+    trySwap(const AllocContext &ctx, Assignment &a, int c1, int h1,
+            int c2, int h2) const
+    {
+        auto &s1 = a.slot[static_cast<std::size_t>(c1)]
+                         [static_cast<std::size_t>(h1)];
+        auto &s2 = a.slot[static_cast<std::size_t>(c2)]
+                         [static_cast<std::size_t>(h2)];
+        if (s1 == s2) // both empty
+            return false;
+        const double before = localScore(ctx, a, c1, c2);
+        std::swap(s1, s2);
+        if (localScore(ctx, a, c1, c2) > before + 1e-9)
+            return true;
+        std::swap(s1, s2); // revert
+        return false;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Allocator>
+makeAllocator(AllocPolicy policy)
+{
+    switch (policy) {
+      case AllocPolicy::Pinned:
+        return std::make_unique<PinnedAllocator>();
+      case AllocPolicy::Random:
+        return std::make_unique<RandomAllocator>();
+      case AllocPolicy::Symbiosis:
+        return std::make_unique<SymbiosisAllocator>();
+    }
+    fatal("makeAllocator: bad policy %d", static_cast<int>(policy));
+}
+
+} // namespace p5

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Allocator: the thread-to-core placement policy interface.
+ *
+ * Once per quantum the AllocEngine asks an Allocator where the
+ * currently-eligible runnable threads should run. The allocator sees
+ * per-thread counter history (committed IPC, L2 misses, GCT occupancy —
+ * the SYNPA symbiosis inputs) and the previous placement, and returns an
+ * Assignment mapping (core, hardware thread) slots to runnable ids.
+ *
+ * Contract (see DESIGN.md §10):
+ *  - decide() must place *exactly* the threads in ctx.eligible, each
+ *    once, and no others; slots beyond them stay empty (-1).
+ *  - decide() must be a pure function of the AllocContext — any
+ *    randomness comes from ctx.seed and ctx.quantumIndex, never from
+ *    global state — so a study is reproducible from its config
+ *    fingerprint alone.
+ *  - The engine, not the allocator, owns time-multiplexing fairness:
+ *    when more threads are runnable than the chip has hardware
+ *    contexts, the engine picks which ones are eligible this quantum.
+ */
+
+#ifndef P5SIM_SCHED_ALLOCATOR_HH
+#define P5SIM_SCHED_ALLOCATOR_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/chip.hh"
+#include "sched/sched_params.hh"
+
+namespace p5 {
+
+/** One quantum's worth of counters for one runnable thread. */
+struct ThreadSample
+{
+    /** Instructions committed over the quantum. */
+    std::uint64_t committed = 0;
+
+    /** Accesses that went beyond L2 (L2 misses) over the quantum. */
+    std::uint64_t l2Misses = 0;
+
+    /** Mean GCT groups held (sampled several times per quantum). */
+    double gctOccupancy = 0.0;
+
+    /** Cycles the thread was attached during the quantum. */
+    Cycle cycles = 0;
+
+    double
+    ipc() const
+    {
+        return cycles > 0
+            ? static_cast<double>(committed) / static_cast<double>(cycles)
+            : 0.0;
+    }
+
+    double
+    l2MissesPerKiloInstr() const
+    {
+        return committed > 0
+            ? 1000.0 * static_cast<double>(l2Misses) /
+                  static_cast<double>(committed)
+            : 0.0;
+    }
+};
+
+/** Bounded per-thread sample history, oldest first. */
+struct ThreadHistory
+{
+    std::vector<ThreadSample> samples;
+
+    bool empty() const { return samples.empty(); }
+
+    /** Append @p s, discarding the oldest beyond @p cap samples. */
+    void push(const ThreadSample &s, int cap);
+
+    /** Component-wise mean over the stored samples (zeros if empty). */
+    ThreadSample average() const;
+};
+
+/** A placement: runnable id per (core, hardware thread) slot, -1 empty. */
+struct Assignment
+{
+    int numCores = 0;
+
+    std::array<std::array<int, num_hw_threads>, max_cores> slot{};
+
+    /** All-empty assignment over @p num_cores cores. */
+    static Assignment empty(int num_cores);
+
+    /**
+     * The static placement: eligible[k] goes to core k/2, hardware
+     * thread k%2, in eligible order.
+     */
+    static Assignment pinned(const std::vector<int> &eligible,
+                             int num_cores);
+
+    /** Core currently holding runnable @p tid, or -1. */
+    int coreOf(int tid) const;
+
+    /** Runnable ids on core @p c, co-runner first-slot first. */
+    const std::array<int, num_hw_threads> &
+    core(int c) const
+    {
+        return slot[static_cast<std::size_t>(c)];
+    }
+
+    bool operator==(const Assignment &o) const;
+    bool operator!=(const Assignment &o) const { return !(*this == o); }
+};
+
+/** Everything an Allocator may look at when deciding. */
+struct AllocContext
+{
+    int numCores = 0;
+
+    /** 0-based index of the quantum being decided. */
+    std::uint64_t quantumIndex = 0;
+
+    /** Study-level deterministic seed (from the job's rngSeed()). */
+    std::uint64_t seed = 0;
+
+    /** Shared-GCT capacity in groups (CoreParams::gctGroups). */
+    int gctCapacity = 0;
+
+    /** Runnable ids to place this quantum (engine-chosen, sorted). */
+    const std::vector<int> *eligible = nullptr;
+
+    /** Per-runnable-id history; may be empty for fresh threads. */
+    const std::vector<ThreadHistory> *history = nullptr;
+
+    /** Last quantum's placement, or nullptr on the first quantum. */
+    const Assignment *previous = nullptr;
+};
+
+/** The placement-policy interface. */
+class Allocator
+{
+  public:
+    virtual ~Allocator() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Place ctx.eligible onto the chip (see contract above). */
+    virtual Assignment decide(const AllocContext &ctx) = 0;
+};
+
+/** Factory over the AllocPolicy enum. */
+std::unique_ptr<Allocator> makeAllocator(AllocPolicy policy);
+
+} // namespace p5
+
+#endif // P5SIM_SCHED_ALLOCATOR_HH

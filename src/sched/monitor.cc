@@ -1,0 +1,68 @@
+#include "sched/monitor.hh"
+
+#include <string>
+
+#include "common/log.hh"
+
+namespace p5 {
+
+QuantumMonitor::QuantumMonitor(SmtCore &core, Cycle quantum)
+    : core_(core), quantum_(quantum), quantumStart_(core.cycle())
+{
+    if (quantum_ == 0)
+        fatal("QuantumMonitor: quantum must be positive");
+    for (ThreadId t = 0; t < num_hw_threads; ++t) {
+        const auto ti = static_cast<std::size_t>(t);
+        baseCommitted_[ti] = core_.thread(t).committedCtr.value();
+        baseBeyondL2_[ti] = core_.hierarchy().beyondL2Of(t);
+        const std::string ts = std::to_string(t);
+        core_.stats().registerSeries("thread" + ts + ".symbiosis.ipc",
+                                     &ipc_[ti]);
+        core_.stats().registerSeries(
+            "thread" + ts + ".symbiosis.l2Misses", &l2Misses_[ti]);
+        core_.stats().registerSeries(
+            "thread" + ts + ".symbiosis.gctOccupancy",
+            &gctOccupancy_[ti]);
+    }
+}
+
+void
+QuantumMonitor::poll()
+{
+    for (ThreadId t = 0; t < num_hw_threads; ++t)
+        occSum_[static_cast<std::size_t>(t)] +=
+            core_.gct().occupancyOf(t);
+    ++occPolls_;
+
+    const Cycle now = core_.cycle();
+    if (now - quantumStart_ >= quantum_)
+        closeQuantum(now);
+}
+
+void
+QuantumMonitor::closeQuantum(Cycle now)
+{
+    const Cycle elapsed = now - quantumStart_;
+    for (ThreadId t = 0; t < num_hw_threads; ++t) {
+        const auto ti = static_cast<std::size_t>(t);
+        const std::uint64_t com = core_.thread(t).committedCtr.value();
+        const std::uint64_t bl2 = core_.hierarchy().beyondL2Of(t);
+        ipc_[ti].push_back(
+            elapsed ? static_cast<double>(com - baseCommitted_[ti]) /
+                          static_cast<double>(elapsed)
+                    : 0.0);
+        l2Misses_[ti].push_back(
+            static_cast<double>(bl2 - baseBeyondL2_[ti]));
+        gctOccupancy_[ti].push_back(
+            occPolls_ ? occSum_[ti] / static_cast<double>(occPolls_)
+                      : 0.0);
+        baseCommitted_[ti] = com;
+        baseBeyondL2_[ti] = bl2;
+        occSum_[ti] = 0.0;
+    }
+    occPolls_ = 0;
+    quantumStart_ = now;
+    ++quanta_;
+}
+
+} // namespace p5

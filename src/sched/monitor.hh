@@ -1,0 +1,71 @@
+/**
+ * @file
+ * QuantumMonitor: per-quantum symbiosis-input sampling for one core.
+ *
+ * Records, once per scheduler quantum, exactly the three inputs the
+ * symbiosis allocator scores from — committed IPC, L2 misses (beyond-L2
+ * accesses) and mean GCT occupancy, per hardware thread — and exposes
+ * them as StatGroup series ("thread<t>.symbiosis.{ipc,l2Misses,
+ * gctOccupancy}") so a plain `p5sim run` JSON dump carries everything
+ * needed to replay an allocation decision offline (EXPERIMENTS.md).
+ *
+ * The monitor is a pure observer: poll it from a FameRunner chunk hook
+ * (or any run loop); it never advances the core. Series registration
+ * does not alter the scalar stat set (see StatGroup::registerSeries).
+ */
+
+#ifndef P5SIM_SCHED_MONITOR_HH
+#define P5SIM_SCHED_MONITOR_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/smt_core.hh"
+
+namespace p5 {
+
+/** Samples one SmtCore's symbiosis inputs at quantum granularity. */
+class QuantumMonitor
+{
+  public:
+    /**
+     * Registers the symbiosis series with @p core's StatGroup; the
+     * monitor must outlive any dump of those stats.
+     */
+    QuantumMonitor(SmtCore &core, Cycle quantum);
+
+    /**
+     * Observe the core at its current cycle. Accumulates a GCT
+     * occupancy sample; when at least a quantum has elapsed since the
+     * last record, closes the quantum and appends one point per
+     * series. Call at least a few times per quantum (a FAME chunk hook
+     * with the default checkPeriod comfortably qualifies).
+     */
+    void poll();
+
+    std::uint64_t quantaRecorded() const { return quanta_; }
+
+    Cycle quantum() const { return quantum_; }
+
+  private:
+    void closeQuantum(Cycle now);
+
+    SmtCore &core_;
+    Cycle quantum_;
+    Cycle quantumStart_;
+
+    std::array<std::uint64_t, num_hw_threads> baseCommitted_{};
+    std::array<std::uint64_t, num_hw_threads> baseBeyondL2_{};
+    std::array<double, num_hw_threads> occSum_{};
+    std::uint64_t occPolls_ = 0;
+    std::uint64_t quanta_ = 0;
+
+    std::array<std::vector<double>, num_hw_threads> ipc_;
+    std::array<std::vector<double>, num_hw_threads> l2Misses_;
+    std::array<std::vector<double>, num_hw_threads> gctOccupancy_;
+};
+
+} // namespace p5
+
+#endif // P5SIM_SCHED_MONITOR_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Workload: the runnable threads an allocation study schedules.
+ *
+ * A RunnableThread is a software thread that wants to run — a program
+ * plus a priority — decoupled from any hardware context. The Workload
+ * owns the materialized programs (stable addresses for the lifetime of
+ * the study) so the AllocEngine can attach/detach them to hardware
+ * threads freely as the allocator migrates them between cores.
+ */
+
+#ifndef P5SIM_SCHED_WORKLOAD_HH
+#define P5SIM_SCHED_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fame/sim_job.hh"
+#include "prio/priority.hh"
+
+namespace p5 {
+
+/** One software thread of an allocation study. */
+struct RunnableThread
+{
+    /** Index in the owning Workload (the allocator's thread id). */
+    int id = 0;
+
+    /** What it runs (benchmark id + scale; rebuildable anywhere). */
+    ProgramSpec spec;
+
+    /** Hardware priority it is attached with (paper range 0..7). */
+    int priority = default_priority;
+};
+
+/** An ordered collection of runnable threads. */
+class Workload
+{
+  public:
+    Workload() = default;
+
+    Workload(const Workload &) = delete;
+    Workload &operator=(const Workload &) = delete;
+    Workload(Workload &&) = default;
+    Workload &operator=(Workload &&) = default;
+
+    /** Append a thread; returns its id. */
+    int add(ProgramSpec spec, int priority = default_priority);
+
+    /**
+     * Build a workload from a comma-separated list of paper benchmark
+     * names ("cpu_int,ldint_mem,..."), all at default priority.
+     * fatal() on unknown names or an empty list.
+     */
+    static Workload fromMix(const std::string &mix, double scale = 1.0);
+
+    int size() const { return static_cast<int>(threads_.size()); }
+
+    const RunnableThread &thread(int id) const;
+
+    /** The materialized program of thread @p id (stable address). */
+    const SyntheticProgram &program(int id) const;
+
+    /** "name+name+..." of the mix (labels and job keys). */
+    std::string describe() const;
+
+  private:
+    std::vector<RunnableThread> threads_;
+
+    /** unique_ptr keeps addresses stable across threads_ growth. */
+    std::vector<std::unique_ptr<SyntheticProgram>> programs_;
+};
+
+} // namespace p5
+
+#endif // P5SIM_SCHED_WORKLOAD_HH

@@ -201,6 +201,10 @@ const std::pair<const char *, const char *> non_default_values[] = {
     {"fame.warmup_tolerance", "0.1"},
     {"fame.max_cycles", "123456789"},
     {"fame.check_period", "2048"},
+    {"chip.num_cores", "4"},
+    {"sched.policy", "symbiosis"},
+    {"sched.quantum", "8192"},
+    {"sched.history_quanta", "8"},
     {"exp.ubench_scale", "0.75"},
     {"exp.seed", "12345678901234567"},
     {"exp.jobs", "3"},
@@ -388,21 +392,22 @@ TEST(ConfigCoverage, BoundStructSizesArePinned)
     EXPECT_EQ(sizeof(HierarchyParams), 232u);
     EXPECT_EQ(sizeof(CoreParams), 376u);
     EXPECT_EQ(sizeof(FameParams), 48u);
-    EXPECT_EQ(sizeof(ExpConfig), 512u);
+    EXPECT_EQ(sizeof(SchedParams), 24u);
+    EXPECT_EQ(sizeof(ExpConfig), 544u);
 }
 
 TEST(ConfigCoverage, BoundPathAndIdentityCountsArePinned)
 {
     ExpConfig config;
     ConfigTree tree(config);
-    EXPECT_EQ(tree.paths().size(), 58u);
+    EXPECT_EQ(tree.paths().size(), 62u);
 
     // Identity fields = everything except exp.jobs / exp.benchmarks.
     std::size_t identity_lines = 0;
     const std::string canonical = tree.canonical();
     for (char c : canonical)
         identity_lines += (c == '\n');
-    EXPECT_EQ(identity_lines, 1u /* schema line */ + 56u);
+    EXPECT_EQ(identity_lines, 1u /* schema line */ + 60u);
 }
 
 TEST(ConfigCoverage, EveryPathIsUniqueAndWellFormed)

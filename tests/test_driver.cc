@@ -81,7 +81,8 @@ TEST(Driver, GlobalHelpListsSubcommands)
     EXPECT_EQ(help.exitCode, 0);
     for (const char *sub :
          {"table1", "table2", "table3", "table4", "fig2", "fig3",
-          "fig4", "fig5", "fig6", "ablation", "run", "sweep", "perf"})
+          "fig4", "fig5", "fig6", "ablation", "run", "sweep", "alloc",
+          "perf"})
         EXPECT_NE(help.out.find(sub), std::string::npos) << sub;
 }
 
@@ -89,19 +90,24 @@ TEST(Driver, EverySubcommandAnswersHelp)
 {
     for (const char *sub :
          {"table1", "table2", "table3", "table4", "fig2", "fig3",
-          "fig4", "fig5", "fig6", "ablation", "run", "sweep", "perf"}) {
+          "fig4", "fig5", "fig6", "ablation", "run", "sweep", "alloc",
+          "perf"}) {
         const Invocation help = invoke({sub, "--help"});
         EXPECT_EQ(help.exitCode, 0) << sub;
         EXPECT_NE(help.out.find("usage: p5sim " + std::string(sub)),
                   std::string::npos)
             << sub;
     }
-    // The pair/sweep flags only appear where they apply.
+    // The pair/sweep/alloc flags only appear where they apply.
     EXPECT_NE(invoke({"sweep", "--help"}).out.find("--sweep"),
               std::string::npos);
     EXPECT_NE(invoke({"run", "--help"}).out.find("--primary"),
               std::string::npos);
+    EXPECT_NE(invoke({"alloc", "--help"}).out.find("--mix"),
+              std::string::npos);
     EXPECT_EQ(invoke({"table3", "--help"}).out.find("--sweep"),
+              std::string::npos);
+    EXPECT_EQ(invoke({"table3", "--help"}).out.find("--mix"),
               std::string::npos);
 }
 
@@ -414,6 +420,16 @@ TEST(Driver, RunRoutesCoreStatsThroughDumpJson)
         if (m.second.isInt() || m.second.isDouble())
             has_cycle_counter = true;
     EXPECT_TRUE(has_cycle_counter);
+
+    // The symbiosis sampler rides along too: per-thread series plus
+    // the quantum provenance, so the dump alone supports offline
+    // allocation replay (EXPERIMENTS.md).
+    ASSERT_NE(data->find("symbiosisQuanta"), nullptr);
+    ASSERT_NE(data->find("symbiosisQuantum"), nullptr);
+    EXPECT_GT(data->find("symbiosisQuantum")->asInt(), 0);
+    const JsonValue *series = stats->find("thread0.symbiosis.ipc");
+    ASSERT_NE(series, nullptr);
+    EXPECT_TRUE(series->isArray());
     std::remove(path.c_str());
 }
 
@@ -424,6 +440,62 @@ TEST(Driver, RunSingleThreadMode)
                 "--secondary=none"});
     EXPECT_EQ(run.exitCode, 0);
     EXPECT_NE(run.out.find("cpu_int + none"), std::string::npos);
+}
+
+// --- alloc -------------------------------------------------------------
+
+TEST(Driver, AllocComparesPoliciesOnAnNCoreChip)
+{
+    const std::string path_a = tempPath("alloc_a.json");
+    const std::string path_b = tempPath("alloc_b.json");
+    const auto run_once = [&](const std::string &path) {
+        return invoke({"alloc", "--fast",
+                       "--mix=cpu_int,ldint_mem,cpu_int,ldint_mem",
+                       "--policies=pinned,random", "--cycles=40000",
+                       "--set", "chip.num_cores=2", "--set",
+                       "sched.quantum=5000",
+                       ("--json=" + path).c_str()});
+    };
+    const Invocation run = run_once(path_a);
+    ASSERT_EQ(run.exitCode, 0);
+    EXPECT_NE(run.out.find("Allocation policies"), std::string::npos);
+
+    const JsonValue report = readReport(path_a);
+    EXPECT_EQ(report.find("experiment")->asString(), "alloc");
+    const JsonValue *data = report.find("data");
+    EXPECT_EQ(data->find("kind")->asString(), "alloc_study");
+    EXPECT_EQ(data->find("numCores")->asInt(), 2);
+    EXPECT_EQ(data->find("cycles")->asInt(), 40000);
+    ASSERT_EQ(data->find("mix")->elements().size(), 4u);
+
+    const JsonValue *outcomes = data->find("outcomes");
+    ASSERT_EQ(outcomes->elements().size(), 2u);
+    const JsonValue &pinned = outcomes->elements()[0];
+    EXPECT_EQ(pinned.find("policy")->asString(), "pinned");
+    EXPECT_EQ(pinned.find("migrations")->asInt(), 0);
+    for (const JsonValue &out : outcomes->elements()) {
+        EXPECT_EQ(out.find("checkViolations")->asInt(), 0);
+        EXPECT_EQ(out.find("quanta")->asInt(), 8);
+        EXPECT_GT(out.find("aggregateIpc")->asDouble(), 0.0);
+        EXPECT_EQ(out.find("threadIpc")->elements().size(), 4u);
+    }
+
+    // Same config -> bit-identical study (reproducible from the
+    // fingerprint alone).
+    ASSERT_EQ(run_once(path_b).exitCode, 0);
+    EXPECT_EQ(readReport(path_b).find("data")->dump(), data->dump());
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
+}
+
+TEST(Driver, AllocRejectsBadInputs)
+{
+    EXPECT_EXIT(invoke({"alloc", "--fast", "--policies=bogus"}),
+                ::testing::ExitedWithCode(1), "bogus");
+    EXPECT_EXIT(invoke({"alloc", "--fast", "--mix=not_a_bench"}),
+                ::testing::ExitedWithCode(1), "not_a_bench");
+    EXPECT_EXIT(invoke({"alloc", "--fast", "--cycles=0"}),
+                ::testing::ExitedWithCode(1), "cycles");
 }
 
 // --- config file / save-config round trip ------------------------------

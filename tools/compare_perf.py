@@ -8,6 +8,9 @@ Checks, per baseline case (matched by name):
   * the case still exists and its fast/slow stats are bit-identical
     (``identicalStats`` and equal sim cycle counts) — a correctness
     failure, never tolerated;
+  * for chip-level cases (which carry a ``migrations`` member), the
+    migration count equals the baseline exactly — the pinned policy
+    must never migrate, so any nonzero drift is a scheduler bug;
   * ``simCyclesFast`` and ``ipcTotal`` are within a 25% relative
     tolerance of the baseline — the simulated outcome should only move
     when the model itself changes, and then the baseline must be
@@ -60,6 +63,11 @@ def compare(baseline, fresh):
             errors.append(
                 f"{name}: simCycles differ between modes "
                 f"({case['simCyclesFast']} vs {case['simCyclesSlow']})")
+        if "migrations" in base and \
+                case.get("migrations") != base["migrations"]:
+            errors.append(
+                f"{name}: migrations {case.get('migrations')} != "
+                f"baseline {base['migrations']}")
         if not within(case["simCyclesFast"], base["simCyclesFast"],
                       REL_TOLERANCE):
             errors.append(
