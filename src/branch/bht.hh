@@ -15,13 +15,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/annotate.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
 namespace p5 {
 
 /** BHT configuration. */
-struct BhtParams
+struct P5_CONFIG_STRUCT BhtParams
 {
     int entries = 16384; ///< number of 2-bit counters (power of two)
 };

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotate.hh"
 #include "common/types.hh"
 
 namespace p5 {
@@ -122,10 +123,16 @@ class CheckRegistry
     /** Register @p checker; the registry takes ownership. */
     void add(std::unique_ptr<InvariantChecker> checker);
 
+    // P5_ALLOW(hot_path_no_alloc): checkers are a debug-mode facility —
+    // collect mode stores failure records (capped), and individual
+    // checkers keep growable shadow state. Release runs attach no
+    // checkers, so the busy path never reaches these.
     /** Run every checker against @p core for cycle @p cycle. */
+    P5_ALLOW(hot_path_no_alloc)
     void onCycle(const SmtCore &core, Cycle cycle);
 
     /** Notify every checker of a fast-forward skip over [from, to). */
+    P5_ALLOW(hot_path_no_alloc)
     void onSkip(const SmtCore &core, Cycle from, Cycle to);
 
     /** Violations panic (true) or are collected (false). */

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Static-analysis annotations for the p5lint contract checker.
+ *
+ * The engine rests on three contracts that ordinary testing can only
+ * sample: the busy path must never allocate (DESIGN §8), the
+ * fast-forward idle probe must be side-effect-free (DESIGN §7's
+ * bit-identical-stats guarantee), and results must be deterministic
+ * under a fixed seed (the FAME methodology and the SimRunner result
+ * cache both assume it). tools/p5lint.py closes all reachable paths at
+ * compile time; these macros are how source code declares which
+ * contract applies where (DESIGN §11).
+ *
+ *  - P5_HOT_PATH      marks a root of the per-cycle busy path: nothing
+ *                     transitively reachable from it may allocate.
+ *  - P5_PROBE_PURE    marks a root of the idle-probe family: everything
+ *                     reachable must be const and free of writes to
+ *                     members or globals.
+ *  - P5_CONFIG_STRUCT marks a parameter struct whose every field must
+ *                     be bound to a config path in ConfigTree::bindAll()
+ *                     (a fingerprint hole otherwise).
+ *  - P5_ALLOW(rule)   grants a reviewed exemption from one rule, either
+ *                     for a whole function/member (prefix the
+ *                     declaration) or for a single statement (prefix the
+ *                     statement). Every use must carry a comment saying
+ *                     why the exemption is sound.
+ *
+ * Rule names are the snake_case forms of the p5lint rules:
+ * hot_path_no_alloc, probe_purity, determinism, config_completeness.
+ *
+ * Under Clang the macros expand to [[clang::annotate]] so an AST
+ * frontend sees them; under other compilers they expand to nothing.
+ * p5lint's built-in lexing frontend recognizes the macro names
+ * textually, so the contracts are enforced regardless of which
+ * compiler produced the compile database.
+ */
+
+#ifndef P5SIM_COMMON_ANNOTATE_HH
+#define P5SIM_COMMON_ANNOTATE_HH
+
+#if defined(__clang__)
+#define P5_ANNOTATE(text) [[clang::annotate(text)]]
+#else
+#define P5_ANNOTATE(text)
+#endif
+
+/** Root of the per-cycle busy path: no reachable allocation. */
+#define P5_HOT_PATH P5_ANNOTATE("p5:hot_path")
+
+/** Root of the idle-probe family: const-only, no reachable writes. */
+#define P5_PROBE_PURE P5_ANNOTATE("p5:probe_pure")
+
+/** Parameter struct whose fields must all be bound in bindAll(). */
+#define P5_CONFIG_STRUCT P5_ANNOTATE("p5:config_struct")
+
+/** Reviewed exemption from one p5lint rule (always comment the why). */
+#define P5_ALLOW(rule) P5_ANNOTATE("p5:allow:" #rule)
+
+#endif // P5SIM_COMMON_ANNOTATE_HH

@@ -31,6 +31,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotate.hh"
+
 namespace p5 {
 
 /** FIFO-with-tail-pops ring over permanently constructed slots. */
@@ -50,6 +52,10 @@ class RingDeque
      * power of two). Re-layouts the ring: physical-slot handles taken
      * before a grow stop resolving (they miss, they don't mislead).
      */
+    // Spill path: runs at attach-time reservation and only again if
+    // that reservation was undersized; steady-state pushSlot() reuses
+    // acquired capacity.
+    P5_ALLOW(hot_path_no_alloc)
     void
     reserve(std::size_t capacity)
     {

@@ -19,6 +19,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "common/annotate.hh"
+
 namespace p5 {
 
 /** Vector with @p N elements of inline storage. */
@@ -135,6 +137,9 @@ class SmallVector
 
     bool onHeap() const { return data_ != inlineData(); }
 
+    // Spill path: runs only when an attach-time reservation was
+    // undersized; steady-state hot-path pushes stay inline.
+    P5_ALLOW(hot_path_no_alloc)
     void
     grow(std::size_t min_capacity)
     {

@@ -63,7 +63,7 @@ class Chip
     MemBackside &backside() { return *backside_; }
 
     /** Advance all cores one cycle, in core-index order. */
-    void tick();
+    P5_HOT_PATH void tick();
 
     /**
      * Advance all cores @p cycles cycles in lockstep. With
@@ -75,14 +75,14 @@ class Chip
      * first-come-first-served gates make results depend on the global
      * order of accesses.
      */
-    void run(Cycle cycles);
+    P5_HOT_PATH void run(Cycle cycles);
 
     /**
      * Current cycle of the chip. All cores agree by the lockstep
      * contract above; debug builds assert it (a mismatch means some
      * core was advanced behind the chip's back).
      */
-    Cycle cycle() const;
+    P5_HOT_PATH Cycle cycle() const;
 
   private:
     std::unique_ptr<MemBackside> backside_;

@@ -1,5 +1,6 @@
 #include "core/gct.hh"
 
+#include "common/annotate.hh"
 #include "common/log.hh"
 
 namespace p5 {
@@ -27,7 +28,9 @@ Gct::allocate(ThreadId tid, SeqNum start_seq, int count)
         if (start_seq != last.startSeq + static_cast<SeqNum>(last.count))
             panic("GCT groups of thread %d not contiguous", tid);
     }
-    q.push_back({start_seq, count});
+    // Rings are pre-sized to full GCT capacity in the constructor;
+    // occupancy can never exceed it, so this push never reallocates.
+    P5_ALLOW(hot_path_no_alloc) q.push_back({start_seq, count});
     ++allocated_;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/annotate.hh"
 #include "common/log.hh"
 
 namespace p5 {
@@ -19,7 +20,9 @@ void
 IssueQueue::push(FuClass fc, const ReadyRef &ref)
 {
     auto &q = queues_[static_cast<int>(fc)];
-    q.push_back(ref);
+    // Pre-reserved in the constructor (above the worst-case
+    // high-water mark); push only spills if that bound is wrong.
+    P5_ALLOW(hot_path_no_alloc) q.push_back(ref);
     std::push_heap(q.begin(), q.end(), ReadyRefLater{});
 }
 

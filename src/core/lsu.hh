@@ -21,6 +21,7 @@
 
 #include <array>
 
+#include "common/annotate.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "core/params.hh"
@@ -75,7 +76,7 @@ class Lsu
      * now and the returned cycle every LSU predicate the core or the
      * balancer consults is constant.
      */
-    Cycle nextEventCycle(Cycle now) const;
+    P5_PROBE_PURE Cycle nextEventCycle(Cycle now) const;
 
     std::uint64_t
     loadsOf(ThreadId tid) const

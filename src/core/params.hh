@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "branch/bht.hh"
+#include "common/annotate.hh"
 #include "isa/op_class.hh"
 #include "mem/hierarchy.hh"
 
@@ -22,7 +23,7 @@ enum class BalanceAction
 };
 
 /** Dynamic hardware resource-balancing configuration (paper Sec. 3.1). */
-struct BalancerParams
+struct P5_CONFIG_STRUCT BalancerParams
 {
     bool enabled = true;
 
@@ -67,7 +68,7 @@ struct BalancerParams
 };
 
 /** Full configuration of one SMT core. */
-struct CoreParams
+struct P5_CONFIG_STRUCT CoreParams
 {
     /** Identity of this core on the chip (affects address spaces). */
     int coreId = 0;

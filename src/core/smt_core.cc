@@ -475,7 +475,7 @@ SmtCore::advanceIdle(Cycle target, const IdleGate &gate)
 }
 
 Cycle
-SmtCore::computeIdleTarget(Cycle limit, IdleGate *gate)
+SmtCore::computeIdleTarget(Cycle limit, IdleGate *gate) const
 {
     // Reset the caller's gate: Chip::run() reuses per-core gate
     // storage across probes, and probeDecodeIdle() only ever *sets*
@@ -508,9 +508,10 @@ SmtCore::tryFastForward(Cycle limit)
 }
 
 Cycle
-SmtCore::idleTarget(Cycle limit, IdleGate *gate)
+SmtCore::idleTarget(Cycle limit, IdleGate *gate) const
 {
-    ++ffProbes_;
+    // Probe accounting, not simulation state (ffProbes_ is mutable).
+    P5_ALLOW(probe_purity) ++ffProbes_;
     return computeIdleTarget(limit, gate);
 }
 
@@ -612,6 +613,9 @@ SmtCore::issueStage()
 
             e->phase = InstrPhase::Issued;
             e->di.completeCycle = done;
+            // Heap storage is pre-reserved in the constructor; push
+            // only spills past the high-water mark of in-flight ops.
+            P5_ALLOW(hot_path_no_alloc)
             completions_.push({done, ref.tid, ref.seq, ref.epoch,
                                ref.slot});
         }

@@ -25,6 +25,7 @@
 #include <queue>
 
 #include "branch/bht.hh"
+#include "common/annotate.hh"
 #include "common/stats.hh"
 #include "core/balancer.hh"
 #include "core/decode_arbiter.hh"
@@ -97,7 +98,7 @@ class SmtCore
     // --- simulation ---------------------------------------------------
 
     /** Advance one cycle. */
-    void tick();
+    P5_HOT_PATH void tick();
 
     /**
      * Advance @p cycles cycles. With params().fastForward (the
@@ -113,7 +114,7 @@ class SmtCore
      * progress-flag write per cycle instead of a full probe; idle gaps
      * pay at most one extra tick before the jump.
      */
-    void run(Cycle cycles);
+    P5_HOT_PATH void run(Cycle cycles);
 
     /**
      * Run until thread @p tid has completed @p executions program
@@ -121,8 +122,9 @@ class SmtCore
      *
      * @return true when the target was reached.
      */
-    bool runUntilExecutions(ThreadId tid, std::uint64_t executions,
-                            Cycle max_cycles);
+    P5_HOT_PATH bool runUntilExecutions(ThreadId tid,
+                                        std::uint64_t executions,
+                                        Cycle max_cycles);
 
     Cycle cycle() const { return cycle_; }
 
@@ -228,7 +230,7 @@ class SmtCore
      * core with skipIdleTo(). Counts as a fast-forward probe; no other
      * side effects.
      */
-    Cycle idleTarget(Cycle limit, IdleGate *gate);
+    P5_PROBE_PURE Cycle idleTarget(Cycle limit, IdleGate *gate) const;
 
     /**
      * Jump cycle() to @p target across a gap idleTarget() verified
@@ -303,10 +305,10 @@ class SmtCore
      * balancer flush would actually drop instructions. Fills @p gate
      * for advanceIdle()'s arithmetic counter advance.
      */
-    bool probeDecodeIdle(IdleGate *gate) const;
+    P5_PROBE_PURE bool probeDecodeIdle(IdleGate *gate) const;
 
     /** True iff thread t's oldest GCT group would commit at cycle_. */
-    bool commitReady(ThreadId t) const;
+    P5_PROBE_PURE bool commitReady(ThreadId t) const;
 
     /**
      * Earliest cycle in (cycle_, limit] at which anything can happen,
@@ -316,13 +318,14 @@ class SmtCore
      * not, so every quantity the gating consults maps to an event
      * source here.
      */
-    Cycle nextInterestingCycle(Cycle limit, const IdleGate &gate) const;
+    P5_PROBE_PURE Cycle nextInterestingCycle(Cycle limit,
+                                             const IdleGate &gate) const;
 
     /**
      * idleTarget() without the probe accounting: the shared body of
      * the per-core and chip-coordinated fast-forward paths.
      */
-    Cycle computeIdleTarget(Cycle limit, IdleGate *gate);
+    P5_PROBE_PURE Cycle computeIdleTarget(Cycle limit, IdleGate *gate) const;
 
     /**
      * Jump cycle_ -> target across a verified-idle gap, advancing the
@@ -361,7 +364,9 @@ class SmtCore
 
     Cycle cycle_ = 0;
     std::uint64_t idleSkipped_ = 0;
-    std::uint64_t ffProbes_ = 0;
+    // mutable: probe accounting, not simulation state — idleTarget() is
+    // const (P5_PROBE_PURE) yet counts its own invocations.
+    mutable std::uint64_t ffProbes_ = 0;
     std::uint64_t dispatchStamp_ = 0;
 
     /**

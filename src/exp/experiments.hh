@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotate.hh"
 #include "core/params.hh"
 #include "fame/fame.hh"
 #include "sched/sched_params.hh"
@@ -25,7 +26,7 @@ namespace p5 {
 class ResultCache;
 
 /** Shared experiment configuration. */
-struct ExpConfig
+struct P5_CONFIG_STRUCT ExpConfig
 {
     CoreParams core;
     FameParams fame;
@@ -54,7 +55,7 @@ struct ExpConfig
      * Table 3 and Figs. 2-4 simulate once per process). Tests inject a
      * private cache to force re-execution.
      */
-    ResultCache *cache = nullptr;
+    P5_ALLOW(config_completeness) ResultCache *cache = nullptr;
 
     /**
      * Master seed folded into the config fingerprint; per-job RNG
@@ -70,7 +71,7 @@ struct ExpConfig
      * ConfigTree). Producers fold it into every enumerated SimJob key;
      * see SimJob::configTag.
      */
-    std::string configTag;
+    P5_ALLOW(config_completeness) std::string configTag;
 
     /** Reduced-accuracy configuration for smoke tests. */
     static ExpConfig fast();

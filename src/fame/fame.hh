@@ -22,7 +22,7 @@
 namespace p5 {
 
 /** FAME configuration. */
-struct FameParams
+struct P5_CONFIG_STRUCT FameParams
 {
     /** Minimum complete executions per thread (paper: 10 for MAIV 1%). */
     std::uint64_t minRepetitions = 10;

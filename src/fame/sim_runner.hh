@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotate.hh"
 #include "fame/sim_job.hh"
 
 namespace p5 {
@@ -67,6 +68,11 @@ class ResultCache
 
   private:
     mutable std::mutex mutex_;
+    // Lookup-only by construction: every access is find/emplace/erase/
+    // size/clear under mutex_ — nothing ever iterates the map, so its
+    // hash order cannot leak into reports (audited for p5lint's
+    // determinism rule; keep it that way or switch to std::map).
+    P5_ALLOW(determinism)
     std::unordered_map<std::string, std::shared_future<SimResult>> map_;
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};

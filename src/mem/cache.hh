@@ -17,15 +17,18 @@
 #include <string>
 #include <vector>
 
+#include "common/annotate.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
 namespace p5 {
 
 /** Geometry and timing of one cache level. */
-struct CacheParams
+struct P5_CONFIG_STRUCT CacheParams
 {
-    std::string name = "cache";
+    // Display label, not simulated state: set per level by
+    // HierarchyParams, never a config path of its own.
+    P5_ALLOW(config_completeness) std::string name = "cache";
     std::uint64_t sizeBytes = 32 * 1024;
     int assoc = 4;
     int lineBytes = 128;

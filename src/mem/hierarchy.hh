@@ -17,6 +17,7 @@
 #include <array>
 #include <memory>
 
+#include "common/annotate.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/cache.hh"
@@ -31,7 +32,7 @@ enum class MemLevel : std::uint8_t { L1, L2, L3, Mem };
 const char *memLevelName(MemLevel level);
 
 /** Hierarchy configuration. */
-struct HierarchyParams
+struct P5_CONFIG_STRUCT HierarchyParams
 {
     CacheParams l1d{"l1d", 32 * 1024, 4, 128, 2, 1};
     CacheParams l2{"l2", 2 * 1024 * 1024, 16, 128, 13, 4};

@@ -62,6 +62,9 @@ Lmq::reserve(ThreadId tid, Cycle now, Cycle start_cycle,
         ++queuedMisses_;
         queuedCycles_ += start_cycle - requested;
     }
+    // windows_ is reserved to 2x the LMQ entry count at construction;
+    // occupancy is bounded by the entry count, so no reallocation.
+    P5_ALLOW(hot_path_no_alloc)
     windows_.push_back({tid, start_cycle, release_cycle});
     ++allocations_;
     return start_cycle;

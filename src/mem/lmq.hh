@@ -21,6 +21,7 @@
 
 #include <vector>
 
+#include "common/annotate.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -68,7 +69,7 @@ class Lmq
      * Fast-forward next-event contract: busyAt()/busyOfAt() are
      * constant over (now, nextEventCycle(now)).
      */
-    Cycle nextEventCycle(Cycle now) const;
+    P5_PROBE_PURE Cycle nextEventCycle(Cycle now) const;
 
     /** Release everything belonging to @p tid (squash support). */
     void releaseThread(ThreadId tid);

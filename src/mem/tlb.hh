@@ -16,15 +16,17 @@
 #include <string>
 #include <vector>
 
+#include "common/annotate.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
 namespace p5 {
 
 /** TLB geometry and timing. */
-struct TlbParams
+struct P5_CONFIG_STRUCT TlbParams
 {
-    std::string name = "dtlb";
+    // Display label, not simulated state (see CacheParams::name).
+    P5_ALLOW(config_completeness) std::string name = "dtlb";
     int entries = 1024;
     int assoc = 4;
     std::uint64_t pageBytes = 4096;

@@ -72,11 +72,9 @@ AllocEngine::applyAssignment(const Assignment &next)
     }
 }
 
-void
-AllocEngine::runQuantum(Cycle quantum, AllocRunResult &res)
+Assignment
+AllocEngine::decideQuantum(const std::vector<int> &eligible)
 {
-    const std::vector<int> eligible = chooseEligible();
-
     AllocContext ctx;
     ctx.numCores = chip_.numCores();
     ctx.quantumIndex = quantumIndex_;
@@ -90,23 +88,27 @@ AllocEngine::runQuantum(Cycle quantum, AllocRunResult &res)
 
     // Enforce the Allocator contract: exactly the eligible set, each
     // placed once.
-    {
-        std::vector<int> placed;
-        for (int c = 0; c < next.numCores; ++c)
-            for (int h = 0; h < num_hw_threads; ++h) {
-                const int tid = next.core(c)[static_cast<std::size_t>(h)];
-                if (tid >= 0)
-                    placed.push_back(tid);
-            }
-        std::sort(placed.begin(), placed.end());
-        if (placed != eligible)
-            panic("allocator '%s' violated the placement contract at "
-                  "quantum %llu (placed %zu threads, eligible %zu)",
-                  allocator_->name(),
-                  static_cast<unsigned long long>(quantumIndex_),
-                  placed.size(), eligible.size());
-    }
+    std::vector<int> placed;
+    for (int c = 0; c < next.numCores; ++c)
+        for (int h = 0; h < num_hw_threads; ++h) {
+            const int tid = next.core(c)[static_cast<std::size_t>(h)];
+            if (tid >= 0)
+                placed.push_back(tid);
+        }
+    std::sort(placed.begin(), placed.end());
+    if (placed != eligible)
+        panic("allocator '%s' violated the placement contract at "
+              "quantum %llu (placed %zu threads, eligible %zu)",
+              allocator_->name(),
+              static_cast<unsigned long long>(quantumIndex_),
+              placed.size(), eligible.size());
+    return next;
+}
 
+int
+AllocEngine::countMigrations(const Assignment &next,
+                             const std::vector<int> &eligible) const
+{
     // Migrations: scheduled threads whose core changed.
     int migrations = 0;
     if (haveCurrent_) {
@@ -116,21 +118,13 @@ AllocEngine::runQuantum(Cycle quantum, AllocRunResult &res)
                 ++migrations;
         }
     }
+    return migrations;
+}
 
-    applyAssignment(next);
-    current_ = next;
-    haveCurrent_ = true;
-
-    // Quantum-start baselines of the monotonic per-slot counters.
-    struct SlotBase
-    {
-        int tid = -1;
-        std::uint64_t committed = 0;
-        std::uint64_t beyondL2 = 0;
-        double occSum = 0.0;
-    };
-    std::vector<std::array<SlotBase, num_hw_threads>> base(
-        static_cast<std::size_t>(chip_.numCores()));
+AllocEngine::BaseGrid
+AllocEngine::captureBaselines(const Assignment &next) const
+{
+    BaseGrid base(static_cast<std::size_t>(chip_.numCores()));
     for (int c = 0; c < chip_.numCores(); ++c)
         for (int h = 0; h < num_hw_threads; ++h) {
             SlotBase &sb = base[static_cast<std::size_t>(c)]
@@ -141,23 +135,14 @@ AllocEngine::runQuantum(Cycle quantum, AllocRunResult &res)
                 chip_.core(c).thread(t).committedCtr.value();
             sb.beyondL2 = chip_.core(c).hierarchy().beyondL2Of(t);
         }
+    return base;
+}
 
-    // Run the quantum in chunks, sampling GCT occupancy at each stop.
-    const int nsamp = static_cast<int>(std::min<Cycle>(
-        gct_samples_per_quantum, std::max<Cycle>(quantum, 1)));
-    Cycle remaining = quantum;
-    for (int s = 0; s < nsamp; ++s) {
-        const Cycle chunk = remaining / static_cast<Cycle>(nsamp - s);
-        chip_.run(chunk);
-        remaining -= chunk;
-        for (int c = 0; c < chip_.numCores(); ++c)
-            for (int h = 0; h < num_hw_threads; ++h)
-                base[static_cast<std::size_t>(c)]
-                    [static_cast<std::size_t>(h)]
-                        .occSum += chip_.core(c).gct().occupancyOf(
-                            static_cast<ThreadId>(h));
-    }
-
+void
+AllocEngine::recordQuantum(Cycle quantum, const Assignment &next,
+                           int migrations, const BaseGrid &base, int nsamp,
+                           AllocRunResult &res)
+{
     // Attribute the quantum's deltas to runnable threads.
     QuantumRecord rec;
     rec.index = quantumIndex_;
@@ -202,6 +187,42 @@ AllocEngine::runQuantum(Cycle quantum, AllocRunResult &res)
     ++res.quanta;
     if (res.log.size() < AllocRunResult::max_log_records)
         res.log.push_back(std::move(rec));
+}
+
+void
+AllocEngine::runQuantum(Cycle quantum, AllocRunResult &res)
+{
+    // Control plane: choose, place, baseline (allocates; amortized
+    // over the whole quantum — see the P5_ALLOW notes in the header).
+    const std::vector<int> eligible = chooseEligible();
+    const Assignment next = decideQuantum(eligible);
+    const int migrations = countMigrations(next, eligible);
+
+    applyAssignment(next);
+    current_ = next;
+    haveCurrent_ = true;
+
+    BaseGrid base = captureBaselines(next);
+
+    // Hot loop: run the quantum in chunks, sampling GCT occupancy at
+    // each stop. Everything here rides the chip's zero-allocation
+    // busy path.
+    const int nsamp = static_cast<int>(std::min<Cycle>(
+        gct_samples_per_quantum, std::max<Cycle>(quantum, 1)));
+    Cycle remaining = quantum;
+    for (int s = 0; s < nsamp; ++s) {
+        const Cycle chunk = remaining / static_cast<Cycle>(nsamp - s);
+        chip_.run(chunk);
+        remaining -= chunk;
+        for (int c = 0; c < chip_.numCores(); ++c)
+            for (int h = 0; h < num_hw_threads; ++h)
+                base[static_cast<std::size_t>(c)]
+                    [static_cast<std::size_t>(h)]
+                        .occSum += chip_.core(c).gct().occupancyOf(
+                            static_cast<ThreadId>(h));
+    }
+
+    recordQuantum(quantum, next, migrations, base, nsamp, res);
     ++quantumIndex_;
 }
 
@@ -209,6 +230,8 @@ AllocRunResult
 AllocEngine::run(Cycle cycles)
 {
     AllocRunResult res;
+    // One-time result-shape setup, not per-quantum work.
+    P5_ALLOW(hot_path_no_alloc)
     res.threads.resize(static_cast<std::size_t>(workload_.size()));
 
     // Baseline the conservation checker before the first quantum so

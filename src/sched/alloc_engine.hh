@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "check/chip_checker.hh"
+#include "common/annotate.hh"
 #include "core/chip.hh"
 #include "sched/alloc_result.hh"
 #include "sched/allocator.hh"
@@ -51,15 +52,39 @@ class AllocEngine
                 const SchedParams &sched, std::uint64_t seed);
 
     /** Run @p cycles chip cycles' worth of quanta; composable. */
-    AllocRunResult run(Cycle cycles);
+    P5_HOT_PATH AllocRunResult run(Cycle cycles);
 
     /** GCT-occupancy samples taken per quantum (chunked chip runs). */
     static constexpr int gct_samples_per_quantum = 8;
 
   private:
-    std::vector<int> chooseEligible() const;
-    void applyAssignment(const Assignment &next);
-    void runQuantum(Cycle quantum, AllocRunResult &res);
+    /** Quantum-start baselines of the monotonic per-slot counters. */
+    struct SlotBase
+    {
+        int tid = -1;
+        std::uint64_t committed = 0;
+        std::uint64_t beyondL2 = 0;
+        double occSum = 0.0;
+    };
+    using BaseGrid = std::vector<std::array<SlotBase, num_hw_threads>>;
+
+    // Control plane: runs once per quantum boundary, amortized over
+    // sched.quantum cycles, and allocates by design (eligible sets,
+    // placement vectors, migration restarts, history records). The
+    // per-cycle work between boundaries stays on the chip's
+    // zero-allocation busy path.
+    P5_ALLOW(hot_path_no_alloc) std::vector<int> chooseEligible() const;
+    P5_ALLOW(hot_path_no_alloc)
+    Assignment decideQuantum(const std::vector<int> &eligible);
+    int countMigrations(const Assignment &next,
+                        const std::vector<int> &eligible) const;
+    P5_ALLOW(hot_path_no_alloc) void applyAssignment(const Assignment &next);
+    P5_ALLOW(hot_path_no_alloc)
+    BaseGrid captureBaselines(const Assignment &next) const;
+    P5_ALLOW(hot_path_no_alloc)
+    void recordQuantum(Cycle quantum, const Assignment &next, int migrations,
+                       const BaseGrid &base, int nsamp, AllocRunResult &res);
+    P5_HOT_PATH void runQuantum(Cycle quantum, AllocRunResult &res);
 
     Chip &chip_;
     const Workload &workload_;

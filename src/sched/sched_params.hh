@@ -11,6 +11,8 @@
 
 #include "common/types.hh"
 
+#include "common/annotate.hh"
+
 namespace p5 {
 
 /** Thread-to-core allocation policies (SYNPA family, PAPERS.md). */
@@ -41,7 +43,7 @@ const char *allocPolicyName(AllocPolicy policy);
 AllocPolicy allocPolicyFromName(const std::string &name);
 
 /** Scheduler knobs (bound to the sched.* config paths). */
-struct SchedParams
+struct P5_CONFIG_STRUCT SchedParams
 {
     AllocPolicy policy = AllocPolicy::Pinned;
 

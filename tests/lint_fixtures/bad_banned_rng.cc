@@ -1,0 +1,17 @@
+// p5lint fixture — analysis-only, never compiled.
+// BAD: rand() outside src/common/rng.hh.  Simulation results must be a
+// pure function of the config fingerprint; libc rand() is process-global
+// state the fingerprint cannot capture.  p5lint must flag this with
+// determinism and nothing else.
+
+#include <cstdlib>
+
+namespace fixture {
+
+inline int
+jitter(int span)
+{
+    return rand() % span; // banned nondeterminism source
+}
+
+} // namespace fixture

@@ -1,0 +1,31 @@
+// p5lint fixture — analysis-only, never compiled.
+// BAD: a P5_HOT_PATH root transitively reaches an allocating container
+// method (vector::push_back through a helper).  p5lint must flag this
+// with hot_path_no_alloc and nothing else.
+
+#include <vector>
+
+namespace fixture {
+
+struct HotLog
+{
+    P5_HOT_PATH void tick();
+
+    void record(int v);
+
+    std::vector<int> events_;
+};
+
+void
+HotLog::record(int v)
+{
+    events_.push_back(v); // allocates: reachable from the hot root
+}
+
+void
+HotLog::tick()
+{
+    record(42);
+}
+
+} // namespace fixture

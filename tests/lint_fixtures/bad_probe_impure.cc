@@ -1,0 +1,23 @@
+// p5lint fixture — analysis-only, never compiled.
+// BAD: a P5_PROBE_PURE root is not const-qualified and writes a member.
+// Probes run during fast-forward scouting, so a side effect here would
+// make skipped cycles diverge from executed ones.  p5lint must flag
+// this with probe_purity and nothing else.
+
+namespace fixture {
+
+struct Probe
+{
+    P5_PROBE_PURE long nextEventCycle(long now);
+
+    long cached_ = 0;
+};
+
+long
+Probe::nextEventCycle(long now)
+{
+    cached_ = now; // side effect inside a probe
+    return now + 1;
+}
+
+} // namespace fixture

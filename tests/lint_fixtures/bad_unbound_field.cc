@@ -1,0 +1,34 @@
+// p5lint fixture — analysis-only, never compiled.
+// BAD: a P5_CONFIG_STRUCT field that bindAll() never binds.  A knob the
+// config layer cannot reach is invisible to the run fingerprint — two
+// runs with different values of it would share a cache entry.  p5lint
+// must flag this with config_completeness and nothing else.
+
+namespace fixture {
+
+struct P5_CONFIG_STRUCT TunerParams
+{
+    int window = 32;
+    int depth = 4;
+    double bias = 0.5; // never bound below
+};
+
+struct Binder
+{
+    TunerParams params_;
+
+    void bindInt(const char *key, int &field, int lo, int hi,
+                 const char *help);
+    void bindAll();
+};
+
+void
+Binder::bindAll()
+{
+    TunerParams &t = params_;
+    bindInt("tuner.window", t.window, 1, 1024, "sampling window");
+    bindInt("tuner.depth", t.depth, 1, 64, "search depth");
+    // t.bias is missing: config_completeness must fire.
+}
+
+} // namespace fixture

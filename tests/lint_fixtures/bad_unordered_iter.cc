@@ -1,0 +1,28 @@
+// p5lint fixture — analysis-only, never compiled.
+// BAD: an unordered_map member is iterated, so the emitted report order
+// depends on the hash function and libstdc++ version.  p5lint must flag
+// this with determinism and nothing else (both the member declaration
+// and the range-for).
+
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+struct StatDump
+{
+    std::unordered_map<std::string, long> counters_;
+
+    long total() const;
+};
+
+long
+StatDump::total() const
+{
+    long sum = 0;
+    for (const auto &kv : counters_) // hash-order iteration
+        sum += kv.second;
+    return sum;
+}
+
+} // namespace fixture

@@ -1,0 +1,34 @@
+// p5lint fixture — analysis-only, never compiled.
+// GOOD twin of bad_unbound_field.cc: every field of the config struct
+// is bound in bindAll().
+
+namespace fixture {
+
+struct P5_CONFIG_STRUCT TunerParams
+{
+    int window = 32;
+    int depth = 4;
+    double bias = 0.5;
+};
+
+struct Binder
+{
+    TunerParams params_;
+
+    void bindInt(const char *key, int &field, int lo, int hi,
+                 const char *help);
+    void bindDouble(const char *key, double &field, double lo, double hi,
+                    const char *help);
+    void bindAll();
+};
+
+void
+Binder::bindAll()
+{
+    TunerParams &t = params_;
+    bindInt("tuner.window", t.window, 1, 1024, "sampling window");
+    bindInt("tuner.depth", t.depth, 1, 64, "search depth");
+    bindDouble("tuner.bias", t.bias, 0.0, 1.0, "selection bias");
+}
+
+} // namespace fixture

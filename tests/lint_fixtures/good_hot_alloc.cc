@@ -1,0 +1,31 @@
+// p5lint fixture — analysis-only, never compiled.
+// GOOD twin of bad_hot_alloc.cc: the hot root records into a
+// fixed-capacity array, so nothing reachable from it allocates.
+
+#include <array>
+
+namespace fixture {
+
+struct HotLog
+{
+    P5_HOT_PATH void tick();
+
+    void record(int v);
+
+    std::array<int, 64> events_{};
+    int n_ = 0;
+};
+
+void
+HotLog::record(int v)
+{
+    events_[static_cast<unsigned>(n_++) % 64u] = v;
+}
+
+void
+HotLog::tick()
+{
+    record(42);
+}
+
+} // namespace fixture

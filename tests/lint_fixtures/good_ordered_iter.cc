@@ -1,0 +1,26 @@
+// p5lint fixture — analysis-only, never compiled.
+// GOOD twin of bad_unordered_iter.cc: std::map iterates in key order,
+// which is deterministic.
+
+#include <map>
+#include <string>
+
+namespace fixture {
+
+struct StatDump
+{
+    std::map<std::string, long> counters_;
+
+    long total() const;
+};
+
+long
+StatDump::total() const
+{
+    long sum = 0;
+    for (const auto &kv : counters_)
+        sum += kv.second;
+    return sum;
+}
+
+} // namespace fixture

@@ -1,0 +1,21 @@
+// p5lint fixture — analysis-only, never compiled.
+// GOOD twin of bad_probe_impure.cc: the probe is const and only reads.
+
+namespace fixture {
+
+struct Probe
+{
+    P5_PROBE_PURE long nextEventCycle(long now) const;
+
+    long cached_ = 0;
+};
+
+long
+Probe::nextEventCycle(long now) const
+{
+    if (cached_ > now)
+        return cached_;
+    return now + 1;
+}
+
+} // namespace fixture

@@ -1,0 +1,31 @@
+// p5lint fixture — analysis-only, never compiled.
+// GOOD twin of bad_banned_rng.cc: a self-contained xorshift generator
+// seeded from the config, fully reproducible.
+
+#include <cstdint>
+
+namespace fixture {
+
+struct Xorshift
+{
+    std::uint64_t state = 0x9e3779b97f4a7c15ull;
+
+    std::uint64_t next();
+};
+
+std::uint64_t
+Xorshift::next()
+{
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+}
+
+inline int
+jitter(Xorshift &rng, int span)
+{
+    return static_cast<int>(rng.next() % static_cast<std::uint64_t>(span));
+}
+
+} // namespace fixture
