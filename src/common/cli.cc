@@ -1,9 +1,9 @@
 #include "common/cli.hh"
 
 #include <cstdio>
-#include <cstdlib>
 
 #include "common/log.hh"
+#include "common/parse.hh"
 
 namespace p5 {
 
@@ -105,11 +105,11 @@ std::int64_t
 Cli::integer(const std::string &name) const
 {
     const std::string &v = find(name).value;
-    char *end = nullptr;
-    long long out = std::strtoll(v.c_str(), &end, 0);
-    if (end == v.c_str() || *end != '\0')
-        fatal("flag '--%s' expects an integer, got '%s'", name.c_str(),
-              v.c_str());
+    std::int64_t out = 0;
+    const ParseStatus status = parseInt64(v, out);
+    if (status != ParseStatus::Ok)
+        fatal("flag '--%s' expects an integer, got '%s' (%s)",
+              name.c_str(), v.c_str(), parseStatusName(status));
     return out;
 }
 
@@ -117,11 +117,11 @@ double
 Cli::real(const std::string &name) const
 {
     const std::string &v = find(name).value;
-    char *end = nullptr;
-    double out = std::strtod(v.c_str(), &end);
-    if (end == v.c_str() || *end != '\0')
-        fatal("flag '--%s' expects a number, got '%s'", name.c_str(),
-              v.c_str());
+    double out = 0.0;
+    const ParseStatus status = parseFloat64(v, out);
+    if (status != ParseStatus::Ok)
+        fatal("flag '--%s' expects a number, got '%s' (%s)",
+              name.c_str(), v.c_str(), parseStatusName(status));
     return out;
 }
 

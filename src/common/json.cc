@@ -19,7 +19,8 @@ JsonWriter::~JsonWriter()
 {
     if (!stack_.empty())
         panic("JsonWriter destroyed with %zu open scopes", stack_.size());
-    os_ << '\n';
+    if (indentWidth_ >= 0)
+        os_ << '\n';
 }
 
 std::string
@@ -62,6 +63,8 @@ JsonWriter::escape(std::string_view s)
 void
 JsonWriter::newline()
 {
+    if (indentWidth_ < 0)
+        return;
     os_ << '\n';
     for (std::size_t i = 0; i < stack_.size(); ++i)
         for (int s = 0; s < indentWidth_; ++s)
@@ -474,7 +477,16 @@ JsonValue::operator==(const JsonValue &other) const
 
 namespace {
 
-/** Recursive-descent JSON parser; every error is fatal() with position. */
+/** Internal: carries a parse error to the fatal/non-fatal front-ends. */
+struct JsonParseError
+{
+    std::string message;
+};
+
+/**
+ * Recursive-descent JSON parser; every error throws JsonParseError with
+ * a line:column position (parseJson() turns that into fatal()).
+ */
 class JsonParser
 {
   public:
@@ -506,9 +518,11 @@ class JsonParser
                 ++col;
             }
         }
-        fatal("%s:%zu:%zu: %s",
-              where_.empty() ? "<json>" : where_.c_str(), line, col,
-              what);
+        char buf[512];
+        std::snprintf(buf, sizeof(buf), "%s:%zu:%zu: %s",
+                      where_.empty() ? "<json>" : where_.c_str(), line,
+                      col, what);
+        throw JsonParseError{buf};
     }
 
     void
@@ -760,7 +774,25 @@ class JsonParser
 JsonValue
 parseJson(std::string_view text, const std::string &where)
 {
-    return JsonParser(text, where).parseDocument();
+    try {
+        return JsonParser(text, where).parseDocument();
+    } catch (const JsonParseError &e) {
+        fatal("%s", e.message.c_str());
+    }
+}
+
+bool
+tryParseJson(std::string_view text, JsonValue &out, std::string *error,
+             const std::string &where)
+{
+    try {
+        out = JsonParser(text, where).parseDocument();
+        return true;
+    } catch (const JsonParseError &e) {
+        if (error)
+            *error = e.message;
+        return false;
+    }
 }
 
 JsonValue

@@ -31,7 +31,11 @@
 
 namespace p5 {
 
-/** Streaming JSON emitter. */
+/**
+ * Streaming JSON emitter. A negative @c indentWidth selects compact
+ * mode: no newlines or indentation anywhere (single-line documents for
+ * line-oriented protocols like `p5sim serve`).
+ */
 class JsonWriter
 {
   public:
@@ -176,6 +180,16 @@ JsonValue parseJson(std::string_view text, const std::string &where = "");
 
 /** Read and parse @p path; fatal() when unreadable or malformed. */
 JsonValue parseJsonFile(const std::string &path);
+
+/**
+ * Non-fatal parse for untrusted input (e.g. store files that may have
+ * been truncated by a killed writer). Returns false on malformed input
+ * with the position-annotated message in @p error; @p out is
+ * unspecified on failure.
+ */
+bool tryParseJson(std::string_view text, JsonValue &out,
+                  std::string *error = nullptr,
+                  const std::string &where = "");
 
 } // namespace p5
 

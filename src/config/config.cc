@@ -1,13 +1,12 @@
 #include "config/config.hh"
 
 #include <algorithm>
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "common/log.hh"
+#include "common/parse.hh"
 #include "common/rng.hh"
 #include "core/chip.hh"
 #include "ubench/ubench.hh"
@@ -40,24 +39,22 @@ namespace {
 std::int64_t
 parseIntText(const std::string &path, const std::string &value)
 {
-    errno = 0;
-    char *end = nullptr;
-    const long long out = std::strtoll(value.c_str(), &end, 0);
-    if (errno != 0 || end == value.c_str() || *end != '\0')
-        fatal("config key '%s' expects an integer, got '%s'",
-              path.c_str(), value.c_str());
+    std::int64_t out = 0;
+    const ParseStatus status = parseInt64(value, out);
+    if (status != ParseStatus::Ok)
+        fatal("config key '%s' expects an integer, got '%s' (%s)",
+              path.c_str(), value.c_str(), parseStatusName(status));
     return out;
 }
 
 double
 parseDoubleText(const std::string &path, const std::string &value)
 {
-    errno = 0;
-    char *end = nullptr;
-    const double out = std::strtod(value.c_str(), &end);
-    if (end == value.c_str() || *end != '\0')
-        fatal("config key '%s' expects a number, got '%s'", path.c_str(),
-              value.c_str());
+    double out = 0.0;
+    const ParseStatus status = parseFloat64(value, out);
+    if (status != ParseStatus::Ok)
+        fatal("config key '%s' expects a number, got '%s' (%s)",
+              path.c_str(), value.c_str(), parseStatusName(status));
     return out;
 }
 
@@ -77,14 +74,12 @@ parseBoolText(const std::string &path, const std::string &value)
 std::uint64_t
 parseU64Text(const std::string &path, const std::string &value)
 {
-    errno = 0;
-    char *end = nullptr;
-    const unsigned long long out =
-        std::strtoull(value.c_str(), &end, 0);
-    if (errno != 0 || end == value.c_str() || *end != '\0' ||
-        value.find('-') != std::string::npos)
-        fatal("config key '%s' expects an unsigned integer, got '%s'",
-              path.c_str(), value.c_str());
+    std::uint64_t out = 0;
+    const ParseStatus status = parseUint64(value, out);
+    if (status != ParseStatus::Ok)
+        fatal("config key '%s' expects an unsigned integer, got '%s' "
+              "(%s)",
+              path.c_str(), value.c_str(), parseStatusName(status));
     return out;
 }
 

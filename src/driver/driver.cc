@@ -12,6 +12,7 @@
 #include "common/cli.hh"
 #include "common/json.hh"
 #include "common/log.hh"
+#include "common/parse.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
 #include "config/config.hh"
@@ -24,6 +25,7 @@
 #include "sched/alloc_engine.hh"
 #include "sched/monitor.hh"
 #include "sched/workload.hh"
+#include "store/result_store.hh"
 #include "ubench/ubench.hh"
 #include "workloads/spec_proxy.hh"
 
@@ -552,11 +554,21 @@ splitList(const std::string &text)
     return out;
 }
 
+/** Persistence/partition options of one sweep invocation. */
+struct SweepOptions
+{
+    std::string storeDir; ///< "" = no persistent store
+    bool resume = false;  ///< serve already-stored points from disk
+    int shardIndex = 0;
+    int shardCount = 1;        ///< 1 = unsharded
+    std::size_t pointsTotal = 0; ///< full-product size before sharding
+};
+
 int finishSweep(DriverContext &ctx, ExpConfig &base,
                 const std::vector<SweepAxis> &axes,
                 const std::vector<SweepPoint> &points, UbenchId primary,
                 UbenchId secondary, bool has_secondary, int prio_p,
-                int prio_s);
+                int prio_s, const SweepOptions &opts);
 
 /**
  * Fan the cartesian product of the --sweep axes out as one SimJob
@@ -574,6 +586,13 @@ cmdSweep(const Cli &cli, DriverContext &ctx, ExpConfig &base)
                   spec.c_str());
         SweepAxis axis;
         axis.path = spec.substr(0, eq);
+        // A path named twice would silently collapse to whichever axis
+        // applies last while still multiplying the point count.
+        for (const SweepAxis &prev : axes)
+            if (prev.path == axis.path)
+                fatal("duplicate --sweep axis '%s': each config path "
+                      "may be swept only once",
+                      axis.path.c_str());
         for (const std::string &v : splitList(spec.substr(eq + 1))) {
             if (v.empty())
                 fatal("--sweep axis '%s' has an empty value",
@@ -584,6 +603,29 @@ cmdSweep(const Cli &cli, DriverContext &ctx, ExpConfig &base)
     }
     if (axes.empty())
         fatal("sweep requires at least one --sweep key=v1,v2,... axis");
+
+    SweepOptions opts;
+    opts.storeDir = cli.str("store");
+    opts.resume = cli.boolean("resume");
+    if (opts.resume && opts.storeDir.empty())
+        fatal("--resume requires --store DIR (there is nothing to "
+              "resume from without a store)");
+    if (cli.isSet("shard")) {
+        const std::string spec = cli.str("shard");
+        const auto slash = spec.find('/');
+        std::int64_t index = 0;
+        std::int64_t count = 0;
+        if (slash == std::string::npos ||
+            parseInt64(spec.substr(0, slash), index) !=
+                ParseStatus::Ok ||
+            parseInt64(spec.substr(slash + 1), count) !=
+                ParseStatus::Ok ||
+            count < 1 || index < 0 || index >= count)
+            fatal("--shard expects i/N with 0 <= i < N, got '%s'",
+                  spec.c_str());
+        opts.shardIndex = static_cast<int>(index);
+        opts.shardCount = static_cast<int>(count);
+    }
 
     const UbenchId primary = ubenchFromName(cli.str("primary"));
     const std::string secondary_name = cli.str("secondary");
@@ -626,8 +668,23 @@ cmdSweep(const Cli &cli, DriverContext &ctx, ExpConfig &base)
         }
     }
 
+    // Shard by position in the FULL product: every shard enumerates
+    // (and fingerprints) the same point list and keeps a disjoint
+    // residue class, so shard i/N of a sweep sees bit-identical
+    // per-point fingerprints to the unsharded run and the N shards
+    // partition it exactly.
+    opts.pointsTotal = points.size();
+    if (opts.shardCount > 1) {
+        std::vector<SweepPoint> kept;
+        for (std::size_t i = 0; i < points.size(); ++i)
+            if (i % static_cast<std::size_t>(opts.shardCount) ==
+                static_cast<std::size_t>(opts.shardIndex))
+                kept.push_back(std::move(points[i]));
+        points = std::move(kept);
+    }
+
     return finishSweep(ctx, base, axes, points, primary, secondary,
-                       has_secondary, prio_p, prio_s);
+                       has_secondary, prio_p, prio_s, opts);
 }
 
 int
@@ -635,7 +692,7 @@ finishSweep(DriverContext &ctx, ExpConfig &base,
             const std::vector<SweepAxis> &axes,
             const std::vector<SweepPoint> &points, UbenchId primary,
             UbenchId secondary, bool has_secondary, int prio_p,
-            int prio_s)
+            int prio_s, const SweepOptions &opts)
 {
     // One batch: every point becomes a job, and the pool (plus the
     // result cache) fans them out together.
@@ -657,8 +714,31 @@ finishSweep(DriverContext &ctx, ExpConfig &base,
         batch.push_back(std::move(job));
     }
 
+    std::optional<ResultStore> store;
+    std::vector<StoreProvenance> provenance;
+    std::size_t stored_before = 0;
+    if (!opts.storeDir.empty()) {
+        store.emplace(opts.storeDir);
+        provenance.reserve(points.size());
+        for (const SweepPoint &pt : points) {
+            StoreProvenance prov;
+            prov.seed = pt.config.seed;
+            prov.sweep = pt.coords;
+            provenance.push_back(std::move(prov));
+        }
+        // Pre-pass for the resume report: how many of this run's
+        // points are already on disk (whether or not they validate —
+        // the post-run hit counter is the validated figure).
+        for (const SimJob &job : batch)
+            if (store->contains(job))
+                ++stored_before;
+    }
+
     SimRunner runner(base.jobs, base.cache);
-    const std::vector<SimResult> results = runner.run(batch);
+    if (store)
+        runner.setStore(&*store, opts.resume);
+    const std::vector<SimResult> results =
+        runner.run(batch, store ? &provenance : nullptr);
 
     Table t("p5sim sweep: " + std::string(ubenchName(primary)) + " + " +
             (has_secondary ? ubenchName(secondary) : "none") + " at (" +
@@ -682,6 +762,19 @@ finishSweep(DriverContext &ctx, ExpConfig &base,
         t.addRow(std::move(row));
     }
     printTable(ctx, t);
+
+    if (store) {
+        // The resume accounting the tests (and sharded operators)
+        // read: hits() counts points served from disk after full
+        // validation, writes() counts points actually simulated this
+        // run — they partition the batch when the process cache
+        // started cold.
+        *ctx.out << "store: " << store->hits() << " stored, "
+                 << store->writes() << " recomputed, "
+                 << stored_before << " present before the run, "
+                 << store->quarantined() << " quarantined ("
+                 << store->dir() << ")\n\n";
+    }
 
     // The envelope's sweep coordinates describe the axes; each point
     // carries its own coordinates and fingerprint in the payload.
@@ -721,6 +814,35 @@ finishSweep(DriverContext &ctx, ExpConfig &base,
             w.endObject();
         }
         w.endArray();
+        // "points" stays byte-identical across store/resume/shard
+        // variants of the same sweep (CI diffs it); run-mode state
+        // lives in these separate members.
+        if (opts.shardCount > 1) {
+            w.key("shard");
+            w.beginObject();
+            w.member("index", opts.shardIndex);
+            w.member("count", opts.shardCount);
+            w.member("pointsTotal",
+                     static_cast<std::uint64_t>(opts.pointsTotal));
+            w.member("pointsKept",
+                     static_cast<std::uint64_t>(points.size()));
+            w.endObject();
+        }
+        if (store) {
+            w.key("store");
+            w.beginObject();
+            w.member("dir", store->dir());
+            w.member("schemaVersion", store->schemaVersion());
+            w.member("resume", opts.resume);
+            w.member("stored", store->hits());
+            w.member("recomputed", store->writes());
+            w.member("presentBefore",
+                     static_cast<std::uint64_t>(stored_before));
+            w.member("quarantined", store->quarantined());
+            w.member("entries",
+                     static_cast<std::uint64_t>(store->countEntries()));
+            w.endObject();
+        }
         w.endObject();
     });
     return 0;
@@ -765,6 +887,171 @@ cmdAlloc(const Cli &cli, DriverContext &ctx, ExpConfig &config)
     return 0;
 }
 
+// --- serve -------------------------------------------------------------
+
+/** Split @p line on runs of spaces/tabs. */
+std::vector<std::string>
+splitTokens(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : line) {
+        if (c == ' ' || c == '\t') {
+            if (!cur.empty()) {
+                out.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+/** One compact-JSON error reply line. */
+void
+serveError(std::ostream &os, const std::string &message)
+{
+    {
+        JsonWriter w(os, -1);
+        w.beginObject();
+        w.member("error", message);
+        w.endObject();
+    }
+    os << '\n';
+}
+
+/**
+ * Answer fingerprint and store queries over a line protocol (stdin ->
+ * stdout, one compact JSON reply per request line):
+ *
+ *   fingerprint [key=value ...]  config fingerprint of the base config
+ *                                (from --config/--set/... flags) with
+ *                                the given --set-style overrides applied
+ *   get <fp>                     the stored document at that 16-hex-digit
+ *                                job fingerprint, verbatim
+ *   stat                         store-wide counters and entry count
+ *   quit                         {"ok":true}, then exit 0 (EOF too)
+ *
+ * Unknown commands, unknown config keys and absent fingerprints are
+ * error replies, not process exits — a prober must survive its own
+ * typos. Malformed *values* (e.g. "fingerprint core.decode_width=8x")
+ * still go through the fatal config-validation path by design: they
+ * indicate a broken caller, and exiting matches every other p5sim
+ * surface.
+ */
+int
+cmdServe(const Cli &cli, DriverContext &ctx, ExpConfig &base)
+{
+    if (cli.str("store").empty())
+        fatal("serve requires --store DIR");
+    ResultStore store(cli.str("store"));
+
+    std::istream &in = *ctx.in;
+    std::ostream &out = *ctx.out;
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::vector<std::string> tokens = splitTokens(line);
+        if (tokens.empty())
+            continue;
+        const std::string &cmd = tokens[0];
+
+        if (cmd == "quit") {
+            JsonWriter w(out, -1);
+            w.beginObject();
+            w.member("ok", true);
+            w.endObject();
+            out << '\n';
+            break;
+        }
+
+        if (cmd == "stat") {
+            {
+                JsonWriter w(out, -1);
+                w.beginObject();
+                w.member("dir", store.dir());
+                w.member("schemaVersion", store.schemaVersion());
+                w.member("entries", static_cast<std::uint64_t>(
+                                        store.countEntries()));
+                w.member("hits", store.hits());
+                w.member("misses", store.misses());
+                w.member("quarantined", store.quarantined());
+                w.endObject();
+            }
+            out << '\n';
+            continue;
+        }
+
+        if (cmd == "get") {
+            if (tokens.size() != 2) {
+                serveError(out, "get expects one fingerprint");
+                continue;
+            }
+            JsonValue doc;
+            if (!store.loadRaw(tokens[1], doc)) {
+                serveError(out, "no stored result for fingerprint '" +
+                                    tokens[1] + "'");
+                continue;
+            }
+            {
+                JsonWriter w(out, -1);
+                doc.write(w);
+            }
+            out << '\n';
+            continue;
+        }
+
+        if (cmd == "fingerprint") {
+            // Apply the query's overrides to a copy of the flag-built
+            // base config, so one server answers for a whole family of
+            // configurations.
+            ExpConfig cfg = base;
+            ConfigTree tree(cfg);
+            bool ok = true;
+            for (std::size_t i = 1; i < tokens.size(); ++i) {
+                const auto eq = tokens[i].find('=');
+                if (eq == std::string::npos || eq == 0) {
+                    serveError(out, "expected key=value, got '" +
+                                        tokens[i] + "'");
+                    ok = false;
+                    break;
+                }
+                const std::string key = tokens[i].substr(0, eq);
+                if (!tree.has(key)) {
+                    std::string message = "unknown config key '" + key +
+                                          "'";
+                    const std::string near = tree.suggest(key);
+                    if (!near.empty())
+                        message += " (did you mean '" + near + "'?)";
+                    serveError(out, message);
+                    ok = false;
+                    break;
+                }
+                tree.set(key, tokens[i].substr(eq + 1));
+            }
+            if (!ok)
+                continue;
+            tree.validate();
+            tree.stampTag();
+            {
+                JsonWriter w(out, -1);
+                w.beginObject();
+                w.member("fingerprint", cfg.configTag);
+                w.member("schemaVersion", config_schema_version);
+                w.endObject();
+            }
+            out << '\n';
+            continue;
+        }
+
+        serveError(out, "unknown command '" + cmd +
+                            "' (try: fingerprint, get, stat, quit)");
+    }
+    return 0;
+}
+
 // --- perf --------------------------------------------------------------
 
 int
@@ -788,8 +1075,9 @@ struct Subcommand
     const char *help;
     SubcommandFn fn;
     bool pairFlags;  ///< also declare --primary/--secondary/--prio-*
-    bool sweepFlag;  ///< also declare --sweep
+    bool sweepFlag;  ///< also declare --sweep/--resume/--shard
     bool allocFlags; ///< also declare --mix/--policies/--cycles
+    bool storeFlags; ///< also declare --store
 };
 
 constexpr Subcommand subcommands[] = {
@@ -816,9 +1104,11 @@ constexpr Subcommand subcommands[] = {
     {"run", "one FAME pair with a full per-core stats dump", cmdRun,
      true, false, false},
     {"sweep", "cartesian config sweep fanned out as one job batch",
-     cmdSweep, true, true, false},
+     cmdSweep, true, true, false, true},
     {"alloc", "thread-to-core allocation policies on an N-core chip",
      cmdAlloc, false, false, true},
+    {"serve", "answer fingerprint/result-store queries over stdin",
+     cmdServe, false, false, false, true},
     {"perf", "simulator speedup report / per-stage profile", cmdPerf,
      false, false, false},
 };
@@ -844,7 +1134,7 @@ globalUsage()
 
 int
 driverMain(int argc, const char *const *argv, std::ostream &out,
-           std::ostream &err)
+           std::ostream &err, std::istream &in)
 {
     if (argc < 2) {
         err << globalUsage();
@@ -878,11 +1168,22 @@ driverMain(int argc, const char *const *argv, std::ostream &out,
             declarePairFlags(cli);
         if (sub->allocFlags)
             declareAllocFlags(cli);
-        if (sub->sweepFlag)
+        if (sub->storeFlags)
+            cli.declare("store", "",
+                        "persistent content-addressed result store "
+                        "directory (created when absent)");
+        if (sub->sweepFlag) {
             cli.declareMulti("sweep",
                             "one sweep axis, e.g. --sweep "
                             "core.lmq_entries=4,8,16 (repeatable; the "
                             "cartesian product of all axes runs)");
+            cli.declare("resume", "false",
+                        "serve points already present in --store from "
+                        "disk instead of re-simulating them");
+            cli.declare("shard", "",
+                        "i/N: run only every Nth point of the product "
+                        "starting at i (shards share one --store)");
+        }
     }
     cli.setExitOnHelp(false);
 
@@ -901,6 +1202,7 @@ driverMain(int argc, const char *const *argv, std::ostream &out,
     DriverContext ctx;
     ctx.out = &out;
     ctx.err = &err;
+    ctx.in = &in;
 
     ExpConfig config;
     if (sub->fn != cmdPerf) {

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <iostream>
+#include <istream>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -43,6 +44,9 @@ struct DriverContext
     /** Diagnostics. */
     std::ostream *err = &std::cerr;
 
+    /** Query input for the serve subcommand's line protocol. */
+    std::istream *in = &std::cin;
+
     // Provenance stamped into every JSON report.
     std::string fingerprint;     ///< hex config-tree fingerprint
     std::uint64_t seed = 0;      ///< exp.seed of the effective config
@@ -52,13 +56,15 @@ struct DriverContext
 
 /**
  * Entry point of the p5sim binary: argv[1] selects the subcommand
- * (table1..table4, fig2..fig6, ablation, perf, run, sweep), the rest
- * are its flags. Returns the process exit code; all user errors are
- * fatal() (exit 1) like the rest of the CLI surface.
+ * (table1..table4, fig2..fig6, ablation, perf, run, sweep, serve), the
+ * rest are its flags. Returns the process exit code; all user errors
+ * are fatal() (exit 1) like the rest of the CLI surface. @p in feeds
+ * the serve subcommand's line protocol (tests inject a stringstream).
  */
 int driverMain(int argc, const char *const *argv,
                std::ostream &out = std::cout,
-               std::ostream &err = std::cerr);
+               std::ostream &err = std::cerr,
+               std::istream &in = std::cin);
 
 /**
  * driverMain() with @p subcommand injected as argv[1] — the

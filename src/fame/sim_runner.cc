@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/job_graph.hh"
+#include "common/log.hh"
 #include "common/thread_pool.hh"
+#include "store/result_store.hh"
 
 namespace p5 {
 
@@ -57,33 +59,63 @@ SimRunner::SimRunner(unsigned jobs, ResultCache *cache)
       cache_(cache ? cache : &ResultCache::process())
 {}
 
+void
+SimRunner::setStore(ResultStore *store, bool read_through)
+{
+    store_ = store;
+    storeReadThrough_ = store ? read_through : false;
+}
+
 std::vector<SimResult>
-SimRunner::run(const std::vector<SimJob> &batch)
+SimRunner::run(const std::vector<SimJob> &batch,
+               const std::vector<StoreProvenance> *provenance)
 {
     struct Pending
     {
         const SimJob *job;
         std::string key;
         ResultCache::Claim claim;
+        const StoreProvenance *prov;
     };
+
+    if (provenance && provenance->size() != batch.size())
+        panic("provenance vector (%zu) does not parallel batch (%zu)",
+              provenance->size(), batch.size());
 
     // Claim every job up front; duplicates (within the batch or from
     // earlier batches) resolve to the same future and never re-run.
     std::vector<std::shared_future<SimResult>> futures;
     futures.reserve(batch.size());
     std::vector<Pending> toRun;
-    for (const SimJob &job : batch) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const SimJob &job = batch[i];
         std::string key = job.key();
         ResultCache::Claim claim = cache_->claim(key);
         futures.push_back(claim.future);
         if (claim.claimed)
-            toRun.push_back(
-                Pending{&job, std::move(key), std::move(claim)});
+            toRun.push_back(Pending{
+                &job, std::move(key), std::move(claim),
+                provenance ? &(*provenance)[i] : nullptr});
     }
 
+    static const StoreProvenance no_provenance;
     auto executeOne = [this](Pending &p) {
         try {
-            p.claim.promise->set_value(p.job->execute());
+            // Beneath the in-process cache: a stored result satisfies
+            // the claim without simulating (read-through), and a fresh
+            // result is published as soon as it exists (write-through),
+            // so a killed sweep keeps every finished point.
+            SimResult result;
+            if (store_ && storeReadThrough_ &&
+                store_->load(*p.job, result)) {
+                p.claim.promise->set_value(std::move(result));
+                return;
+            }
+            result = p.job->execute();
+            if (store_)
+                store_->put(*p.job, result,
+                            p.prov ? *p.prov : no_provenance);
+            p.claim.promise->set_value(std::move(result));
         } catch (...) {
             // Don't poison the cache with the failure; rethrow to the
             // batch's caller through the future.

@@ -32,6 +32,9 @@
 
 namespace p5 {
 
+class ResultStore;
+struct StoreProvenance;
+
 /** Process-lifetime map from job key to completed (or running) result. */
 class ResultCache
 {
@@ -89,21 +92,38 @@ class SimRunner
     explicit SimRunner(unsigned jobs = 0, ResultCache *cache = nullptr);
 
     /**
+     * Attach a persistent result store beneath the in-process cache.
+     * Every executed storable job is written through as it completes
+     * (so a killed sweep keeps its finished points); when
+     * @p read_through is set, a cache miss first consults the store
+     * and a valid stored result is served without simulating.
+     */
+    void setStore(ResultStore *store, bool read_through);
+
+    /**
      * Execute @p batch and return results in batch order. Every unique
      * key is executed at most once (per process, via the cache); an
      * exception from a job is rethrown here after the batch drains.
+     *
+     * @p provenance, when given, must parallel @p batch; entry i is
+     * stamped into the store file of batch[i] (write-through only).
      */
-    std::vector<SimResult> run(const std::vector<SimJob> &batch);
+    std::vector<SimResult>
+    run(const std::vector<SimJob> &batch,
+        const std::vector<StoreProvenance> *provenance = nullptr);
 
     /** Convenience single-job run (still cached). */
     SimResult runOne(const SimJob &job);
 
     unsigned jobs() const { return jobs_; }
     ResultCache &cache() { return *cache_; }
+    ResultStore *store() { return store_; }
 
   private:
     unsigned jobs_;
     ResultCache *cache_;
+    ResultStore *store_ = nullptr;
+    bool storeReadThrough_ = false;
 };
 
 } // namespace p5

@@ -13,6 +13,7 @@
 #include "common/cli.hh"
 #include "common/json.hh"
 #include "common/log.hh"
+#include "common/parse.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -273,6 +274,85 @@ TEST(CliDeath, BadIntegerIsFatal)
     cli.parse(2, argv);
     EXPECT_EXIT(cli.integer("n"), ::testing::ExitedWithCode(1),
                 "expects an integer");
+}
+
+TEST(CliDeath, IntegerRejectsTrailingGarbageRangeAndEmpty)
+{
+    // "8x" silently truncating to 8 is exactly the bug class the
+    // shared parse helpers exist to kill.
+    const auto expectFatalInteger = [](const char *text) {
+        Cli cli;
+        cli.declare("n", "0", "");
+        const std::string arg = std::string("--n=") + text;
+        const char *argv[] = {"prog", arg.c_str()};
+        cli.parse(2, argv);
+        EXPECT_EXIT(cli.integer("n"), ::testing::ExitedWithCode(1),
+                    "expects an integer")
+            << text;
+    };
+    expectFatalInteger("8x");
+    expectFatalInteger("1 2");
+    expectFatalInteger("");
+    expectFatalInteger("   ");
+    expectFatalInteger("99999999999999999999999"); // ERANGE
+    expectFatalInteger("0x");                      // truncated hex
+}
+
+TEST(CliDeath, RealRejectsTrailingGarbageAndOverflow)
+{
+    const auto expectFatalReal = [](const char *text) {
+        Cli cli;
+        cli.declare("r", "0.0", "");
+        const std::string arg = std::string("--r=") + text;
+        const char *argv[] = {"prog", arg.c_str()};
+        cli.parse(2, argv);
+        EXPECT_EXIT(cli.real("r"), ::testing::ExitedWithCode(1),
+                    "expects a number")
+            << text;
+    };
+    expectFatalReal("1.5x");
+    expectFatalReal("");
+    expectFatalReal("1e999999"); // ERANGE overflow
+}
+
+TEST(Parse, StatusCoversTheFailureTaxonomy)
+{
+    std::int64_t i = 0;
+    EXPECT_EQ(parseInt64("42", i), ParseStatus::Ok);
+    EXPECT_EQ(i, 42);
+    EXPECT_EQ(parseInt64("-7", i), ParseStatus::Ok);
+    EXPECT_EQ(i, -7);
+    EXPECT_EQ(parseInt64("0x10", i), ParseStatus::Ok); // base 0: hex
+    EXPECT_EQ(i, 16);
+    EXPECT_EQ(parseInt64("", i), ParseStatus::Empty);
+    EXPECT_EQ(parseInt64(" \t ", i), ParseStatus::Empty);
+    EXPECT_EQ(parseInt64("8x", i), ParseStatus::Invalid);
+    EXPECT_EQ(parseInt64("x8", i), ParseStatus::Invalid);
+    EXPECT_EQ(parseInt64("99999999999999999999999", i),
+              ParseStatus::OutOfRange);
+
+    std::uint64_t u = 0;
+    EXPECT_EQ(parseUint64("18446744073709551615", u), ParseStatus::Ok);
+    EXPECT_EQ(u, 18446744073709551615ULL);
+    // strtoull would happily wrap "-1" around; the helper must not.
+    EXPECT_EQ(parseUint64("-1", u), ParseStatus::Invalid);
+    EXPECT_EQ(parseUint64("18446744073709551616", u),
+              ParseStatus::OutOfRange);
+    EXPECT_EQ(parseUint64("12e", u), ParseStatus::Invalid);
+
+    double d = 0.0;
+    EXPECT_EQ(parseFloat64("2.5", d), ParseStatus::Ok);
+    EXPECT_EQ(d, 2.5);
+    EXPECT_EQ(parseFloat64("1e999999", d), ParseStatus::OutOfRange);
+    EXPECT_EQ(parseFloat64("1.5meters", d), ParseStatus::Invalid);
+    // Underflow quietly rounds toward zero — accepted by design.
+    EXPECT_EQ(parseFloat64("1e-999999", d), ParseStatus::Ok);
+
+    EXPECT_STREQ(parseStatusName(ParseStatus::Empty), "empty value");
+    EXPECT_STREQ(parseStatusName(ParseStatus::Invalid),
+                 "not a number (or trailing garbage)");
+    EXPECT_STREQ(parseStatusName(ParseStatus::OutOfRange),
+                 "out of range");
 }
 
 TEST(Cli, UsageListsFlags)

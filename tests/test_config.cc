@@ -300,6 +300,32 @@ TEST(ConfigTree, OutOfRangeValuesAreFatal)
                 ::testing::ExitedWithCode(1), "");
 }
 
+TEST(ConfigTree, MalformedNumbersAreFatalNotTruncated)
+{
+    // The full strict-parse taxonomy, uniform across field types:
+    // trailing garbage ("8x" must not become 8), overflow, and empty
+    // strings are all fatal at set time.
+    ExpConfig config;
+    ConfigTree tree(config);
+    EXPECT_EXIT(tree.set("core.decode_width", "8x"),
+                ::testing::ExitedWithCode(1), "trailing garbage");
+    EXPECT_EXIT(tree.set("core.decode_width", ""),
+                ::testing::ExitedWithCode(1), "empty value");
+    EXPECT_EXIT(tree.set("core.decode_width",
+                         "99999999999999999999999"),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(tree.set("fame.maiv", "0.01oops"),
+                ::testing::ExitedWithCode(1), "trailing garbage");
+    EXPECT_EXIT(tree.set("fame.maiv", "1e999999"),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(tree.set("exp.seed", "12e"),
+                ::testing::ExitedWithCode(1), "trailing garbage");
+    EXPECT_EXIT(tree.set("exp.seed", "-1"),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(tree.set("exp.seed", " "),
+                ::testing::ExitedWithCode(1), "empty value");
+}
+
 TEST(ConfigTree, ValidateRunsCrossFieldChecks)
 {
     ExpConfig config;

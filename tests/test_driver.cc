@@ -8,10 +8,13 @@
  */
 
 #include <cstdio>
+#include <dirent.h>
 #include <fstream>
 #include <initializer_list>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -23,6 +26,7 @@
 #include "exp/experiments.hh"
 #include "exp/report.hh"
 #include "fame/sim_runner.hh"
+#include "store/result_store.hh"
 
 namespace p5 {
 namespace {
@@ -36,24 +40,67 @@ struct Invocation
 
 /** Run the driver in-process with "p5sim" prepended as argv[0]. */
 Invocation
-invoke(std::initializer_list<const char *> args)
+invokeWithInput(const std::vector<const char *> &args,
+                const std::string &input)
 {
     std::vector<const char *> argv;
     argv.push_back("p5sim");
-    argv.insert(argv.end(), args);
+    argv.insert(argv.end(), args.begin(), args.end());
     std::ostringstream out, err;
+    std::istringstream in(input);
     Invocation result;
     result.exitCode = driverMain(static_cast<int>(argv.size()),
-                                 argv.data(), out, err);
+                                 argv.data(), out, err, in);
     result.out = out.str();
     result.err = err.str();
     return result;
+}
+
+Invocation
+invoke(std::initializer_list<const char *> args)
+{
+    return invokeWithInput(std::vector<const char *>(args), "");
 }
 
 std::string
 tempPath(const std::string &name)
 {
     return ::testing::TempDir() + "p5sim_driver_" + name;
+}
+
+/**
+ * Per-test result-store directory. TempDir() survives across runs, so
+ * a store left by a previous (possibly failed) run is removed first —
+ * the entry counts below assume a cold store.
+ */
+std::string
+freshStoreDir(const std::string &name)
+{
+    const std::string dir = tempPath(name);
+    DIR *top = ::opendir(dir.c_str());
+    if (top) {
+        while (const dirent *shard = ::readdir(top)) {
+            const std::string sub = shard->d_name;
+            if (sub == "." || sub == "..")
+                continue;
+            const std::string sub_path = dir + "/" + sub;
+            DIR *inner = ::opendir(sub_path.c_str());
+            if (inner) {
+                while (const dirent *entry = ::readdir(inner)) {
+                    const std::string file = entry->d_name;
+                    if (file != "." && file != "..")
+                        std::remove((sub_path + "/" + file).c_str());
+                }
+                ::closedir(inner);
+                ::rmdir(sub_path.c_str());
+            } else {
+                std::remove(sub_path.c_str());
+            }
+        }
+        ::closedir(top);
+        ::rmdir(dir.c_str());
+    }
+    return dir;
 }
 
 JsonValue
@@ -82,7 +129,7 @@ TEST(Driver, GlobalHelpListsSubcommands)
     for (const char *sub :
          {"table1", "table2", "table3", "table4", "fig2", "fig3",
           "fig4", "fig5", "fig6", "ablation", "run", "sweep", "alloc",
-          "perf"})
+          "serve", "perf"})
         EXPECT_NE(help.out.find(sub), std::string::npos) << sub;
 }
 
@@ -91,15 +138,21 @@ TEST(Driver, EverySubcommandAnswersHelp)
     for (const char *sub :
          {"table1", "table2", "table3", "table4", "fig2", "fig3",
           "fig4", "fig5", "fig6", "ablation", "run", "sweep", "alloc",
-          "perf"}) {
+          "serve", "perf"}) {
         const Invocation help = invoke({sub, "--help"});
         EXPECT_EQ(help.exitCode, 0) << sub;
         EXPECT_NE(help.out.find("usage: p5sim " + std::string(sub)),
                   std::string::npos)
             << sub;
     }
-    // The pair/sweep/alloc flags only appear where they apply.
+    // The pair/sweep/alloc/store flags only appear where they apply.
     EXPECT_NE(invoke({"sweep", "--help"}).out.find("--sweep"),
+              std::string::npos);
+    EXPECT_NE(invoke({"sweep", "--help"}).out.find("--resume"),
+              std::string::npos);
+    EXPECT_NE(invoke({"serve", "--help"}).out.find("--store"),
+              std::string::npos);
+    EXPECT_EQ(invoke({"serve", "--help"}).out.find("--resume"),
               std::string::npos);
     EXPECT_NE(invoke({"run", "--help"}).out.find("--primary"),
               std::string::npos);
@@ -388,6 +441,337 @@ TEST(Driver, SweepWithoutAxesIsFatal)
     EXPECT_EXIT(invoke({"sweep", "--fast", "--sweep",
                         "core.lmq_entrees=4,8"}),
                 ::testing::ExitedWithCode(1), "did you mean");
+}
+
+TEST(Driver, SweepRejectsDuplicateAxes)
+{
+    // A path swept twice would multiply the point count while only the
+    // later axis's value ever applied.
+    EXPECT_EXIT(invoke({"sweep", "--fast", "--sweep",
+                        "core.lmq_entries=8,16", "--sweep",
+                        "core.lmq_entries=8,12"}),
+                ::testing::ExitedWithCode(1),
+                "duplicate --sweep axis 'core.lmq_entries'");
+}
+
+TEST(Driver, SweepStoreFlagsAreValidated)
+{
+    EXPECT_EXIT(invoke({"sweep", "--fast", "--sweep",
+                        "core.lmq_entries=8,16", "--resume"}),
+                ::testing::ExitedWithCode(1),
+                "--resume requires --store");
+    for (const char *bad : {"2", "a/b", "2/2", "-1/2", "0/0", "1/2x"})
+        EXPECT_EXIT(invoke({"sweep", "--fast", "--sweep",
+                            "core.lmq_entries=8,16", "--store",
+                            "/tmp/unused", "--shard", bad}),
+                    ::testing::ExitedWithCode(1),
+                    "--shard expects i/N")
+            << bad;
+}
+
+// --- sweep + persistent store -----------------------------------------
+
+TEST(Driver, SweepResumeRecomputesOnlyTheMissingPoints)
+{
+    // The interrupted-sweep scenario: shard 0/2 completes half the
+    // product and dies; the full --resume run must simulate only the
+    // other half, then a second --resume run must simulate nothing.
+    const std::string dir = freshStoreDir("store_resume");
+    const std::string half = tempPath("resume_half.json");
+    const std::string full_a = tempPath("resume_full_a.json");
+    const std::string full_b = tempPath("resume_full_b.json");
+    // Axis values unique to this test so the process-wide result
+    // cache is cold for every point.
+    const char *axis = "core.mem.dram_latency=203,263";
+
+    ASSERT_EQ(invoke({"sweep", "--fast", "--sweep", axis, "--sweep",
+                      "core.walker_port_gap=1,3", "--store",
+                      dir.c_str(), "--shard", "0/2",
+                      ("--json=" + half).c_str()})
+                  .exitCode,
+              0);
+    const JsonValue half_report = readReport(half);
+    EXPECT_EQ(half_report.find("data")
+                  ->find("store")
+                  ->find("recomputed")
+                  ->asInt(),
+              2);
+
+    // A fresh process would start with an empty in-process cache; the
+    // clear makes the in-process invocation equivalent.
+    ResultCache::process().clear();
+    const Invocation resumed = invokeWithInput(
+        {"sweep", "--fast", "--sweep", axis, "--sweep",
+         "core.walker_port_gap=1,3", "--store", dir.c_str(), "--resume",
+         ("--json=" + full_a).c_str()},
+        "");
+    ASSERT_EQ(resumed.exitCode, 0);
+    EXPECT_NE(resumed.out.find("store: 2 stored, 2 recomputed"),
+              std::string::npos)
+        << resumed.out;
+    const JsonValue report_a = readReport(full_a);
+    const JsonValue *store_a = report_a.find("data")->find("store");
+    ASSERT_NE(store_a, nullptr);
+    EXPECT_EQ(store_a->find("stored")->asInt(), 2);
+    EXPECT_EQ(store_a->find("recomputed")->asInt(), 2);
+    EXPECT_EQ(store_a->find("entries")->asInt(), 4);
+
+    ResultCache::process().clear();
+    const Invocation second = invokeWithInput(
+        {"sweep", "--fast", "--sweep", axis, "--sweep",
+         "core.walker_port_gap=1,3", "--store", dir.c_str(), "--resume",
+         ("--json=" + full_b).c_str()},
+        "");
+    ASSERT_EQ(second.exitCode, 0);
+    const JsonValue report_b = readReport(full_b);
+    EXPECT_EQ(
+        report_b.find("data")->find("store")->find("stored")->asInt(),
+        4);
+    EXPECT_EQ(report_b.find("data")
+                  ->find("store")
+                  ->find("recomputed")
+                  ->asInt(),
+              0);
+
+    // Store-served and freshly-simulated runs publish byte-identical
+    // point data (what CI's store-smoke job diffs).
+    EXPECT_EQ(report_a.find("data")->find("points")->dump(),
+              report_b.find("data")->find("points")->dump());
+    std::remove(half.c_str());
+    std::remove(full_a.c_str());
+    std::remove(full_b.c_str());
+}
+
+TEST(Driver, ShardsPartitionTheProductWithIdenticalFingerprints)
+{
+    const std::string full = tempPath("shard_full.json");
+    const std::string s0 = tempPath("shard_0.json");
+    const std::string s1 = tempPath("shard_1.json");
+    const char *axis = "core.mem.dram_latency=205,265";
+
+    ASSERT_EQ(invoke({"sweep", "--fast", "--sweep", axis, "--sweep",
+                      "core.walker_port_gap=0,2",
+                      ("--json=" + full).c_str()})
+                  .exitCode,
+              0);
+    ASSERT_EQ(invoke({"sweep", "--fast", "--sweep", axis, "--sweep",
+                      "core.walker_port_gap=0,2", "--shard", "0/2",
+                      ("--json=" + s0).c_str()})
+                  .exitCode,
+              0);
+    ASSERT_EQ(invoke({"sweep", "--fast", "--sweep", axis, "--sweep",
+                      "core.walker_port_gap=0,2", "--shard", "1/2",
+                      ("--json=" + s1).c_str()})
+                  .exitCode,
+              0);
+
+    const auto fingerprints = [](const JsonValue &report) {
+        std::vector<std::string> fps;
+        for (const JsonValue &pt :
+             report.find("data")->find("points")->elements())
+            fps.push_back(pt.find("fingerprint")->asString());
+        return fps;
+    };
+    const JsonValue full_report = readReport(full);
+    std::vector<std::string> expect = fingerprints(full_report);
+    ASSERT_EQ(expect.size(), 4u);
+
+    const JsonValue report_0 = readReport(s0);
+    const JsonValue report_1 = readReport(s1);
+    std::vector<std::string> got = fingerprints(report_0);
+    const std::vector<std::string> half_1 = fingerprints(report_1);
+    got.insert(got.end(), half_1.begin(), half_1.end());
+    EXPECT_EQ(got.size(), 4u);
+
+    // Exact partition: same multiset of per-point fingerprints as the
+    // unsharded product, no overlap, no gap.
+    std::sort(expect.begin(), expect.end());
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(expect, got);
+
+    const JsonValue *shard = report_0.find("data")->find("shard");
+    ASSERT_NE(shard, nullptr);
+    EXPECT_EQ(shard->find("index")->asInt(), 0);
+    EXPECT_EQ(shard->find("count")->asInt(), 2);
+    EXPECT_EQ(shard->find("pointsTotal")->asInt(), 4);
+    EXPECT_EQ(shard->find("pointsKept")->asInt(), 2);
+    // The unsharded report has no shard member at all.
+    EXPECT_EQ(full_report.find("data")->find("shard"), nullptr);
+    std::remove(full.c_str());
+    std::remove(s0.c_str());
+    std::remove(s1.c_str());
+}
+
+TEST(Driver, ConcurrentShardInvocationsShareOneStore)
+{
+    const std::string dir = freshStoreDir("store_concurrent");
+    const std::string s0 = tempPath("conc_0.json");
+    const std::string s1 = tempPath("conc_1.json");
+    const char *axis = "core.mem.dram_latency=207,267";
+
+    auto runShard = [&](const char *shard, const std::string &json) {
+        return invokeWithInput(
+            {"sweep", "--fast", "--sweep", axis, "--sweep",
+             "core.walker_port_gap=1,3", "--store", dir.c_str(),
+             "--shard", shard, ("--json=" + json).c_str()},
+            "");
+    };
+    Invocation r0, r1;
+    std::thread t0([&] { r0 = runShard("0/2", s0); });
+    std::thread t1([&] { r1 = runShard("1/2", s1); });
+    t0.join();
+    t1.join();
+    ASSERT_EQ(r0.exitCode, 0);
+    ASSERT_EQ(r1.exitCode, 0);
+
+    // Zero lost or duplicated points: all four product points are on
+    // disk exactly once, and both writers account for their half.
+    const JsonValue report_0 = readReport(s0);
+    const JsonValue report_1 = readReport(s1);
+    EXPECT_EQ(
+        report_0.find("data")->find("store")->find("entries")->asInt() +
+            0,
+        4);
+    EXPECT_EQ(report_0.find("data")
+                      ->find("store")
+                      ->find("recomputed")
+                      ->asInt() +
+                  report_1.find("data")
+                      ->find("store")
+                      ->find("recomputed")
+                      ->asInt(),
+              4);
+    std::remove(s0.c_str());
+    std::remove(s1.c_str());
+}
+
+TEST(DriverDeath, ResumeFromAForeignSchemaVersionIsRefused)
+{
+    const std::string dir = freshStoreDir("store_foreign");
+    ASSERT_EQ(invoke({"sweep", "--fast", "--sweep",
+                      "core.mem.dram_latency=209,269", "--store",
+                      dir.c_str()})
+                  .exitCode,
+              0);
+    // Forge a store written under a different config schema.
+    {
+        std::ofstream os(dir + "/store_meta.json", std::ios::trunc);
+        os << "{\n  \"storeVersion\": 1,\n  \"schemaVersion\": 99\n}\n";
+    }
+    EXPECT_EXIT(invoke({"sweep", "--fast", "--sweep",
+                        "core.mem.dram_latency=209,269", "--store",
+                        dir.c_str(), "--resume"}),
+                ::testing::ExitedWithCode(1), "schema version");
+}
+
+// --- serve -------------------------------------------------------------
+
+TEST(Driver, ServeAnswersFingerprintAndStoreQueries)
+{
+    const std::string dir = freshStoreDir("serve_store");
+    ASSERT_EQ(invoke({"sweep", "--fast", "--sweep",
+                      "core.mem.dram_latency=211,271", "--store",
+                      dir.c_str()})
+                  .exitCode,
+              0);
+
+    // The config fingerprint of a known override set, computed out of
+    // band, must match what the server answers.
+    ExpConfig expect_config = ExpConfig::fast();
+    std::string expect_tag;
+    {
+        ConfigTree tree(expect_config);
+        tree.set("core.mem.dram_latency", "211");
+        tree.stampTag();
+        expect_tag = expect_config.configTag;
+    }
+
+    const Invocation serve = invokeWithInput(
+        {"serve", "--fast", "--store", dir.c_str()},
+        "fingerprint core.mem.dram_latency=211\n"
+        "stat\n"
+        "get 0123456789abcdef\n"
+        "get not-a-fingerprint\n"
+        "fingerprint core.mem.dram_latencee=211\n"
+        "frobnicate\n"
+        "quit\n");
+    ASSERT_EQ(serve.exitCode, 0);
+
+    std::istringstream lines(serve.out);
+    std::string line;
+
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_NE(line.find("\"fingerprint\": \"" + expect_tag + "\""),
+              std::string::npos)
+        << line;
+
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_NE(line.find("\"entries\": 2"), std::string::npos) << line;
+
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_NE(line.find("no stored result"), std::string::npos) << line;
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_NE(line.find("no stored result"), std::string::npos) << line;
+
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_NE(line.find("unknown config key"), std::string::npos)
+        << line;
+    EXPECT_NE(line.find("did you mean"), std::string::npos) << line;
+
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_NE(line.find("unknown command"), std::string::npos) << line;
+
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_NE(line.find("\"ok\": true"), std::string::npos) << line;
+
+    // Every reply is one line of JSON; nothing after quit.
+    EXPECT_FALSE(std::getline(lines, line)) << line;
+}
+
+TEST(Driver, ServeReturnsStoredDocumentsVerbatim)
+{
+    const std::string dir = freshStoreDir("serve_get");
+    // Seed the store out of band with a known job.
+    FameParams fame;
+    fame.minRepetitions = 3;
+    fame.warmupRepetitions = 1;
+    fame.maiv = 0.05;
+    fame.warmupTolerance = 0.25;
+    const SimJob job = SimJob::famePair(
+        ProgramSpec::ubench(UbenchId::CpuInt, 0.5),
+        ProgramSpec::ubench(UbenchId::CpuInt, 0.5), 3, 5, CoreParams{},
+        fame);
+    const std::string fp = ResultStore::fingerprintHex(job);
+    {
+        ResultStore store(dir);
+        StoreProvenance prov;
+        prov.seed = 42;
+        store.put(job, job.execute(), prov);
+    }
+
+    const Invocation serve = invokeWithInput(
+        {"serve", "--fast", "--store", dir.c_str()},
+        "get " + fp + "\nquit\n");
+    ASSERT_EQ(serve.exitCode, 0);
+    std::istringstream lines(serve.out);
+    std::string line;
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_NE(line.find("\"fingerprint\": \"" + fp + "\""),
+              std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"seed\": 42"), std::string::npos) << line;
+    // The reply embeds the full result document on one line.
+    const JsonValue doc = parseJson(line);
+    EXPECT_EQ(doc.find("jobKey")->asString(), job.key());
+    ASSERT_NE(doc.find("result"), nullptr);
+    EXPECT_EQ(doc.find("result")->find("kind")->asString(), "fame");
+}
+
+TEST(DriverDeath, ServeRequiresAStore)
+{
+    EXPECT_EXIT(invoke({"serve", "--fast"}),
+                ::testing::ExitedWithCode(1),
+                "serve requires --store");
 }
 
 // --- run ---------------------------------------------------------------
