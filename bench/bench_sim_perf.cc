@@ -21,6 +21,8 @@
 #include <iostream>
 #include <string>
 
+#include "ckpt/ckpt_io.hh"
+#include "ckpt/ckpt_manager.hh"
 #include "common/json.hh"
 #include "core/chip.hh"
 #include "core/smt_core.hh"
@@ -216,6 +218,98 @@ BM_ChipAllocPinnedSlow(benchmark::State &state)
     chipAlloc(state, false);
 }
 BENCHMARK(BM_ChipAllocPinnedSlow)->Unit(benchmark::kMillisecond);
+
+/**
+ * Checkpoint primitives: the cost of snapshotting a warmed core into
+ * a byte stream and of rebuilding a fresh core from that stream.
+ * Restore is the per-fork overhead every checkpointed priority point
+ * pays instead of re-simulating the warm-up, so its wall clock (a few
+ * ms for the ~2.6 MB ldint_mem image) against BM_FameMemPairFast's
+ * warm phase is the whole economics of the fork engine.
+ */
+void
+BM_CkptSaveState(benchmark::State &state)
+{
+    const SyntheticProgram pp = makeUbench(UbenchId::LdintMem);
+    const SyntheticProgram ps = makeUbench(UbenchId::LdintMem);
+    CoreParams params;
+    params.fastForward = true;
+    SmtCore core(params);
+    core.attachThread(0, &pp, canonical_warm_priority);
+    core.attachThread(1, &ps, canonical_warm_priority);
+    FameRunner runner(endToEndFame());
+    runner.runWarmup(core);
+    std::size_t bytes = 0;
+    for (auto _ : state) {
+        CkptWriter w;
+        core.saveState(w);
+        bytes = w.data().size();
+        benchmark::DoNotOptimize(w);
+    }
+    state.counters["stateBytes"] = static_cast<double>(bytes);
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_CkptSaveState)->Unit(benchmark::kMillisecond);
+
+void
+BM_CkptRestoreState(benchmark::State &state)
+{
+    const SyntheticProgram pp = makeUbench(UbenchId::LdintMem);
+    const SyntheticProgram ps = makeUbench(UbenchId::LdintMem);
+    CoreParams params;
+    params.fastForward = true;
+    SmtCore warm_core(params);
+    warm_core.attachThread(0, &pp, canonical_warm_priority);
+    warm_core.attachThread(1, &ps, canonical_warm_priority);
+    FameRunner runner(endToEndFame());
+    runner.runWarmup(warm_core);
+    CkptWriter w;
+    warm_core.saveState(w);
+    const std::vector<std::uint8_t> image = w.data();
+    for (auto _ : state) {
+        SmtCore core(params);
+        core.attachThread(0, &pp, canonical_warm_priority);
+        core.attachThread(1, &ps, canonical_warm_priority);
+        CkptReader r(image);
+        core.restoreState(r);
+        r.expectEnd();
+        benchmark::DoNotOptimize(core);
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(image.size()));
+}
+BENCHMARK(BM_CkptRestoreState)->Unit(benchmark::kMillisecond);
+
+/**
+ * The forked twin of BM_FameMemPairFast at a skewed pair: a warm
+ * image is created once outside the timed loop, so each iteration is
+ * restore + measure — what every priority point after the first costs
+ * under `--checkpoint-dir` (compare against BM_FameMemPairFast, whose
+ * every iteration re-simulates the warm-up).
+ */
+void
+BM_FameMemPairForked(benchmark::State &state)
+{
+    const SyntheticProgram pp = makeUbench(UbenchId::LdintMem);
+    const SyntheticProgram ps = makeUbench(UbenchId::LdintMem);
+    CoreParams core;
+    core.fastForward = true;
+    const FameParams fame = endToEndFame();
+    CkptManager ckpts;
+    const char *key = "bench:ckpt:ldint_mem+ldint_mem";
+    runFame(core, &pp, &ps, 4, 4, fame, &ckpts, key); // warms once
+    std::uint64_t sim_cycles = 0;
+    for (auto _ : state) {
+        FameResult res = runFame(core, &pp, &ps, 6, 2, fame, &ckpts,
+                                 key);
+        sim_cycles = res.totalCycles;
+        benchmark::DoNotOptimize(res);
+    }
+    state.counters["simCycles"] = static_cast<double>(sim_cycles);
+    state.counters["forks"] = static_cast<double>(ckpts.memForks());
+}
+BENCHMARK(BM_FameMemPairForked)->Unit(benchmark::kMillisecond);
 
 /**
  * Parallel-runner scaling: a fixed batch of 8 distinct fast FAME jobs

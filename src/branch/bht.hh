@@ -51,6 +51,12 @@ class Bht
 
     void registerStats(StatGroup &group) const;
 
+    /** Serialize the counter table and prediction stats. */
+    void saveState(class CkptWriter &w) const;
+
+    /** Restore state saved by saveState(); table size must match. */
+    void restoreState(class CkptReader &r);
+
   private:
     std::size_t indexOf(Addr pc) const;
 

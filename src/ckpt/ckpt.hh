@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Checkpoint container format and on-disk checkpoint store.
+ *
+ * A Checkpoint is a warmed core's serialized architectural state plus
+ * the identity it was warmed under: the canonical *warm key* (the
+ * priority- and measurement-free slice of a simulation's identity, see
+ * ckpt_manager.hh) and its 16-hex-digit fingerprint. All 36 priority
+ * pairs of one pair-mix share one warm key, which is the whole point —
+ * one warm-up amortizes across the pair matrix.
+ *
+ * On disk a checkpoint is one file per fingerprint under the same
+ * two-hex-shard layout as the ResultStore:
+ *
+ *     <dir>/<fp[0:2]>/<fp>-ckpt-v<version>.bin
+ *
+ * File format: a single JSON header line (magic, versions, fingerprint,
+ * byte count, checksum, the full warm key) terminated by '\n', followed
+ * by the raw state bytes. The header is line-oriented so `head -1` can
+ * inspect any checkpoint; the payload is the exact CkptWriter stream.
+ * Publication is atomic (temp file + rename) and every invalid file —
+ * truncated, corrupt, checksum or version mismatch, foreign warm key —
+ * is quarantined to "<name>.bad" and treated as a miss, mirroring the
+ * ResultStore's crash/corruption discipline. A ckpt_meta.json at the
+ * root pins the format and config schema versions; opening a directory
+ * written by a different version is fatal.
+ */
+
+#ifndef P5SIM_CKPT_CKPT_HH
+#define P5SIM_CKPT_CKPT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "config/config.hh"
+
+namespace p5 {
+
+/** Version of the checkpoint container + state stream layout. */
+constexpr int ckpt_format_version = 1;
+
+/** A warmed core's serialized state plus its warm identity. */
+struct Checkpoint
+{
+    /** Canonical warm-phase identity text (see SimJob::warmKey()). */
+    std::string warmKey;
+
+    /** 16-hex-digit content address: hash of warmKey. */
+    std::string fingerprint;
+
+    /** Core cycle at snapshot time (observability / reporting only). */
+    Cycle warmCycles = 0;
+
+    /** The CkptWriter stream from SmtCore::saveState(). */
+    std::vector<std::uint8_t> state;
+};
+
+/** 16-hex-digit content address of a warm key. */
+std::string ckptFingerprintHex(const std::string &warm_key);
+
+/** Persistent checkpoint area (usually "<result-store>/ckpt"). */
+class CkptStore
+{
+  public:
+    /**
+     * Open @p dir, creating it (and ckpt_meta.json) when absent. Fatal
+     * when an existing area was written by a different checkpoint
+     * format or config schema version.
+     */
+    explicit CkptStore(std::string dir,
+                       int schema_version = config_schema_version);
+
+    CkptStore(const CkptStore &) = delete;
+    CkptStore &operator=(const CkptStore &) = delete;
+
+    const std::string &dir() const { return dir_; }
+
+    /** Absolute path a fingerprint maps to under this area. */
+    std::string pathFor(const std::string &fp_hex) const;
+
+    /**
+     * Validated read of the checkpoint for @p warm_key. A missing file
+     * is a plain miss; a file that fails any validation (header,
+     * version, checksum, byte count, embedded warm key) is quarantined
+     * to .bad and reported as a miss.
+     */
+    bool load(const std::string &warm_key, Checkpoint &out);
+
+    /** Publish @p ckpt atomically under its fingerprint. */
+    void put(const Checkpoint &ckpt);
+
+    std::uint64_t hits() const { return hits_.load(); }
+    std::uint64_t misses() const { return misses_.load(); }
+    std::uint64_t writes() const { return writes_.load(); }
+    std::uint64_t quarantined() const { return quarantined_.load(); }
+
+  private:
+    void quarantine(const std::string &path);
+
+    std::string dir_;
+    int schemaVersion_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> writes_{0};
+    std::atomic<std::uint64_t> quarantined_{0};
+    std::atomic<std::uint64_t> tempCounter_{0};
+};
+
+} // namespace p5
+
+#endif // P5SIM_CKPT_CKPT_HH

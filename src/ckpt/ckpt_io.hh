@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Checkpoint byte-stream primitives.
+ *
+ * CkptWriter/CkptReader serialize architectural state into a flat,
+ * versioned byte stream with a fixed little-endian wire format, so a
+ * checkpoint produced on any host restores identically on any other.
+ * Values are written field-wise (never by memcpy of a struct), which
+ * keeps padding bytes out of the stream — the stream is a pure function
+ * of simulated state, and therefore deterministic across runs. That
+ * determinism is what lets the equivalence suite compare checksums and
+ * what the p5lint determinism rule audits serialization code for.
+ *
+ * The reader treats underrun or trailing bytes as fatal: every blob it
+ * sees has already passed the file-level length + checksum validation
+ * (see ckpt.hh), so a structural mismatch means a version-skew bug, not
+ * a corrupt file.
+ */
+
+#ifndef P5SIM_CKPT_CKPT_IO_HH
+#define P5SIM_CKPT_CKPT_IO_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace p5 {
+
+/** Appends fixed-width little-endian fields to a growing byte buffer. */
+class CkptWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        bytes_.push_back(v);
+    }
+
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void counter(const Counter &c) { u64(c.value()); }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        bytes_.insert(bytes_.end(), s.begin(), s.end());
+    }
+
+    const std::vector<std::uint8_t> &data() const { return bytes_; }
+    std::size_t size() const { return bytes_.size(); }
+
+    /** Stable 64-bit digest of the stream (SplitMix64 chain). */
+    std::uint64_t
+    checksum() const
+    {
+        return ckptChecksum(bytes_.data(), bytes_.size());
+    }
+
+    /** Digest over an arbitrary byte range (same chain as checksum()). */
+    static std::uint64_t
+    ckptChecksum(const std::uint8_t *data, std::size_t size)
+    {
+        std::uint64_t h = hashMix(0x9c5dab1ec4f00d5eULL ^ size);
+        std::size_t i = 0;
+        for (; i + 8 <= size; i += 8) {
+            std::uint64_t word = 0;
+            std::memcpy(&word, data + i, 8);
+            h = hashCombine(h, word);
+        }
+        std::uint64_t tail = 0;
+        for (std::size_t k = 0; i < size; ++i, ++k)
+            tail |= static_cast<std::uint64_t>(data[i]) << (8 * k);
+        return hashCombine(h, tail);
+    }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+};
+
+/** Consumes a CkptWriter stream; fatal() on structural mismatch. */
+class CkptReader
+{
+  public:
+    CkptReader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {}
+
+    explicit CkptReader(const std::vector<std::uint8_t> &bytes)
+        : CkptReader(bytes.data(), bytes.size())
+    {}
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return data_[pos_++];
+    }
+
+    bool b() { return u8() != 0; }
+
+    std::uint32_t
+    u32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+    double
+    f64()
+    {
+        const std::uint64_t bits = u64();
+        double v = 0.0;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    void counter(Counter &c) { c.restore(u64()); }
+
+    std::string
+    str()
+    {
+        const std::uint64_t n = u64();
+        need(n);
+        std::string s(reinterpret_cast<const char *>(data_ + pos_),
+                      static_cast<std::size_t>(n));
+        pos_ += static_cast<std::size_t>(n);
+        return s;
+    }
+
+    std::size_t remaining() const { return size_ - pos_; }
+    bool exhausted() const { return pos_ == size_; }
+
+    /** Assert the whole stream was consumed (end-of-restore check). */
+    void
+    expectEnd() const
+    {
+        if (!exhausted())
+            fatal("checkpoint blob has %zu trailing bytes "
+                  "(serializer/deserializer version skew)",
+                  remaining());
+    }
+
+  private:
+    void
+    need(std::uint64_t n) const
+    {
+        if (n > size_ - pos_)
+            fatal("checkpoint blob underrun: want %llu bytes, have %zu "
+                  "(serializer/deserializer version skew)",
+                  static_cast<unsigned long long>(n), size_ - pos_);
+    }
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace p5
+
+#endif // P5SIM_CKPT_CKPT_IO_HH

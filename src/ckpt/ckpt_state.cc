@@ -1,0 +1,681 @@
+/**
+ * @file
+ * Architectural-state serialization for every checkpointable component.
+ *
+ * All saveState()/restoreState() bodies live in this one translation
+ * unit so the complete set of bytes that enters a checkpoint can be
+ * audited in a single place (the p5lint determinism rule points here).
+ * Two contracts hold throughout:
+ *
+ *  1. The stream is a pure function of simulated state. Every field is
+ *     written individually in a fixed order through CkptWriter's
+ *     little-endian primitives; no struct is ever written via memcpy
+ *     (padding bytes are indeterminate) and no unordered container is
+ *     ever iterated (there are none in the saved state — heaps are
+ *     explicit vectors, maps are std::map).
+ *
+ *  2. Restore reproduces *physical* layout wherever physical-slot
+ *     handles exist. The in-flight window ring is saved slot-by-slot
+ *     (vacant slots included) together with its head index, so the slot
+ *     hints recorded in ready-queue and completion-heap entries resolve
+ *     to the same slots after restore; stats stay bit-identical by
+ *     construction rather than by luck. Structures nothing points into
+ *     (GCT group rings) are saved logically.
+ *
+ * Configuration is deliberately NOT in the stream: a checkpoint is only
+ * ever restored into a core built with the same params and programs,
+ * which the warm-phase fingerprint in the checkpoint key guarantees.
+ * Geometry reads double as sanity checks and fatal() on mismatch.
+ */
+
+#include "branch/bht.hh"
+#include "ckpt/ckpt_io.hh"
+#include "common/log.hh"
+#include "core/balancer.hh"
+#include "core/decode_arbiter.hh"
+#include "core/fu_pool.hh"
+#include "core/gct.hh"
+#include "core/issue_queue.hh"
+#include "core/lsu.hh"
+#include "core/smt_core.hh"
+#include "core/thread_state.hh"
+#include "mem/cache.hh"
+#include "mem/hierarchy.hh"
+#include "mem/lmq.hh"
+#include "mem/tlb.hh"
+
+namespace p5 {
+
+namespace {
+
+void
+expectGeom(const char *what, std::uint64_t saved, std::uint64_t built)
+{
+    if (saved != built)
+        fatal("checkpoint geometry mismatch: %s is %llu in the stream "
+              "but %llu in the restoring core (checkpoint key bug?)",
+              what, static_cast<unsigned long long>(saved),
+              static_cast<unsigned long long>(built));
+}
+
+} // namespace
+
+// --- Cache ------------------------------------------------------------
+
+void
+Cache::saveState(CkptWriter &w) const
+{
+    w.u64(static_cast<std::uint64_t>(lines_.size()));
+    for (const Line &line : lines_) {
+        w.u64(line.tag);
+        w.b(line.valid);
+        w.u64(line.lastUse);
+    }
+    w.u64(useClock_);
+    w.u64(nextFree_);
+    w.counter(hits_);
+    w.counter(misses_);
+    w.counter(insertions_);
+    w.counter(evictions_);
+}
+
+void
+Cache::restoreState(CkptReader &r)
+{
+    expectGeom("cache lines", r.u64(), lines_.size());
+    for (Line &line : lines_) {
+        line.tag = r.u64();
+        line.valid = r.b();
+        line.lastUse = r.u64();
+    }
+    useClock_ = r.u64();
+    nextFree_ = r.u64();
+    r.counter(hits_);
+    r.counter(misses_);
+    r.counter(insertions_);
+    r.counter(evictions_);
+}
+
+// --- Tlb --------------------------------------------------------------
+
+void
+Tlb::saveState(CkptWriter &w) const
+{
+    w.u64(static_cast<std::uint64_t>(entries_.size()));
+    for (const Entry &e : entries_) {
+        w.u64(e.vpn);
+        w.b(e.valid);
+        w.u64(e.lastUse);
+    }
+    w.u64(useClock_);
+    w.counter(hits_);
+    w.counter(misses_);
+}
+
+void
+Tlb::restoreState(CkptReader &r)
+{
+    expectGeom("TLB entries", r.u64(), entries_.size());
+    for (Entry &e : entries_) {
+        e.vpn = r.u64();
+        e.valid = r.b();
+        e.lastUse = r.u64();
+    }
+    useClock_ = r.u64();
+    r.counter(hits_);
+    r.counter(misses_);
+}
+
+// --- Bht --------------------------------------------------------------
+
+void
+Bht::saveState(CkptWriter &w) const
+{
+    w.u64(static_cast<std::uint64_t>(counters_.size()));
+    for (std::uint8_t c : counters_)
+        w.u8(c);
+    w.counter(lookups_);
+    w.counter(correct_);
+    w.counter(mispredicts_);
+}
+
+void
+Bht::restoreState(CkptReader &r)
+{
+    expectGeom("BHT counters", r.u64(), counters_.size());
+    for (std::uint8_t &c : counters_)
+        c = r.u8();
+    r.counter(lookups_);
+    r.counter(correct_);
+    r.counter(mispredicts_);
+}
+
+// --- Lmq --------------------------------------------------------------
+
+void
+Lmq::saveState(CkptWriter &w) const
+{
+    // Window order matters: updateLastRelease() targets the newest
+    // reservation and recycle() compacts in place, so the vector is
+    // reproduced verbatim.
+    w.u64(static_cast<std::uint64_t>(windows_.size()));
+    for (const Window &win : windows_) {
+        w.i32(win.tid);
+        w.u64(win.startCycle);
+        w.u64(win.releaseCycle);
+    }
+    w.counter(allocations_);
+    w.counter(queuedMisses_);
+    w.counter(queuedCycles_);
+}
+
+void
+Lmq::restoreState(CkptReader &r)
+{
+    windows_.resize(static_cast<std::size_t>(r.u64()));
+    for (Window &win : windows_) {
+        win.tid = r.i32();
+        win.startCycle = r.u64();
+        win.releaseCycle = r.u64();
+    }
+    r.counter(allocations_);
+    r.counter(queuedMisses_);
+    r.counter(queuedCycles_);
+}
+
+// --- FuPool -----------------------------------------------------------
+
+void
+FuPool::saveState(CkptWriter &w) const
+{
+    for (int fc = 0; fc < static_cast<int>(FuClass::NumFuClasses); ++fc) {
+        const std::vector<Cycle> &units = busyUntil_[fc];
+        w.u64(static_cast<std::uint64_t>(units.size()));
+        for (Cycle c : units)
+            w.u64(c);
+        w.counter(acquisitions_[fc]);
+    }
+}
+
+void
+FuPool::restoreState(CkptReader &r)
+{
+    for (int fc = 0; fc < static_cast<int>(FuClass::NumFuClasses); ++fc) {
+        std::vector<Cycle> &units = busyUntil_[fc];
+        expectGeom("FU units", r.u64(), units.size());
+        for (Cycle &c : units)
+            c = r.u64();
+        r.counter(acquisitions_[fc]);
+    }
+}
+
+// --- IssueQueue -------------------------------------------------------
+
+void
+IssueQueue::saveState(CkptWriter &w) const
+{
+    // Each queue is an explicit binary heap over a vector; saving the
+    // array verbatim preserves the exact heap layout, so post-restore
+    // pops break stamp ties (there are none — stamps are unique) and
+    // sift elements identically.
+    for (const std::vector<ReadyRef> &q : queues_) {
+        w.u64(static_cast<std::uint64_t>(q.size()));
+        for (const ReadyRef &ref : q) {
+            w.u64(ref.stamp);
+            w.i32(ref.tid);
+            w.u64(ref.seq);
+            w.u64(ref.epoch);
+            w.u32(ref.slot);
+        }
+    }
+}
+
+void
+IssueQueue::restoreState(CkptReader &r)
+{
+    for (std::vector<ReadyRef> &q : queues_) {
+        q.resize(static_cast<std::size_t>(r.u64()));
+        for (ReadyRef &ref : q) {
+            ref.stamp = r.u64();
+            ref.tid = r.i32();
+            ref.seq = r.u64();
+            ref.epoch = r.u64();
+            ref.slot = r.u32();
+        }
+    }
+}
+
+// --- Gct --------------------------------------------------------------
+
+void
+Gct::saveState(CkptWriter &w) const
+{
+    // Nothing holds physical-slot handles into the group rings, so
+    // logical (oldest-first) serialization suffices.
+    for (const RingDeque<GctGroup> &ring : groups_) {
+        w.u64(static_cast<std::uint64_t>(ring.size()));
+        for (const GctGroup &g : ring) {
+            w.u64(g.startSeq);
+            w.i32(g.count);
+        }
+    }
+    w.counter(allocated_);
+    w.counter(retired_);
+}
+
+void
+Gct::restoreState(CkptReader &r)
+{
+    for (RingDeque<GctGroup> &ring : groups_) {
+        ring.clear();
+        const std::uint64_t n = r.u64();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            GctGroup &g = ring.pushSlot();
+            g.startSeq = r.u64();
+            g.count = r.i32();
+        }
+    }
+    r.counter(allocated_);
+    r.counter(retired_);
+}
+
+// --- Lsu --------------------------------------------------------------
+
+void
+Lsu::saveState(CkptWriter &w) const
+{
+    w.u64(walkerNextFree_);
+    for (Cycle c : lastWalkRequest_)
+        w.u64(c);
+    for (Cycle c : walkUntil_)
+        w.u64(c);
+    w.i32(walkerTid_);
+    w.u64(walkerServiceUntil_);
+    w.u64(portNextFree_);
+    for (const Counter &c : loads_)
+        w.counter(c);
+    for (const Counter &c : stores_)
+        w.counter(c);
+    for (const Counter &c : walks_)
+        w.counter(c);
+    for (const Counter &c : levelCounts_)
+        w.counter(c);
+}
+
+void
+Lsu::restoreState(CkptReader &r)
+{
+    walkerNextFree_ = r.u64();
+    for (Cycle &c : lastWalkRequest_)
+        c = r.u64();
+    for (Cycle &c : walkUntil_)
+        c = r.u64();
+    walkerTid_ = r.i32();
+    walkerServiceUntil_ = r.u64();
+    portNextFree_ = r.u64();
+    for (Counter &c : loads_)
+        r.counter(c);
+    for (Counter &c : stores_)
+        r.counter(c);
+    for (Counter &c : walks_)
+        r.counter(c);
+    for (Counter &c : levelCounts_)
+        r.counter(c);
+}
+
+// --- Balancer ---------------------------------------------------------
+
+void
+Balancer::saveState(CkptWriter &w) const
+{
+    for (const Counter &c : gctBlocks_)
+        w.counter(c);
+    for (const Counter &c : lmqBlocks_)
+        w.counter(c);
+    for (const Counter &c : tlbBlocks_)
+        w.counter(c);
+    for (const Counter &c : flushes_)
+        w.counter(c);
+}
+
+void
+Balancer::restoreState(CkptReader &r)
+{
+    for (Counter &c : gctBlocks_)
+        r.counter(c);
+    for (Counter &c : lmqBlocks_)
+        r.counter(c);
+    for (Counter &c : tlbBlocks_)
+        r.counter(c);
+    for (Counter &c : flushes_)
+        r.counter(c);
+}
+
+// --- DecodeArbiter ----------------------------------------------------
+
+void
+DecodeArbiter::saveState(CkptWriter &w) const
+{
+    for (const Counter &c : granted_)
+        w.counter(c);
+    for (const Counter &c : forfeited_)
+        w.counter(c);
+    for (const Counter &c : reassigned_)
+        w.counter(c);
+}
+
+void
+DecodeArbiter::restoreState(CkptReader &r)
+{
+    for (Counter &c : granted_)
+        r.counter(c);
+    for (Counter &c : forfeited_)
+        r.counter(c);
+    for (Counter &c : reassigned_)
+        r.counter(c);
+}
+
+// --- MemBackside / CacheHierarchy -------------------------------------
+
+void
+MemBackside::saveState(CkptWriter &w) const
+{
+    l2_.saveState(w);
+    l3_.saveState(w);
+    w.u64(dramNextFree_);
+}
+
+void
+MemBackside::restoreState(CkptReader &r)
+{
+    l2_.restoreState(r);
+    l3_.restoreState(r);
+    dramNextFree_ = r.u64();
+}
+
+void
+CacheHierarchy::saveState(CkptWriter &w) const
+{
+    if (backside_ != ownedBackside_.get())
+        fatal("checkpointing a shared-backside hierarchy is not "
+              "supported (the snapshot would tear chip-wide state)");
+    l1d_.saveState(w);
+    for (const auto &tlb : tlbs_)
+        tlb->saveState(w);
+    backside_->saveState(w);
+    for (const Counter &c : tlbMisses_)
+        w.counter(c);
+    for (const Counter &c : l1Misses_)
+        w.counter(c);
+    for (const Counter &c : beyondL2_)
+        w.counter(c);
+}
+
+void
+CacheHierarchy::restoreState(CkptReader &r)
+{
+    if (backside_ != ownedBackside_.get())
+        fatal("restoring into a shared-backside hierarchy is not "
+              "supported");
+    l1d_.restoreState(r);
+    for (const auto &tlb : tlbs_)
+        tlb->restoreState(r);
+    backside_->restoreState(r);
+    for (Counter &c : tlbMisses_)
+        r.counter(c);
+    for (Counter &c : l1Misses_)
+        r.counter(c);
+    for (Counter &c : beyondL2_)
+        r.counter(c);
+}
+
+// --- ThreadState ------------------------------------------------------
+
+namespace {
+
+void
+saveDynInstr(CkptWriter &w, const DynInstr &di)
+{
+    w.i32(di.tid);
+    w.u64(di.seq);
+    w.u8(static_cast<std::uint8_t>(di.op));
+    w.i32(di.dst);
+    w.i32(di.src0);
+    w.i32(di.src1);
+    w.u64(di.addr);
+    w.b(di.branchTaken);
+    w.b(di.branchPredictedTaken);
+    w.i32(di.prioNopReg);
+    w.u64(di.pc);
+    w.u8(static_cast<std::uint8_t>(di.phase));
+    w.u64(di.completeCycle);
+}
+
+void
+restoreDynInstr(CkptReader &r, DynInstr &di)
+{
+    di.tid = r.i32();
+    di.seq = r.u64();
+    di.op = static_cast<OpClass>(r.u8());
+    di.dst = static_cast<RegIndex>(r.i32());
+    di.src0 = static_cast<RegIndex>(r.i32());
+    di.src1 = static_cast<RegIndex>(r.i32());
+    di.addr = r.u64();
+    di.branchTaken = r.b();
+    di.branchPredictedTaken = r.b();
+    di.prioNopReg = r.i32();
+    di.pc = r.u64();
+    di.phase = static_cast<InstrPhase>(r.u8());
+    di.completeCycle = r.u64();
+}
+
+void
+saveInFlight(CkptWriter &w, const InFlight &e)
+{
+    saveDynInstr(w, e.di);
+    w.u8(static_cast<std::uint8_t>(e.phase));
+    w.i32(e.pendingSrcs);
+    w.u64(e.epoch);
+    w.u64(e.stamp);
+    w.b(e.inReadyQueue);
+    w.u64(static_cast<std::uint64_t>(e.dependents.size()));
+    for (const InFlightRef &dep : e.dependents) {
+        w.u32(dep.slot);
+        w.u64(dep.seq);
+        w.u64(dep.epoch);
+    }
+}
+
+void
+restoreInFlight(CkptReader &r, InFlight &e)
+{
+    restoreDynInstr(r, e.di);
+    e.phase = static_cast<InstrPhase>(r.u8());
+    e.pendingSrcs = r.i32();
+    e.epoch = r.u64();
+    e.stamp = r.u64();
+    e.inReadyQueue = r.b();
+    e.dependents.clear();
+    const std::uint64_t n = r.u64();
+    e.dependents.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+        InFlightRef dep;
+        dep.slot = r.u32();
+        dep.seq = r.u64();
+        dep.epoch = r.u64();
+        e.dependents.push_back(dep);
+    }
+}
+
+} // namespace
+
+void
+ThreadState::saveState(CkptWriter &w) const
+{
+    w.b(attached());
+    if (!attached())
+        return;
+
+    // The window ring, physically: every slot verbatim (vacant ones
+    // carry deterministic leftovers from this run and are overwritten
+    // field-wise before any reuse), so the slot hints held by the
+    // ready queues and the completion heap stay valid after restore.
+    w.u64(static_cast<std::uint64_t>(window.capacity()));
+    w.u64(static_cast<std::uint64_t>(window.headIndex()));
+    w.u64(static_cast<std::uint64_t>(window.size()));
+    for (std::size_t phys = 0; phys < window.capacity(); ++phys)
+        saveInFlight(w, window.slotAt(phys));
+
+    for (const RenameEntry &re : renameMap) {
+        w.b(re.valid);
+        w.u64(re.seq);
+        w.u64(re.epoch);
+    }
+
+    w.u64(epoch);
+    w.u64(decodeBlockedUntil);
+    w.u8(static_cast<std::uint8_t>(privilege));
+    w.u64(committed);
+    w.u64(executionsCompleted);
+    w.u64(lastExecutionCycle);
+    w.u64(stream_->nextSeq());
+
+    w.counter(committedCtr);
+    w.counter(squashedCtr);
+    w.counter(mispredictsCtr);
+    w.counter(prioNopsApplied);
+    w.counter(prioNopsIgnored);
+}
+
+void
+ThreadState::restoreState(CkptReader &r)
+{
+    const bool was_attached = r.b();
+    if (was_attached != attached())
+        fatal("checkpoint thread-attachment mismatch on thread %d "
+              "(checkpoint key bug?)", tid_);
+    if (!was_attached)
+        return;
+
+    const auto cap = static_cast<std::size_t>(r.u64());
+    window.reserve(cap);
+    expectGeom("window capacity", cap, window.capacity());
+    const auto head = static_cast<std::size_t>(r.u64());
+    const auto size = static_cast<std::size_t>(r.u64());
+    for (std::size_t phys = 0; phys < cap; ++phys)
+        restoreInFlight(r, window.slotAt(phys));
+    window.setShape(head, size);
+
+    for (RenameEntry &re : renameMap) {
+        re.valid = r.b();
+        re.seq = r.u64();
+        re.epoch = r.u64();
+    }
+
+    epoch = r.u64();
+    decodeBlockedUntil = r.u64();
+    privilege = static_cast<PrivilegeLevel>(r.u8());
+    committed = r.u64();
+    executionsCompleted = r.u64();
+    lastExecutionCycle = r.u64();
+    stream_->seekTo(r.u64());
+
+    r.counter(committedCtr);
+    r.counter(squashedCtr);
+    r.counter(mispredictsCtr);
+    r.counter(prioNopsApplied);
+    r.counter(prioNopsIgnored);
+}
+
+// --- SmtCore ----------------------------------------------------------
+
+void
+SmtCore::saveState(CkptWriter &w) const
+{
+    w.u64(cycle_);
+    w.u64(dispatchStamp_);
+    w.u64(idleSkipped_);
+    w.u64(ffProbes_);
+    w.b(tickProgress_);
+    w.u32(idleStreak_);
+
+    for (const auto &ts : threads_)
+        ts->saveState(w);
+
+    hierarchy_.saveState(w);
+    lmq_.saveState(w);
+    lsu_.saveState(w);
+    bht_.saveState(w);
+    gct_.saveState(w);
+    fuPool_.saveState(w);
+    readyQ_.saveState(w);
+    arbiter_.saveState(w);
+    balancer_.saveState(w);
+
+    // The completion heap array verbatim (heap layout preserved).
+    w.u64(static_cast<std::uint64_t>(completions_.size()));
+    for (const Completion &c : completions_) {
+        w.u64(c.cycle);
+        w.i32(c.tid);
+        w.u64(c.seq);
+        w.u64(c.epoch);
+        w.u32(c.slot);
+    }
+
+    for (const Counter &c : decoded_)
+        w.counter(c);
+    for (const Counter &c : stallBalancer_)
+        w.counter(c);
+    for (const Counter &c : stallRedirect_)
+        w.counter(c);
+    for (const Counter &c : stallGct_)
+        w.counter(c);
+    for (const Counter &c : flushedInstrs_)
+        w.counter(c);
+}
+
+void
+SmtCore::restoreState(CkptReader &r)
+{
+    cycle_ = r.u64();
+    dispatchStamp_ = r.u64();
+    idleSkipped_ = r.u64();
+    ffProbes_ = r.u64();
+    tickProgress_ = r.b();
+    idleStreak_ = r.u32();
+
+    for (const auto &ts : threads_)
+        ts->restoreState(r);
+
+    hierarchy_.restoreState(r);
+    lmq_.restoreState(r);
+    lsu_.restoreState(r);
+    bht_.restoreState(r);
+    gct_.restoreState(r);
+    fuPool_.restoreState(r);
+    readyQ_.restoreState(r);
+    arbiter_.restoreState(r);
+    balancer_.restoreState(r);
+
+    completions_.resize(static_cast<std::size_t>(r.u64()));
+    for (Completion &c : completions_) {
+        c.cycle = r.u64();
+        c.tid = r.i32();
+        c.seq = r.u64();
+        c.epoch = r.u64();
+        c.slot = r.u32();
+    }
+
+    for (Counter &c : decoded_)
+        r.counter(c);
+    for (Counter &c : stallBalancer_)
+        r.counter(c);
+    for (Counter &c : stallRedirect_)
+        r.counter(c);
+    for (Counter &c : stallGct_)
+        r.counter(c);
+    for (Counter &c : flushedInstrs_)
+        r.counter(c);
+}
+
+} // namespace p5

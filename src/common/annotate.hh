@@ -19,6 +19,16 @@
  *  - P5_CONFIG_STRUCT marks a parameter struct whose every field must
  *                     be bound to a config path in ConfigTree::bindAll()
  *                     (a fingerprint hole otherwise).
+ *  - P5_SERIALIZE_ROOT marks a checkpoint serialize/restore entry point
+ *                     (DESIGN §14): nothing transitively reachable from
+ *                     it may iterate an unordered container, and here
+ *                     P5_ALLOW(determinism) is void — a lookup-only
+ *                     exemption cannot be told apart from iteration
+ *                     feeding the serialized byte stream.
+ *  - P5_COLD          declares a function legitimately off the
+ *                     per-cycle path (checkpoint restore, store I/O).
+ *                     p5lint rejects any P5_COLD function reachable
+ *                     from a P5_HOT_PATH root.
  *  - P5_ALLOW(rule)   grants a reviewed exemption from one rule, either
  *                     for a whole function/member (prefix the
  *                     declaration) or for a single statement (prefix the
@@ -52,6 +62,12 @@
 
 /** Parameter struct whose fields must all be bound in bindAll(). */
 #define P5_CONFIG_STRUCT P5_ANNOTATE("p5:config_struct")
+
+/** Checkpoint serialize/restore entry point: deterministic bytes only. */
+#define P5_SERIALIZE_ROOT P5_ANNOTATE("p5:serialize_root")
+
+/** Legitimately off the per-cycle path; must stay hot-unreachable. */
+#define P5_COLD P5_ANNOTATE("p5:cold")
 
 /** Reviewed exemption from one p5lint rule (always comment the why). */
 #define P5_ALLOW(rule) P5_ANNOTATE("p5:allow:" #rule)

@@ -151,6 +151,29 @@ class RingDeque
         return slots_[(head_ + i) & mask_];
     }
 
+    // --- checkpoint shape access --------------------------------------
+
+    /** Physical index of the head slot (for checkpoint save). */
+    std::size_t headIndex() const { return head_; }
+
+    /**
+     * Overwrite head/size without touching slot contents. Checkpoint
+     * restore uses this after reserve() + slotAt() writes to reproduce
+     * the exact physical layout of the saved ring, so slot handles
+     * recorded elsewhere in the checkpoint stay valid.
+     * @pre head < capacity() && size <= capacity()
+     */
+    void
+    setShape(std::size_t head, std::size_t size)
+    {
+        head_ = head;
+        size_ = size;
+    }
+
+    /** Direct access to physical slot @p phys, live or vacant. */
+    T &slotAt(std::size_t phys) { return slots_[phys]; }
+    const T &slotAt(std::size_t phys) const { return slots_[phys]; }
+
     // --- physical-slot handles ---------------------------------------
 
     /** Physical slot of a live element (for later re-resolution). */

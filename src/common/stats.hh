@@ -30,6 +30,9 @@ class Counter
     std::uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
 
+    /** Overwrite the count (checkpoint restore only). */
+    void restore(std::uint64_t v) { value_ = v; }
+
   private:
     std::uint64_t value_ = 0;
 };

@@ -718,10 +718,64 @@ ConfigTree::fingerprintHex() const
     return buf;
 }
 
+namespace {
+
+/**
+ * Identity fields that cannot influence the warm-up phase: the
+ * measurement-convergence knobs (warm-up ends before they are ever
+ * consulted) and the master seed (per-job randomness is measurement
+ * provenance; the warm trajectory is a pure function of programs and
+ * core geometry). Everything else that is identity is warm identity.
+ */
+bool
+warmExcluded(const std::string &path)
+{
+    return path == "fame.min_repetitions" || path == "fame.maiv" ||
+           path == "exp.seed";
+}
+
+} // namespace
+
+std::string
+ConfigTree::warmCanonical() const
+{
+    std::string out = "p5sim-warm schema=" +
+                      std::to_string(config_schema_version) + "\n";
+    for (const Field &f : fields_) {
+        if (!f.identity || warmExcluded(f.path))
+            continue;
+        out += f.path;
+        out += '=';
+        out += f.get();
+        out += '\n';
+    }
+    return out;
+}
+
+std::uint64_t
+ConfigTree::warmFingerprint() const
+{
+    const std::string c = warmCanonical();
+    std::uint64_t h = hashMix(c.size());
+    for (char ch : c)
+        h = hashCombine(h, static_cast<unsigned char>(ch));
+    return h;
+}
+
+std::string
+ConfigTree::warmFingerprintHex() const
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(warmFingerprint()));
+    return buf;
+}
+
 void
 ConfigTree::stampTag()
 {
     config_.configTag = fingerprintHex();
+    config_.warmTag = warmFingerprintHex();
 }
 
 void

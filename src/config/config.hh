@@ -128,8 +128,27 @@ class ConfigTree
     std::string fingerprintHex() const;
 
     /**
-     * Stamp config_.configTag with fingerprintHex() so jobs enumerated
-     * from this config carry the fingerprint in their cache keys.
+     * Warm-phase canonical form: like canonical(), but restricted to
+     * identity fields that can influence the FAME *warm-up* phase.
+     * Measurement-only knobs (fame.min_repetitions, fame.maiv) and the
+     * master seed are excluded, and so are a job's priorities (never
+     * config fields in the first place): under the canonical-warm
+     * protocol every priority pair of a mix warms identically, so every
+     * pair maps to one warm fingerprint — and one checkpoint.
+     */
+    std::string warmCanonical() const;
+
+    /** SplitMix64 chain over warmCanonical(). */
+    std::uint64_t warmFingerprint() const;
+
+    /** warmFingerprint() as a fixed-width hex string (the warmTag form). */
+    std::string warmFingerprintHex() const;
+
+    /**
+     * Stamp config_.configTag with fingerprintHex() — and
+     * config_.warmTag with warmFingerprintHex() — so jobs enumerated
+     * from this config carry both fingerprints in their cache and
+     * checkpoint keys.
      */
     void stampTag();
 

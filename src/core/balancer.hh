@@ -117,6 +117,12 @@ class Balancer
 
     void registerStats(StatGroup &group) const;
 
+    /** Serialize the per-trigger counters (policy itself is stateless). */
+    void saveState(class CkptWriter &w) const;
+
+    /** Restore state saved by saveState(). */
+    void restoreState(class CkptReader &r);
+
   private:
     BalancerParams params_;
     const DecodeSlotAllocator *priorities_ = nullptr;

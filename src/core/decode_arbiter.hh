@@ -70,6 +70,15 @@ class DecodeArbiter
 
     void registerStats(StatGroup &group) const;
 
+    /**
+     * Serialize the slot counters. The allocator is a pure function of
+     * the priorities, which the restoring core re-applies itself.
+     */
+    void saveState(class CkptWriter &w) const;
+
+    /** Restore state saved by saveState(). */
+    void restoreState(class CkptReader &r);
+
   private:
     DecodeSlotAllocator allocator_;
     bool workConserving_;

@@ -60,6 +60,12 @@ class FuPool
 
     void registerStats(StatGroup &group) const;
 
+    /** Serialize per-unit busy-until cycles and counters. */
+    void saveState(class CkptWriter &w) const;
+
+    /** Restore state saved by saveState(); unit counts must match. */
+    void restoreState(class CkptReader &r);
+
   private:
     std::vector<Cycle> busyUntil_[static_cast<int>(FuClass::NumFuClasses)];
     Counter acquisitions_[static_cast<int>(FuClass::NumFuClasses)];

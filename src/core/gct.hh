@@ -92,6 +92,12 @@ class Gct
 
     void registerStats(StatGroup &group) const;
 
+    /** Serialize both threads' group rings and counters. */
+    void saveState(class CkptWriter &w) const;
+
+    /** Restore state saved by saveState(); capacity must match. */
+    void restoreState(class CkptReader &r);
+
   private:
     int capacity_;
     RingDeque<GctGroup> groups_[num_hw_threads];

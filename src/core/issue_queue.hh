@@ -78,6 +78,12 @@ class IssueQueue
         return queues_[static_cast<int>(fc)];
     }
 
+    /** Serialize every heap array verbatim (heap order preserved). */
+    void saveState(class CkptWriter &w) const;
+
+    /** Restore state saved by saveState(). */
+    void restoreState(class CkptReader &r);
+
   private:
     std::vector<ReadyRef> queues_[static_cast<int>(FuClass::NumFuClasses)];
 };

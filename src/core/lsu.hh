@@ -95,6 +95,16 @@ class Lsu
     }
     void registerStats(StatGroup &group) const;
 
+    /**
+     * Serialize walker/port timing state and counters. The params /
+     * hierarchy / lmq / priority-view pointers are wiring, not state —
+     * the restoring core re-establishes them at construction.
+     */
+    void saveState(class CkptWriter &w) const;
+
+    /** Restore state saved by saveState(). */
+    void restoreState(class CkptReader &r);
+
   private:
     /** Translate; returns the cycle the physical access may start. */
     Cycle translate(ThreadId tid, Addr ea, Cycle now, bool *walked);

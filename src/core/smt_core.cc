@@ -32,14 +32,9 @@ SmtCore::SmtCore(const CoreParams &params, MemBackside *shared_backside)
     arbiter_.allocator().setPriorities(0, 0);
     lsu_.setPriorityView(&arbiter_.allocator());
     balancer_.setPriorityView(&arbiter_.allocator());
-    {
-        // Pre-size the completion heap past any plausible in-flight
-        // count so busy-path pushes never reallocate.
-        std::vector<Completion> storage;
-        storage.reserve(256);
-        completions_ = decltype(completions_)(CompletionLater{},
-                                              std::move(storage));
-    }
+    // Pre-size the completion heap past any plausible in-flight count
+    // so busy-path pushes never reallocate.
+    completions_.reserve(256);
     registerStats();
 #if P5SIM_CHECK
     check::installStandardCheckers(*this);
@@ -410,7 +405,7 @@ SmtCore::nextInterestingCycle(Cycle limit, const IdleGate &gate) const
     };
 
     if (!completions_.empty())
-        consider(completions_.top().cycle);
+        consider(completions_.front().cycle);
     for (FuClass fc : issue_classes)
         if (!readyQ_.empty(fc))
             consider(fuPool_.nextFreeCycle(fc, cycle_));
@@ -483,7 +478,7 @@ SmtCore::computeIdleTarget(Cycle limit, IdleGate *gate) const
     // every later probe report busy (and mis-attribute skipped-cycle
     // stats in advanceIdle()).
     *gate = IdleGate{};
-    if (!completions_.empty() && completions_.top().cycle <= cycle_)
+    if (!completions_.empty() && completions_.front().cycle <= cycle_)
         return cycle_;
     for (FuClass fc : issue_classes)
         if (!readyQ_.empty(fc) && fuPool_.freeUnits(fc, cycle_) > 0)
@@ -528,10 +523,13 @@ SmtCore::skipIdleTo(Cycle target, const IdleGate &gate)
 void
 SmtCore::processCompletions()
 {
-    while (!completions_.empty() && completions_.top().cycle <= cycle_) {
+    while (!completions_.empty() &&
+           completions_.front().cycle <= cycle_) {
         tickProgress_ = true;
-        Completion c = completions_.top();
-        completions_.pop();
+        const Completion c = completions_.front();
+        std::pop_heap(completions_.begin(), completions_.end(),
+                      CompletionLater{});
+        completions_.pop_back();
         ThreadState &ts = *threads_[static_cast<size_t>(c.tid)];
         InFlight *e = ts.resolve({c.slot, c.seq, c.epoch});
         if (!e || e->phase != InstrPhase::Issued)
@@ -616,8 +614,10 @@ SmtCore::issueStage()
             // Heap storage is pre-reserved in the constructor; push
             // only spills past the high-water mark of in-flight ops.
             P5_ALLOW(hot_path_no_alloc)
-            completions_.push({done, ref.tid, ref.seq, ref.epoch,
-                               ref.slot});
+            completions_.push_back({done, ref.tid, ref.seq, ref.epoch,
+                                    ref.slot});
+            std::push_heap(completions_.begin(), completions_.end(),
+                           CompletionLater{});
         }
     }
 }

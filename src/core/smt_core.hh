@@ -22,7 +22,6 @@
 #include <array>
 #include <functional>
 #include <memory>
-#include <queue>
 
 #include "branch/bht.hh"
 #include "common/annotate.hh"
@@ -267,6 +266,30 @@ class SmtCore
 
     void setStageProfile(StageProfile *profile) { profile_ = profile; }
 
+    // --- checkpointing --------------------------------------------------
+
+    /**
+     * Serialize the core's complete mutable state — cycle, per-thread
+     * windows/streams, all pipeline structures, the memory hierarchy and
+     * every counter — such that a core restored from the stream produces
+     * bit-identical stats to one that kept running. The params and
+     * attached programs are NOT in the stream: restoreState() requires a
+     * core constructed with the same params and the same threads already
+     * attached (that is what the checkpoint key guarantees).
+     * @pre the hierarchy backside is private (no shared-backside chips).
+     * Serialize root (p5lint): nothing in this call tree may iterate an
+     * unordered container, and it must stay unreachable from hot roots.
+     */
+    P5_SERIALIZE_ROOT P5_COLD void saveState(class CkptWriter &w) const;
+
+    /**
+     * Restore state saved by saveState(). @pre this core was constructed
+     * with the same CoreParams and had the same programs attached at the
+     * same priorities as the saved core at save time. Checkers re-arm on
+     * the restored state via their first-observation priming.
+     */
+    P5_SERIALIZE_ROOT P5_COLD void restoreState(class CkptReader &r);
+
   private:
     struct Completion
     {
@@ -383,9 +406,16 @@ class SmtCore
     std::uint32_t idleStreak_ = ff_arm_streak;
 
     StageProfile *profile_ = nullptr;
-    std::priority_queue<Completion, std::vector<Completion>,
-                        CompletionLater>
-        completions_;
+
+    /**
+     * Pending completion events as an explicit binary heap over a plain
+     * vector (std::push_heap / std::pop_heap with CompletionLater).
+     * Equivalent to the std::priority_queue it replaces — the adaptor is
+     * specified in terms of the same heap algorithms, so pop order is
+     * identical — but the underlying array is directly serializable for
+     * checkpoints (and restorable verbatim, preserving heap layout).
+     */
+    std::vector<Completion> completions_;
 
     PrioNopListener prioNopListener_;
 

@@ -164,6 +164,22 @@ class ThreadState
     Counter prioNopsApplied;
     Counter prioNopsIgnored;
 
+    /**
+     * Serialize the complete per-thread state: the window ring's
+     * physical layout (every slot verbatim, vacant ones included, so
+     * slot handles recorded in the ready/completion queues stay valid
+     * after restore), rename map, epoch/accounting scalars, stream
+     * cursor and counters.
+     */
+    void saveState(class CkptWriter &w) const;
+
+    /**
+     * Restore state saved by saveState(). @pre attach() was already
+     * called with the same program and window capacity — restore
+     * overwrites position and window contents but not the binding.
+     */
+    void restoreState(class CkptReader &r);
+
   private:
     ThreadId tid_;
     std::unique_ptr<InstrStream> stream_;

@@ -1,5 +1,8 @@
 #include "driver/driver.hh"
 
+#include <dirent.h>
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -9,6 +12,9 @@
 #include <optional>
 #include <sstream>
 
+#include "ckpt/ckpt.hh"
+#include "ckpt/ckpt_io.hh"
+#include "ckpt/ckpt_manager.hh"
 #include "common/cli.hh"
 #include "common/json.hh"
 #include "common/log.hh"
@@ -92,6 +98,26 @@ writeReport(const DriverContext &ctx, const char *experiment,
     w.member("schemaVersion", config_schema_version);
     w.member("fingerprint", ctx.fingerprint);
     w.member("seed", config.seed);
+    // Checkpoint accounting lives in provenance (and on stderr), never
+    // in table output: a checkpointed run's stdout must stay
+    // byte-identical to the cold run's.
+    w.key("checkpoints");
+    w.beginObject();
+    w.member("enabled", config.checkpoints != nullptr);
+    if (config.checkpoints) {
+        const CkptManager &m = *config.checkpoints;
+        w.member("warms", m.warms());
+        w.member("memForks", m.memForks());
+        w.member("storeForks", m.storeForks());
+        if (const CkptStore *s = m.store()) {
+            w.member("storeDir", s->dir());
+            w.member("storeHits", s->hits());
+            w.member("storeMisses", s->misses());
+            w.member("storeWrites", s->writes());
+            w.member("storeQuarantined", s->quarantined());
+        }
+    }
+    w.endObject();
     w.key("sweep");
     w.beginObject();
     for (const auto &coord : ctx.sweep)
@@ -135,6 +161,14 @@ declareExperimentFlags(Cli &cli)
                 "tick every cycle instead of skipping verified-idle "
                 "gaps (stats are bit-identical; this is ~a 3-10x "
                 "slowdown escape hatch)");
+    cli.declare("checkpoint-dir", "",
+                "persist warmed-state checkpoints in this directory so "
+                "later processes fork instead of re-warming (created "
+                "when absent; sweep defaults to <store>/ckpt)");
+    cli.declare("no-checkpoint", "false",
+                "warm every FAME job inline instead of sharing "
+                "checkpointed warm state (stats are bit-identical; "
+                "this only costs wall clock)");
 }
 
 /** Flags naming the workload the alloc subcommand schedules. */
@@ -469,19 +503,63 @@ cmdRun(const Cli &cli, DriverContext &ctx, ExpConfig &config)
         prog_s.emplace(makeUbench(ubenchFromName(secondary_name),
                                   config.ubenchScale));
 
+    // Canonical-warm protocol, inlined (this command keeps its own core
+    // for the stats dump below): attach at the canonical priority, warm
+    // (or fork a checkpoint of that warm state), then switch to the
+    // requested pair at the measurement boundary — the same trajectory
+    // runFame() drives, so the stats match the batch producers'.
     SmtCore core(config.core);
-    core.attachThread(0, &prog_p, prio_p);
+    core.attachThread(0, &prog_p, canonical_warm_priority);
     if (prog_s)
-        core.attachThread(1, &*prog_s, prio_s);
+        core.attachThread(1, &*prog_s, canonical_warm_priority);
 
     // Sample the symbiosis-predictor inputs (per-thread IPC, L2
     // misses, GCT occupancy) once per sched.quantum; the series land
     // in the "stats" dump below, so this run's JSON is enough to
-    // replay an allocation decision offline.
+    // replay an allocation decision offline. A forked run skips the
+    // warm phase, so it records fewer quanta than a cold run — the
+    // measurement-phase samples and every simulated stat still match.
     QuantumMonitor monitor(core, config.sched.quantum);
     FameRunner runner(config.fame);
     runner.setChunkHook([&monitor](SmtCore &) { monitor.poll(); });
-    const FameResult result = runner.run(core);
+    if (config.checkpoints) {
+        SimJob job;
+        if (has_secondary) {
+            job = SimJob::famePair(
+                ProgramSpec::ubench(primary, config.ubenchScale),
+                ProgramSpec::ubench(ubenchFromName(secondary_name),
+                                    config.ubenchScale),
+                prio_p, prio_s, config.core, config.fame);
+        } else {
+            job = SimJob::fameSingle(
+                ProgramSpec::ubench(primary, config.ubenchScale),
+                config.core, config.fame, prio_p);
+        }
+        job.configTag = config.configTag;
+        job.warmTag = config.warmTag;
+        const std::string warm_key = job.warmKey();
+        const CkptManager::Acquired acq = config.checkpoints->acquire(
+            warm_key, [&]() -> Checkpoint {
+                runner.runWarmup(core);
+                Checkpoint ck;
+                ck.warmKey = warm_key;
+                ck.fingerprint = ckptFingerprintHex(warm_key);
+                ck.warmCycles = core.cycle();
+                CkptWriter w;
+                core.saveState(w);
+                ck.state = w.data();
+                return ck;
+            });
+        if (!acq.created) {
+            CkptReader r(acq.ckpt->state);
+            core.restoreState(r);
+            r.expectEnd();
+        }
+    } else {
+        runner.runWarmup(core);
+    }
+    core.setPriorityPair(prio_p, prog_s ? prio_s : 0);
+    const FameResult result = runner.measure(core, 0);
 
     Table t("p5sim run: " + std::string(ubenchName(primary)) + " + " +
             (has_secondary ? secondary_name : std::string("none")) +
@@ -711,6 +789,10 @@ finishSweep(DriverContext &ctx, ExpConfig &base,
                 pt.config.core, pt.config.fame, prio_p);
         }
         job.configTag = pt.config.configTag;
+        // Warm identity: points that differ only in measurement knobs
+        // (e.g. a fame.min_repetitions axis) share one warm key and
+        // fork a single warm-up between them.
+        job.warmTag = pt.config.warmTag;
         batch.push_back(std::move(job));
     }
 
@@ -737,6 +819,7 @@ finishSweep(DriverContext &ctx, ExpConfig &base,
     SimRunner runner(base.jobs, base.cache);
     if (store)
         runner.setStore(&*store, opts.resume);
+    runner.setCheckpoints(base.checkpoints);
     const std::vector<SimResult> results =
         runner.run(batch, store ? &provenance : nullptr);
 
@@ -930,8 +1013,12 @@ serveError(std::ostream &os, const std::string &message)
  *   fingerprint [key=value ...]  config fingerprint of the base config
  *                                (from --config/--set/... flags) with
  *                                the given --set-style overrides applied
- *   get <fp>                     the stored document at that 16-hex-digit
- *                                job fingerprint, verbatim
+ *   get <fp> [<fp> ...]          the stored document at each 16-hex-digit
+ *                                job fingerprint, verbatim — one reply
+ *                                line per fingerprint, in request order
+ *   mget <fp> [<fp> ...]         the same lookups as one reply line:
+ *                                {"results":[...]} parallel to the
+ *                                request, misses as inline error objects
  *   stat                         store-wide counters and entry count
  *   quit                         {"ok":true}, then exit 0 (EOF too)
  *
@@ -985,19 +1072,60 @@ cmdServe(const Cli &cli, DriverContext &ctx, ExpConfig &base)
         }
 
         if (cmd == "get") {
-            if (tokens.size() != 2) {
-                serveError(out, "get expects one fingerprint");
+            if (tokens.size() < 2) {
+                serveError(out,
+                           "get expects at least one fingerprint");
                 continue;
             }
-            JsonValue doc;
-            if (!store.loadRaw(tokens[1], doc)) {
-                serveError(out, "no stored result for fingerprint '" +
-                                    tokens[1] + "'");
+            // One reply line PER fingerprint, in request order — the
+            // streaming shape: a reader can act on each document as it
+            // arrives without waiting for the batch.
+            for (std::size_t i = 1; i < tokens.size(); ++i) {
+                JsonValue doc;
+                if (!store.loadRaw(tokens[i], doc)) {
+                    serveError(out,
+                               "no stored result for fingerprint '" +
+                                   tokens[i] + "'");
+                    continue;
+                }
+                {
+                    JsonWriter w(out, -1);
+                    doc.write(w);
+                }
+                out << '\n';
+            }
+            continue;
+        }
+
+        if (cmd == "mget") {
+            if (tokens.size() < 2) {
+                serveError(out,
+                           "mget expects at least one fingerprint");
                 continue;
             }
+            // Exactly ONE reply line for the whole request — the
+            // transactional shape: "results" parallels the request,
+            // with an inline {"error": ...} object for each miss, so a
+            // caller can pair replies to fingerprints by index.
             {
                 JsonWriter w(out, -1);
-                doc.write(w);
+                w.beginObject();
+                w.key("results");
+                w.beginArray();
+                for (std::size_t i = 1; i < tokens.size(); ++i) {
+                    JsonValue doc;
+                    if (store.loadRaw(tokens[i], doc)) {
+                        doc.write(w);
+                    } else {
+                        w.beginObject();
+                        w.member("error",
+                                 "no stored result for fingerprint '" +
+                                     tokens[i] + "'");
+                        w.endObject();
+                    }
+                }
+                w.endArray();
+                w.endObject();
             }
             out << '\n';
             continue;
@@ -1047,9 +1175,174 @@ cmdServe(const Cli &cli, DriverContext &ctx, ExpConfig &base)
         }
 
         serveError(out, "unknown command '" + cmd +
-                            "' (try: fingerprint, get, stat, quit)");
+                            "' (try: fingerprint, get, mget, stat, "
+                            "quit)");
     }
     return 0;
+}
+
+// --- store-gc ----------------------------------------------------------
+
+/** One file store-gc would (or did) delete, and why. */
+struct GcCandidate
+{
+    std::string path;
+    std::uint64_t bytes = 0;
+    const char *reason = "";
+};
+
+/**
+ * Decide whether basename @p name is reclaimable garbage. The rules
+ * are filename-driven on purpose: a collector must not need to open
+ * (or trust) the files it is about to delete, and must keep working on
+ * an area whose meta pins an older schema (where ResultStore's own
+ * constructor would refuse to open).
+ */
+const char *
+gcReason(const std::string &name)
+{
+    if (name.size() >= 4 && name.compare(name.size() - 4, 4, ".bad") == 0)
+        return "quarantined";
+    if (name.find(".tmp.") != std::string::npos)
+        return "orphan temp"; // a crash between create and rename
+    // Superseded generations: the schema/format version is embedded in
+    // the filename ("<fp>-v<N>.json", "<fp>-ckpt-v<N>.bin"), so files
+    // from any generation other than the one this binary writes are
+    // dead weight — the stores ignore them on every path.
+    const auto versionedTail = [&name](const char *marker,
+                                       const char *suffix) -> long {
+        const std::size_t m = name.rfind(marker);
+        if (m == std::string::npos)
+            return -1;
+        const std::size_t digits = m + std::strlen(marker);
+        std::size_t end = digits;
+        while (end < name.size() && name[end] >= '0' && name[end] <= '9')
+            ++end;
+        if (end == digits || name.compare(end, std::string::npos, suffix))
+            return -1;
+        std::int64_t v = 0;
+        if (parseInt64(name.substr(digits, end - digits), v) !=
+            ParseStatus::Ok)
+            return -1;
+        return static_cast<long>(v);
+    };
+    const long ckpt_v = versionedTail("-ckpt-v", ".bin");
+    if (ckpt_v >= 0)
+        return ckpt_v == ckpt_format_version
+                   ? nullptr
+                   : "superseded checkpoint format";
+    const long result_v = versionedTail("-v", ".json");
+    if (result_v >= 0)
+        return result_v == config_schema_version
+                   ? nullptr
+                   : "superseded result schema";
+    return nullptr;
+}
+
+/** Recursively collect gc candidates under @p dir (sorted later). */
+void
+gcScan(const std::string &dir, std::vector<GcCandidate> &out)
+{
+    DIR *d = opendir(dir.c_str());
+    if (!d)
+        return;
+    while (const dirent *entry = readdir(d)) {
+        const std::string name = entry->d_name;
+        if (name == "." || name == "..")
+            continue;
+        const std::string path = dir + "/" + name;
+        struct stat st;
+        if (::stat(path.c_str(), &st) != 0)
+            continue;
+        if (S_ISDIR(st.st_mode)) {
+            gcScan(path, out);
+            continue;
+        }
+        if (const char *reason = gcReason(name))
+            out.push_back(GcCandidate{
+                path, static_cast<std::uint64_t>(st.st_size), reason});
+    }
+    closedir(d);
+}
+
+/**
+ * Reclaim dead files from a result-store directory (including its
+ * ckpt/ area): quarantined *.bad files, orphaned *.tmp.* files from
+ * crashed writers, and results/checkpoints of superseded schema or
+ * format generations. Dry run by default — it lists what --apply
+ * would delete and the bytes that would come back. Never touches live
+ * entries or the meta files.
+ */
+int
+cmdStoreGc(const Cli &cli, DriverContext &ctx, ExpConfig &)
+{
+    const std::string dir = cli.str("store");
+    if (dir.empty())
+        fatal("store-gc requires --store DIR");
+    const bool apply = cli.boolean("apply");
+
+    std::vector<GcCandidate> candidates;
+    gcScan(dir, candidates);
+    std::sort(candidates.begin(), candidates.end(),
+              [](const GcCandidate &a, const GcCandidate &b) {
+                  return a.path < b.path;
+              });
+
+    std::ostream &out = *ctx.out;
+    std::uint64_t bytes = 0;
+    std::uint64_t removed = 0;
+    std::uint64_t failed = 0;
+    for (const GcCandidate &c : candidates) {
+        out << (apply ? "rm " : "would rm ") << c.path << " ("
+            << c.reason << ", " << c.bytes << " bytes)\n";
+        if (!apply) {
+            bytes += c.bytes;
+            continue;
+        }
+        if (std::remove(c.path.c_str()) == 0) {
+            bytes += c.bytes;
+            ++removed;
+        } else {
+            // Lost a race with another collector, or permissions;
+            // keep going — gc must be safe to run concurrently.
+            out << "  (could not remove; skipped)\n";
+            ++failed;
+        }
+    }
+    out << "store-gc: " << candidates.size() << " candidate"
+        << (candidates.size() == 1 ? "" : "s") << ", " << bytes
+        << " bytes " << (apply ? "reclaimed" : "reclaimable");
+    if (!apply)
+        out << " (dry run; pass --apply to delete)";
+    out << "\n";
+
+    if (!ctx.jsonPath.empty()) {
+        std::ofstream os(ctx.jsonPath);
+        if (!os)
+            fatal("cannot open --json file '%s'", ctx.jsonPath.c_str());
+        JsonWriter w(os);
+        w.beginObject();
+        w.member("experiment", "store-gc");
+        w.member("dir", dir);
+        w.member("applied", apply);
+        w.member("candidates",
+                 static_cast<std::uint64_t>(candidates.size()));
+        w.member("removed", removed);
+        w.member("failed", failed);
+        w.member("bytesReclaimed", bytes);
+        w.key("files");
+        w.beginArray();
+        for (const GcCandidate &c : candidates) {
+            w.beginObject();
+            w.member("path", c.path);
+            w.member("bytes", c.bytes);
+            w.member("reason", c.reason);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    return failed ? 1 : 0;
 }
 
 // --- perf --------------------------------------------------------------
@@ -1109,6 +1402,10 @@ constexpr Subcommand subcommands[] = {
      cmdAlloc, false, false, true},
     {"serve", "answer fingerprint/result-store queries over stdin",
      cmdServe, false, false, false, true},
+    // store-gc declares its own flag set (see driverMain): no
+    // experiment config, just --store/--apply/--json.
+    {"store-gc", "reclaim dead files from a result-store directory",
+     cmdStoreGc, false, false, false, false},
     {"perf", "simulator speedup report / per-stage profile", cmdPerf,
      false, false, false},
 };
@@ -1162,6 +1459,16 @@ driverMain(int argc, const char *const *argv, std::ostream &out,
                     "write the fast-forward speedup report here");
         cli.declare("profile-stages", "false",
                     "print the per-stage wall-time breakdown instead");
+    } else if (sub->fn == cmdStoreGc) {
+        // A pure maintenance command: no experiment config, just the
+        // target directory and the dry-run/apply switch.
+        cli.declare("store", "",
+                    "result-store directory to collect (its ckpt/ "
+                    "checkpoint area is scanned too)");
+        cli.declare("apply", "false",
+                    "actually delete (the default is a dry run)");
+        cli.declare("json", "",
+                    "also write the reclamation report to this file");
     } else {
         declareExperimentFlags(cli);
         if (sub->pairFlags)
@@ -1205,12 +1512,49 @@ driverMain(int argc, const char *const *argv, std::ostream &out,
     ctx.in = &in;
 
     ExpConfig config;
-    if (sub->fn != cmdPerf) {
+    if (sub->fn != cmdPerf && sub->fn != cmdStoreGc) {
         config = buildConfig(cli, ctx);
         ctx.csv = cli.boolean("csv");
     }
     ctx.jsonPath = cli.str("json");
-    return sub->fn(cli, ctx, config);
+
+    // Checkpoint/fork is on by default for every experiment command:
+    // jobs sharing a warm key warm once and fork, which is invisible
+    // in the results (bit-identical stats) and only saves wall clock.
+    // --no-checkpoint restores inline warming; --checkpoint-dir adds a
+    // persistent area so later *processes* fork too. A sweep with
+    // --store and no explicit directory keeps its checkpoints next to
+    // its results, under <store>/ckpt.
+    std::optional<CkptStore> ckpt_store;
+    std::optional<CkptManager> ckpt_mgr;
+    if (sub->fn != cmdPerf && sub->fn != cmdStoreGc &&
+        !cli.boolean("no-checkpoint")) {
+        std::string ckpt_dir = cli.str("checkpoint-dir");
+        if (ckpt_dir.empty() && sub->fn == cmdSweep &&
+            cli.isSet("store"))
+            ckpt_dir = cli.str("store") + "/ckpt";
+        ckpt_mgr.emplace();
+        if (!ckpt_dir.empty()) {
+            ckpt_store.emplace(ckpt_dir);
+            ckpt_mgr->setStore(&*ckpt_store);
+        }
+        config.checkpoints = &*ckpt_mgr;
+    }
+
+    const int rc = sub->fn(cli, ctx, config);
+
+    // Accounting goes to stderr (and the --json provenance block),
+    // never stdout: a checkpointed run's table output must stay
+    // byte-identical to the cold run's.
+    if (ckpt_mgr && (ckpt_mgr->warms() || ckpt_mgr->forks())) {
+        err << "checkpoints: " << ckpt_mgr->warms() << " warmed, "
+            << ckpt_mgr->memForks() << " forked in-memory, "
+            << ckpt_mgr->storeForks() << " restored from store";
+        if (ckpt_store)
+            err << " (" << ckpt_store->dir() << ")";
+        err << "\n";
+    }
+    return rc;
 }
 
 int
@@ -1374,6 +1718,86 @@ sameChipMeasurement(const AllocRunResult &a, const AllocRunResult &b)
     return true;
 }
 
+// --- checkpoint/fork case ----------------------------------------------
+
+/**
+ * The checkpoint/fork case: one pair-mix measured across the full 6x6
+ * priority matrix, cold (every pair re-simulates the warm-up) versus
+ * checkpointed (the first pair warms once and the other 35 fork that
+ * snapshot in memory). Both arms run with fast-forward enabled, so
+ * the recorded speedup is over the fast-forward-only path. The FAME
+ * parameters are warm-heavy — a deep warm-up feeding a short measured
+ * window, the steady-state regime the checkpoint engine exists for.
+ * End to end the cold arm costs K*W + sum(M_i) against W + sum(R+M_i)
+ * forked, so the speedup is set by how much of the run is redundant
+ * warm-up: the warm depth below makes warm-up the majority cost, as
+ * in a long-warm FAME campaign; presets with shallow warm-ups
+ * amortize proportionally less (the warm phase always runs at the
+ * canonical (4,4) pair, which fast-forward already makes cheap, while
+ * the measured region of skewed pairs is irreducible per-pair work).
+ */
+constexpr const char *ckpt_case_name =
+    "ckpt:ldint_mem+ldint_mem@matrix36";
+constexpr const char *ckpt_case_key = "perf:ckpt:ldint_mem+ldint_mem";
+constexpr int ckpt_case_prios = 6;
+constexpr int ckpt_case_pairs = ckpt_case_prios * ckpt_case_prios;
+constexpr int ckpt_case_reps = 2;
+
+FameParams
+ckptCaseFame()
+{
+    FameParams fame;
+    fame.warmupRepetitions = 160;
+    fame.minRepetitions = 3;
+    fame.maiv = 0.10;
+    return fame;
+}
+
+struct CkptTimedRun
+{
+    double wallMs = 0;
+    std::vector<FameResult> results;
+};
+
+/**
+ * Sweep the priority matrix once; with @p ckpts the first pair warms
+ * and every later pair forks, without it each pair warms from scratch
+ * (the production cold path, fast-forward on in both arms).
+ */
+CkptTimedRun
+timedMatrixRun(CkptManager *ckpts)
+{
+    const SyntheticProgram pp = makeUbench(UbenchId::LdintMem);
+    const SyntheticProgram ps = makeUbench(UbenchId::LdintMem);
+    CoreParams core;
+    core.fastForward = true;
+    const FameParams fame = ckptCaseFame();
+
+    CkptTimedRun run;
+    run.results.reserve(ckpt_case_pairs);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int p = 1; p <= ckpt_case_prios; ++p)
+        for (int s = 1; s <= ckpt_case_prios; ++s)
+            run.results.push_back(
+                runFame(core, &pp, &ps, p, s, fame, ckpts,
+                        ckpts ? ckpt_case_key : ""));
+    const auto t1 = std::chrono::steady_clock::now();
+    run.wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return run;
+}
+
+bool
+sameMatrixMeasurement(const CkptTimedRun &a, const CkptTimedRun &b)
+{
+    if (a.results.size() != b.results.size())
+        return false;
+    for (std::size_t i = 0; i < a.results.size(); ++i)
+        if (!sameMeasurement(a.results[i], b.results[i]))
+            return false;
+    return true;
+}
+
 } // namespace
 
 int
@@ -1478,6 +1902,68 @@ writePerfReport(const std::string &path, std::ostream &err)
         err << chip_case_name << ": " << slow.wallMs << " ms -> "
             << fast.wallMs << " ms (" << slow.wallMs / fast.wallMs
             << "x)" << (identical ? "" : "  STATS DEVIATE") << '\n';
+    }
+
+    {
+        // Checkpoint/fork over the priority matrix: same warm +
+        // order-balanced min-of-N protocol. Each checkpointed
+        // repetition gets a fresh CkptManager so every repetition
+        // pays exactly one warm-up (1 warm + 35 in-memory forks),
+        // never a warm image cached by an earlier repetition. The
+        // first-touch warm run uses the forked arm: it constructs
+        // the same programs and cores at a fraction of the cold
+        // arm's wall clock.
+        {
+            CkptManager warm_mgr;
+            timedMatrixRun(&warm_mgr);
+        }
+        CkptTimedRun cold, forked;
+        bool identical = true;
+        std::uint64_t warms = 0, forks = 0;
+        for (int rep = 0; rep < ckpt_case_reps; ++rep) {
+            const bool cold_first = (rep % 2) == 0;
+            CkptManager mgr;
+            CkptTimedRun c, f;
+            if (cold_first) {
+                c = timedMatrixRun(nullptr);
+                f = timedMatrixRun(&mgr);
+            } else {
+                f = timedMatrixRun(&mgr);
+                c = timedMatrixRun(nullptr);
+            }
+            identical = identical && sameMatrixMeasurement(c, f);
+            warms = mgr.warms();
+            forks = mgr.memForks();
+            if (rep == 0 || c.wallMs < cold.wallMs)
+                cold = std::move(c);
+            if (rep == 0 || f.wallMs < forked.wallMs)
+                forked = std::move(f);
+        }
+        identical = identical && warms == 1 &&
+                    forks == ckpt_case_pairs - 1;
+        all_identical = all_identical && identical;
+
+        std::uint64_t matrix_cycles = 0;
+        for (const FameResult &r : forked.results)
+            matrix_cycles += r.totalCycles;
+
+        w.beginObject();
+        w.member("name", ckpt_case_name);
+        w.member("checkpointed", true);
+        w.member("pairs", static_cast<std::int64_t>(ckpt_case_pairs));
+        w.member("warms", static_cast<std::int64_t>(warms));
+        w.member("memForks", static_cast<std::int64_t>(forks));
+        w.member("simCyclesMatrix", matrix_cycles);
+        w.member("wallMsCold", cold.wallMs);
+        w.member("wallMsCkpt", forked.wallMs);
+        w.member("speedup", cold.wallMs / forked.wallMs);
+        w.member("identicalStats", identical);
+        w.endObject();
+
+        err << ckpt_case_name << ": " << cold.wallMs << " ms -> "
+            << forked.wallMs << " ms ("
+            << cold.wallMs / forked.wallMs << "x)"
+            << (identical ? "" : "  STATS DEVIATE") << '\n';
     }
     w.endArray();
     w.endObject();

@@ -49,7 +49,9 @@ namespace {
 SimRunner
 makeRunner(const ExpConfig &config)
 {
-    return SimRunner(config.jobs, config.cache);
+    SimRunner runner(config.jobs, config.cache);
+    runner.setCheckpoints(config.checkpoints);
+    return runner;
 }
 
 ProgramSpec
@@ -65,6 +67,7 @@ stJob(const ExpConfig &config, UbenchId id)
     SimJob job = SimJob::fameSingle(ubSpec(config, id), config.core,
                                     config.fame);
     job.configTag = config.configTag;
+    job.warmTag = config.warmTag;
     return job;
 }
 
@@ -77,6 +80,7 @@ pairJob(const ExpConfig &config, UbenchId p, UbenchId s, int prio_p,
                                   prio_p, prio_s, config.core,
                                   config.fame);
     job.configTag = config.configTag;
+    job.warmTag = config.warmTag;
     return job;
 }
 
@@ -256,6 +260,7 @@ runFig5(SpecProxyId primary, SpecProxyId secondary,
         SimJob job =
             SimJob::famePair(p, s, pp, ps, config.core, config.fame);
         job.configTag = config.configTag;
+        job.warmTag = config.warmTag;
         jobs.push_back(std::move(job));
     }
 

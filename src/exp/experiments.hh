@@ -23,6 +23,7 @@
 
 namespace p5 {
 
+class CkptManager;
 class ResultCache;
 
 /** Shared experiment configuration. */
@@ -58,6 +59,14 @@ struct P5_CONFIG_STRUCT ExpConfig
     P5_ALLOW(config_completeness) ResultCache *cache = nullptr;
 
     /**
+     * Checkpoint manager the producers' runners warm FAME jobs through;
+     * nullptr runs every warm-up inline (the pre-checkpoint behaviour,
+     * bit-identical by construction). The driver owns one per
+     * invocation and optionally backs it with a persistent CkptStore.
+     */
+    P5_ALLOW(config_completeness) CkptManager *checkpoints = nullptr;
+
+    /**
      * Master seed folded into the config fingerprint; per-job RNG
      * streams derive from the job key (which embeds the fingerprint via
      * configTag), so changing the seed re-keys every randomized draw a
@@ -72,6 +81,13 @@ struct P5_CONFIG_STRUCT ExpConfig
      * see SimJob::configTag.
      */
     P5_ALLOW(config_completeness) std::string configTag;
+
+    /**
+     * Warm-phase fingerprint of the run this config was materialized
+     * from ("" for code-built configs). Producers fold it into every
+     * enumerated FAME job's warm key; see SimJob::warmTag.
+     */
+    P5_ALLOW(config_completeness) std::string warmTag;
 
     /** Reduced-accuracy configuration for smoke tests. */
     static ExpConfig fast();

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "ckpt/ckpt_io.hh"
+#include "ckpt/ckpt_manager.hh"
 #include "common/log.hh"
 
 namespace p5 {
@@ -61,8 +63,14 @@ struct RepTracker
 FameResult
 FameRunner::run(SmtCore &core)
 {
-    FameResult res;
+    const Cycle start = core.cycle();
+    runWarmup(core);
+    return measure(core, start);
+}
 
+void
+FameRunner::runWarmup(SmtCore &core)
+{
     std::array<bool, num_hw_threads> present{};
     int num_present = 0;
     for (ThreadId t = 0; t < num_hw_threads; ++t) {
@@ -74,9 +82,7 @@ FameRunner::run(SmtCore &core)
         fatal("FAME run with no attached threads");
 
     const Cycle start = core.cycle();
-    const Cycle limit = start + params_.maxCycles;
 
-    // ---- Phase 1: warm-up -------------------------------------------
     // Run until every thread has completed the warm-up repetitions and
     // its per-repetition IPC has stabilized (or the warm-up share of the
     // cycle budget is exhausted).
@@ -103,8 +109,25 @@ FameRunner::run(SmtCore &core)
             break;
         }
     }
+}
 
-    // ---- Phase 2: measurement ----------------------------------------
+FameResult
+FameRunner::measure(SmtCore &core, Cycle start)
+{
+    FameResult res;
+
+    std::array<bool, num_hw_threads> present{};
+    int num_present = 0;
+    for (ThreadId t = 0; t < num_hw_threads; ++t) {
+        present[static_cast<size_t>(t)] = core.threadAttached(t);
+        if (present[static_cast<size_t>(t)])
+            ++num_present;
+    }
+    if (num_present == 0)
+        fatal("FAME run with no attached threads");
+
+    const Cycle limit = start + params_.maxCycles;
+
     // Snapshot each thread at its last completed-repetition boundary and
     // account only full repetitions after the snapshot.
     struct Base
@@ -119,9 +142,6 @@ FameRunner::run(SmtCore &core)
             continue;
         base[ti].execs = core.executionsOf(t);
         base[ti].cycle = core.lastExecutionCycleOf(t);
-        trackers[ti] = RepTracker{};
-        trackers[ti].lastExecs = base[ti].execs;
-        trackers[ti].lastExecCycle = base[ti].cycle;
     }
 
     // Accumulated-average IPC history per thread: (reps, avg) samples,
@@ -208,18 +228,54 @@ FameRunner::run(SmtCore &core)
 FameResult
 runFame(const CoreParams &core_params, const SyntheticProgram *prog_p,
         const SyntheticProgram *prog_s, int prio_p, int prio_s,
-        const FameParams &fame_params)
+        const FameParams &fame_params, CkptManager *ckpts,
+        const std::string &warm_key)
 {
     if (!prog_p)
         fatal("runFame: primary program is required");
 
+    // Warm under the canonical priorities so the warm phase depends only
+    // on the warm key; the measured pair is applied at the boundary (see
+    // canonical_warm_priority). Fresh cores start at cycle 0, which is
+    // the anchor measure() expects whether the warm state was simulated
+    // here or restored from a checkpoint.
     SmtCore core(core_params);
-    core.attachThread(0, prog_p, prio_p);
+    core.attachThread(0, prog_p, canonical_warm_priority);
     if (prog_s)
-        core.attachThread(1, prog_s, prio_s);
+        core.attachThread(1, prog_s, canonical_warm_priority);
 
     FameRunner runner(fame_params);
-    return runner.run(core);
+
+    if (!ckpts) {
+        runner.runWarmup(core);
+        core.setPriorityPair(prio_p, prog_s ? prio_s : 0);
+        return runner.measure(core, 0);
+    }
+
+    if (warm_key.empty())
+        fatal("runFame: checkpointing requires a warm key");
+
+    const CkptManager::Acquired acq =
+        ckpts->acquire(warm_key, [&]() -> Checkpoint {
+            runner.runWarmup(core);
+            Checkpoint ck;
+            ck.warmKey = warm_key;
+            ck.fingerprint = ckptFingerprintHex(warm_key);
+            ck.warmCycles = core.cycle();
+            CkptWriter w;
+            core.saveState(w);
+            ck.state = w.data();
+            return ck;
+        });
+    if (!acq.created) {
+        // Fork: adopt a sibling's (or the store's) warm image instead
+        // of simulating the warm-up.
+        CkptReader r(acq.ckpt->state);
+        core.restoreState(r);
+        r.expectEnd();
+    }
+    core.setPriorityPair(prio_p, prog_s ? prio_s : 0);
+    return runner.measure(core, 0);
 }
 
 } // namespace p5

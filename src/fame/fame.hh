@@ -15,6 +15,7 @@
 #define P5SIM_FAME_FAME_HH
 
 #include <array>
+#include <string>
 
 #include "core/smt_core.hh"
 #include "program/program.hh"
@@ -109,9 +110,29 @@ class FameRunner
 
     /**
      * Run the workload attached to @p core until every attached thread
-     * satisfies FAME (min repetitions + MAIV convergence).
+     * satisfies FAME (min repetitions + MAIV convergence). Equivalent
+     * to runWarmup() followed by measure() anchored at the entry cycle.
      */
     FameResult run(SmtCore &core);
+
+    /**
+     * Phase 1 only: advance @p core until every attached thread has
+     * completed the warm-up repetitions and its per-repetition IPC has
+     * stabilized (or the warm-up cycle budget runs out). This is the
+     * phase a checkpoint snapshots: everything it does is a pure
+     * function of the warm key, never of the measured priority pair.
+     */
+    void runWarmup(SmtCore &core);
+
+    /**
+     * Phase 2 only: measure an already-warm @p core until convergence.
+     * @p start anchors the cycle guard and totalCycles accounting at
+     * the cycle the warm-up began (0 for a core warmed from fresh,
+     * whether directly or restored from a checkpoint), so a
+     * restored-then-measured run reports bit-identical results to a
+     * cold warm-then-measure run.
+     */
+    FameResult measure(SmtCore &core, Cycle start);
 
     const FameParams &params() const { return params_; }
 
@@ -130,17 +151,38 @@ class FameRunner
     ChunkHook hook_;
 };
 
+class CkptManager;
+
+/**
+ * Priority every thread warms up under, regardless of the pair being
+ * measured. Warming at a fixed canonical priority — (4,4) for pairs,
+ * 4 alone for singles — makes the entire warm phase a pure function of
+ * the warm key: all 36 priority pairs of a mix share one bit-identical
+ * warm trajectory, so one checkpoint forks across the whole matrix.
+ * The measured pair is applied at the warm/measure boundary, exactly
+ * where a real run would issue its priority-setting instructions after
+ * the caches and predictors have trained.
+ */
+constexpr int canonical_warm_priority = 4;
+
 /**
  * Convenience wrapper used throughout the experiments: build a fresh
- * core, attach @p prog_p (and @p prog_s unless null) with the given
- * priorities, and FAME-run it.
+ * core, attach @p prog_p (and @p prog_s unless null) at the canonical
+ * warm priority, warm it, switch to the given priorities, and measure.
  *
  * Passing prog_s == nullptr measures prog_p in single-thread mode.
+ *
+ * With @p ckpts attached the warm phase runs at most once per
+ * @p warm_key (see CkptManager): the first caller warms and snapshots,
+ * every later caller forks by restoring the snapshot into its fresh
+ * core. Checkpointed and cold paths produce bit-identical results.
  */
 FameResult runFame(const CoreParams &core_params,
                    const SyntheticProgram *prog_p,
                    const SyntheticProgram *prog_s, int prio_p, int prio_s,
-                   const FameParams &fame_params = FameParams{});
+                   const FameParams &fame_params = FameParams{},
+                   CkptManager *ckpts = nullptr,
+                   const std::string &warm_key = std::string());
 
 } // namespace p5
 

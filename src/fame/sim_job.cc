@@ -298,6 +298,33 @@ SimJob::key() const
     return out;
 }
 
+std::string
+SimJob::warmKey() const
+{
+    if (kind != SimJobKind::FamePair)
+        fatal("warmKey() on a non-FAME job");
+    // Mirrors key()'s FamePair arm minus the priority pair and the
+    // measurement-only FAME knobs: exactly the inputs the warm-up
+    // trajectory depends on under the canonical-warm protocol.
+    std::string out =
+        "warm|p{" + primary.key() + "}s{" + secondary.key() + "}";
+    kv(out, "warmPrio", canonical_warm_priority);
+    out += "fame-warm{";
+    kv(out, "warmReps", fame.warmupRepetitions);
+    kv(out, "warmTol", fame.warmupTolerance);
+    kv(out, "maxCycles", static_cast<std::uint64_t>(fame.maxCycles));
+    kv(out, "checkPeriod", static_cast<std::uint64_t>(fame.checkPeriod));
+    out += "}core{";
+    appendKey(out, core);
+    out += "}";
+    if (!warmTag.empty()) {
+        out += "wcfg{";
+        out += warmTag;
+        out += "}";
+    }
+    return out;
+}
+
 std::uint64_t
 SimJob::rngSeed() const
 {
@@ -311,7 +338,7 @@ SimJob::rngSeed() const
 }
 
 SimResult
-SimJob::execute() const
+SimJob::execute(CkptManager *ckpts) const
 {
     SimResult res;
     res.kind = kind;
@@ -319,14 +346,15 @@ SimJob::execute() const
 
     switch (kind) {
       case SimJobKind::FamePair: {
+        const std::string warm_key = ckpts ? warmKey() : std::string();
         const SyntheticProgram prog_p = primary.build();
         if (secondary.present()) {
             const SyntheticProgram prog_s = secondary.build();
             res.fame = runFame(core, &prog_p, &prog_s, prioPrimary,
-                               prioSecondary, fame);
+                               prioSecondary, fame, ckpts, warm_key);
         } else {
             res.fame = runFame(core, &prog_p, nullptr, prioPrimary,
-                               prioSecondary, fame);
+                               prioSecondary, fame, ckpts, warm_key);
         }
         break;
       }

@@ -113,6 +113,16 @@ struct SimJob
      */
     std::string configTag;
 
+    /**
+     * Warm-phase fingerprint of the enumerating config (the ConfigTree
+     * warm fingerprint; "" for code-built jobs). Folded into warmKey()
+     * the way configTag is folded into key(), so checkpoints created
+     * under one declared configuration are never restored into another
+     * even if a future warm-relevant config field stops being mirrored
+     * in the param structs above.
+     */
+    std::string warmTag;
+
     // --- factories ----------------------------------------------------
 
     /** Primary-only (single-thread mode) FAME job. */
@@ -150,10 +160,25 @@ struct SimJob
     /** SplitMix64-derived deterministic seed over key(). */
     std::uint64_t rngSeed() const;
 
+    /**
+     * Canonical warm-phase key (FAME jobs only): the slice of key()
+     * that determines the warm-up trajectory under the canonical-warm
+     * protocol. Drops the priority pair and the measurement-only FAME
+     * knobs (minRepetitions, maiv), keeps the programs, the core
+     * parameters, the warm-up parameters and the config warmTag. Equal
+     * warm keys iff two jobs can share one warmed-state checkpoint.
+     */
+    std::string warmKey() const;
+
     // --- execution ----------------------------------------------------
 
-    /** Run this job on the calling thread. */
-    SimResult execute() const;
+    /**
+     * Run this job on the calling thread. With @p ckpts, a FAME job
+     * warms through the manager — at most one simulated warm-up per
+     * warm key — and forks (restores) otherwise; results are
+     * bit-identical either way. Non-FAME kinds ignore @p ckpts.
+     */
+    SimResult execute(CkptManager *ckpts = nullptr) const;
 };
 
 } // namespace p5

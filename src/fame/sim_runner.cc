@@ -111,7 +111,7 @@ SimRunner::run(const std::vector<SimJob> &batch,
                 p.claim.promise->set_value(std::move(result));
                 return;
             }
-            result = p.job->execute();
+            result = p.job->execute(checkpoints_);
             if (store_)
                 store_->put(*p.job, result,
                             p.prov ? *p.prov : no_provenance);

@@ -32,6 +32,7 @@
 
 namespace p5 {
 
+class CkptManager;
 class ResultStore;
 struct StoreProvenance;
 
@@ -101,6 +102,15 @@ class SimRunner
     void setStore(ResultStore *store, bool read_through);
 
     /**
+     * Attach a checkpoint manager: FAME jobs executed by this runner
+     * warm through it (at most one simulated warm-up per warm key;
+     * siblings fork the snapshot). nullptr — the default — warms every
+     * job inline. Stats are bit-identical either way; only wall-clock
+     * changes. Not owned; must outlive the runner.
+     */
+    void setCheckpoints(CkptManager *ckpts) { checkpoints_ = ckpts; }
+
+    /**
      * Execute @p batch and return results in batch order. Every unique
      * key is executed at most once (per process, via the cache); an
      * exception from a job is rethrown here after the batch drains.
@@ -118,12 +128,14 @@ class SimRunner
     unsigned jobs() const { return jobs_; }
     ResultCache &cache() { return *cache_; }
     ResultStore *store() { return store_; }
+    CkptManager *checkpoints() { return checkpoints_; }
 
   private:
     unsigned jobs_;
     ResultCache *cache_;
     ResultStore *store_ = nullptr;
     bool storeReadThrough_ = false;
+    CkptManager *checkpoints_ = nullptr;
 };
 
 } // namespace p5

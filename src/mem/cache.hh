@@ -87,6 +87,12 @@ class Cache
     /** Register this cache's statistics into @p group. */
     void registerStats(StatGroup &group) const;
 
+    /** Serialize lines, recency clock, bandwidth gate and counters. */
+    void saveState(class CkptWriter &w) const;
+
+    /** Restore state saved by saveState(); geometry must match. */
+    void restoreState(class CkptReader &r);
+
   private:
     struct Line
     {

@@ -79,6 +79,12 @@ class MemBackside
 
     void registerStats(StatGroup &group) const;
 
+    /** Serialize L2/L3 contents and the DRAM bandwidth gate. */
+    void saveState(class CkptWriter &w) const;
+
+    /** Restore state saved by saveState(); geometry must match. */
+    void restoreState(class CkptReader &r);
+
   private:
     HierarchyParams params_;
     Cache l2_;
@@ -150,6 +156,16 @@ class CacheHierarchy
     }
 
     void registerStats(StatGroup &group) const;
+
+    /**
+     * Serialize L1D, both TLBs, the per-thread miss counters and the
+     * backside through backside_. @pre the backside is private to this
+     * hierarchy (checkpointing rejects shared-backside chips).
+     */
+    void saveState(class CkptWriter &w) const;
+
+    /** Restore state saved by saveState(); geometry must match. */
+    void restoreState(class CkptReader &r);
 
   private:
     HierarchyParams params_;

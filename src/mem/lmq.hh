@@ -88,6 +88,12 @@ class Lmq
 
     void registerStats(StatGroup &group) const;
 
+    /** Serialize busy windows and counters. */
+    void saveState(class CkptWriter &w) const;
+
+    /** Restore state saved by saveState(); capacity must match. */
+    void restoreState(class CkptReader &r);
+
   private:
     struct Window
     {

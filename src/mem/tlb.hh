@@ -61,6 +61,12 @@ class Tlb
 
     void registerStats(StatGroup &group) const;
 
+    /** Serialize entries, recency clock and counters. */
+    void saveState(class CkptWriter &w) const;
+
+    /** Restore state saved by saveState(); geometry must match. */
+    void restoreState(class CkptReader &r);
+
   private:
     struct Entry
     {

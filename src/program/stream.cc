@@ -73,6 +73,12 @@ InstrStream::reposition(SeqNum seq)
 }
 
 void
+InstrStream::seekTo(SeqNum seq)
+{
+    reposition(seq);
+}
+
+void
 InstrStream::rewindTo(SeqNum seq)
 {
     if (seq > pos_)

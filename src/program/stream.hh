@@ -52,6 +52,13 @@ class InstrStream
     /** Rewind so the next fetch() returns @p seq. @pre seq <= nextSeq. */
     void rewindTo(SeqNum seq);
 
+    /**
+     * Position the cursor at an arbitrary @p seq, forward or backward.
+     * Checkpoint restore uses this to reproduce a saved stream position
+     * on a freshly attached stream.
+     */
+    void seekTo(SeqNum seq);
+
     /** Completed program executions within the first @p seq instrs. */
     std::uint64_t
     executionsAt(SeqNum seq) const

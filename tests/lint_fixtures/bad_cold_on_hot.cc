@@ -1,0 +1,30 @@
+// p5lint fixture — analysis-only, never compiled.
+// BAD: a P5_HOT_PATH root reaches a P5_COLD function.  P5_COLD
+// declares the restore path legitimately off the per-cycle path, so
+// reaching it from a hot root contradicts the declaration; p5lint
+// must flag this with hot_path_no_alloc and nothing else.
+
+namespace fixture {
+
+struct HotRestore
+{
+    P5_HOT_PATH void tick();
+
+    P5_COLD void restoreState();
+
+    long cycle_ = 0;
+};
+
+void
+HotRestore::restoreState()
+{
+    cycle_ = 0;
+}
+
+void
+HotRestore::tick()
+{
+    restoreState(); // cold function on the per-cycle path
+}
+
+} // namespace fixture

@@ -1,0 +1,41 @@
+// p5lint fixture — analysis-only, never compiled.
+// BAD: a P5_SERIALIZE_ROOT's call tree iterates an unordered_map under
+// P5_ALLOW(determinism).  Inside a serialize root's reach the
+// exemption is void — hash-order iteration would feed the checkpoint
+// byte stream — so p5lint must flag this with determinism and nothing
+// else.
+
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Sink
+{
+    void put(long v);
+};
+
+struct WarmStats
+{
+    P5_ALLOW(determinism) // lookup-only in the report path
+    std::unordered_map<std::string, long> counters_;
+
+    P5_ALLOW(determinism) void dumpAll(Sink &sink) const;
+
+    P5_SERIALIZE_ROOT void saveState(Sink &sink) const;
+};
+
+void
+WarmStats::dumpAll(Sink &sink) const
+{
+    for (const auto &kv : counters_) // hash-order bytes
+        sink.put(kv.second);
+}
+
+void
+WarmStats::saveState(Sink &sink) const
+{
+    dumpAll(sink); // reach makes the allow above void
+}
+
+} // namespace fixture

@@ -1,0 +1,37 @@
+// p5lint fixture — analysis-only, never compiled.
+// GOOD twin of bad_cold_on_hot.cc: the P5_COLD restore path is called
+// only from an unannotated (non-hot) entry point, so both contracts
+// hold and p5lint must report nothing.
+
+namespace fixture {
+
+struct HotRestore
+{
+    P5_HOT_PATH void tick();
+
+    P5_COLD void restoreState();
+
+    void reset();
+
+    long cycle_ = 0;
+};
+
+void
+HotRestore::restoreState()
+{
+    cycle_ = 0;
+}
+
+void
+HotRestore::reset()
+{
+    restoreState(); // off the hot path: fine
+}
+
+void
+HotRestore::tick()
+{
+    ++cycle_;
+}
+
+} // namespace fixture

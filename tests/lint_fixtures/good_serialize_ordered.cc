@@ -1,0 +1,38 @@
+// p5lint fixture — analysis-only, never compiled.
+// GOOD twin of bad_serialize_unordered.cc: the serialize root's call
+// tree iterates a std::map, whose order is the key order — stable
+// bytes, no findings.
+
+#include <map>
+#include <string>
+
+namespace fixture {
+
+struct Sink
+{
+    void put(long v);
+};
+
+struct WarmStats
+{
+    std::map<std::string, long> counters_;
+
+    void dumpAll(Sink &sink) const;
+
+    P5_SERIALIZE_ROOT void saveState(Sink &sink) const;
+};
+
+void
+WarmStats::dumpAll(Sink &sink) const
+{
+    for (const auto &kv : counters_) // key-order: deterministic
+        sink.put(kv.second);
+}
+
+void
+WarmStats::saveState(Sink &sink) const
+{
+    dumpAll(sink);
+}
+
+} // namespace fixture

@@ -1,0 +1,479 @@
+/**
+ * @file
+ * Tests of the checkpoint/fork execution subsystem: warm-key identity
+ * (priorities and measurement knobs excluded), bit-identical
+ * restored-vs-cold measurements across the full priority-pair matrix,
+ * the on-disk checkpoint format's corruption/truncation/foreign-key
+ * quarantine discipline, version-pinning refusal, CkptManager
+ * warm/fork accounting, and invariant-checker re-arming on a restored
+ * core.
+ */
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <dirent.h>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/check.hh"
+#include "ckpt/ckpt.hh"
+#include "ckpt/ckpt_io.hh"
+#include "ckpt/ckpt_manager.hh"
+#include "config/config.hh"
+#include "core/smt_core.hh"
+#include "exp/experiments.hh"
+#include "fame/fame.hh"
+#include "fame/sim_job.hh"
+#include "ubench/ubench.hh"
+
+namespace p5 {
+namespace {
+
+FameParams
+fastFame()
+{
+    FameParams fame;
+    fame.minRepetitions = 3;
+    fame.warmupRepetitions = 1;
+    fame.maiv = 0.05;
+    fame.warmupTolerance = 0.25;
+    return fame;
+}
+
+SimJob
+fastPair(UbenchId p, UbenchId s, int prio_p, int prio_s)
+{
+    return SimJob::famePair(ProgramSpec::ubench(p, 0.5),
+                            ProgramSpec::ubench(s, 0.5), prio_p, prio_s,
+                            CoreParams{}, fastFame());
+}
+
+void
+expectIdentical(const FameResult &a, const FameResult &b)
+{
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.converged, b.converged);
+    EXPECT_EQ(a.hitCycleLimit, b.hitCycleLimit);
+    for (std::size_t t = 0;
+         t < static_cast<std::size_t>(num_hw_threads); ++t) {
+        SCOPED_TRACE(t);
+        EXPECT_EQ(a.thread[t].present, b.thread[t].present);
+        EXPECT_EQ(a.thread[t].executions, b.thread[t].executions);
+        EXPECT_EQ(a.thread[t].accountedCycles,
+                  b.thread[t].accountedCycles);
+        EXPECT_EQ(a.thread[t].accountedInstrs,
+                  b.thread[t].accountedInstrs);
+    }
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "p5sim_ckpt_" + name;
+}
+
+/** Per-test checkpoint directory, cleared of any previous run's files. */
+std::string
+freshCkptDir(const std::string &name)
+{
+    const std::string dir = tempPath(name);
+    DIR *top = ::opendir(dir.c_str());
+    if (top) {
+        while (const dirent *entry = ::readdir(top)) {
+            const std::string sub = entry->d_name;
+            if (sub == "." || sub == "..")
+                continue;
+            const std::string subpath = dir + "/" + sub;
+            DIR *shard = ::opendir(subpath.c_str());
+            if (shard) {
+                while (const dirent *file = ::readdir(shard)) {
+                    const std::string fname = file->d_name;
+                    if (fname != "." && fname != "..")
+                        std::remove((subpath + "/" + fname).c_str());
+                }
+                ::closedir(shard);
+                ::rmdir(subpath.c_str());
+            } else {
+                std::remove(subpath.c_str());
+            }
+        }
+        ::closedir(top);
+        ::rmdir(dir.c_str());
+    }
+    return dir;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+// --- warm-key identity -------------------------------------------------
+
+TEST(WarmKey, ExcludesPrioritiesAndMeasurementKnobs)
+{
+    const SimJob base = fastPair(UbenchId::CpuInt, UbenchId::LdintMem,
+                                 4, 4);
+
+    // All 36 priority pairs of one pair-mix collapse onto one key —
+    // the property the whole subsystem rests on.
+    for (int p = 1; p <= 6; ++p)
+        for (int s = 1; s <= 6; ++s)
+            EXPECT_EQ(fastPair(UbenchId::CpuInt, UbenchId::LdintMem, p,
+                               s)
+                          .warmKey(),
+                      base.warmKey());
+
+    // Measurement-only FAME knobs don't reach the warm phase.
+    {
+        SimJob j = base;
+        j.fame.minRepetitions = 50;
+        j.fame.maiv = 0.001;
+        EXPECT_EQ(j.warmKey(), base.warmKey());
+        EXPECT_NE(j.key(), base.key());
+    }
+
+    // Everything the warm trajectory depends on does change the key.
+    {
+        SimJob j = base;
+        j.fame.warmupRepetitions = 2;
+        EXPECT_NE(j.warmKey(), base.warmKey());
+    }
+    {
+        SimJob j = base;
+        j.core.lmqEntries = 16;
+        EXPECT_NE(j.warmKey(), base.warmKey());
+    }
+    EXPECT_NE(fastPair(UbenchId::CpuFp, UbenchId::LdintMem, 4, 4)
+                  .warmKey(),
+              base.warmKey());
+    EXPECT_NE(SimJob::fameSingle(ProgramSpec::ubench(UbenchId::CpuInt,
+                                                     0.5),
+                                 CoreParams{}, fastFame(), 4)
+                  .warmKey(),
+              base.warmKey());
+}
+
+TEST(WarmKey, NonFameJobsAreFatal)
+{
+    PipelineParams pp;
+    const SimJob job = SimJob::pipelineSmt(pp, CoreParams{});
+    EXPECT_EXIT(job.warmKey(), ::testing::ExitedWithCode(1),
+                "non-FAME");
+}
+
+TEST(WarmKey, ConfigWarmFingerprintExcludesMeasurementKnobs)
+{
+    ExpConfig a;
+    ConfigTree ta(a);
+    ta.validate();
+    ta.stampTag();
+
+    // Measurement-only paths: the full fingerprint moves, the warm
+    // fingerprint (and so every warm key stamped from it) does not.
+    for (const char *assignment :
+         {"fame.min_repetitions=37", "fame.maiv=0.002",
+          "exp.seed=123"}) {
+        SCOPED_TRACE(assignment);
+        ExpConfig b;
+        ConfigTree tb(b);
+        tb.applyOverride(assignment);
+        tb.validate();
+        tb.stampTag();
+        EXPECT_NE(b.configTag, a.configTag);
+        EXPECT_EQ(b.warmTag, a.warmTag);
+    }
+
+    // A core-geometry path moves both.
+    {
+        ExpConfig b;
+        ConfigTree tb(b);
+        tb.applyOverride("core.lmq_entries=16");
+        tb.validate();
+        tb.stampTag();
+        EXPECT_NE(b.configTag, a.configTag);
+        EXPECT_NE(b.warmTag, a.warmTag);
+    }
+}
+
+// --- restored-vs-cold equivalence --------------------------------------
+
+/**
+ * The acceptance sweep: every presented benchmark paired against a
+ * fixed partner, all 36 priority pairs, each measured twice — once
+ * cold (inline warm-up) and once through a shared CkptManager (one
+ * warm-up per pair-mix, 35 forks). Every measurement must be
+ * bit-identical; the manager must account one warm per mix.
+ */
+TEST(CkptEquivalence, RestoredRunsMatchColdAcrossThePairMatrix)
+{
+    CkptManager mgr;
+    std::uint64_t mixes = 0;
+    for (const UbenchId bench : presentedUbench()) {
+        SCOPED_TRACE(ubenchName(bench));
+        ++mixes;
+        for (int p = 1; p <= 6; ++p) {
+            for (int s = 1; s <= 6; ++s) {
+                SCOPED_TRACE(p * 10 + s);
+                const SimJob job =
+                    fastPair(bench, UbenchId::LdintMem, p, s);
+                const SimResult cold = job.execute(nullptr);
+                const SimResult forked = job.execute(&mgr);
+                expectIdentical(cold.fame, forked.fame);
+            }
+        }
+        // One warm-up per pair-mix, however many pairs share it.
+        EXPECT_EQ(mgr.warms(), mixes);
+        EXPECT_EQ(mgr.memForks(), mixes * 35);
+    }
+}
+
+TEST(CkptEquivalence, SingleThreadJobsForkToo)
+{
+    CkptManager mgr;
+    for (int prio : {2, 4, 6}) {
+        const SimJob job = SimJob::fameSingle(
+            ProgramSpec::ubench(UbenchId::LdintL2, 0.5), CoreParams{},
+            fastFame(), prio);
+        expectIdentical(job.execute(nullptr).fame,
+                        job.execute(&mgr).fame);
+    }
+    EXPECT_EQ(mgr.warms(), 1u);
+    EXPECT_EQ(mgr.memForks(), 2u);
+}
+
+// --- persistent store --------------------------------------------------
+
+TEST(CkptStoreTest, RoundTripAcrossManagers)
+{
+    const std::string dir = freshCkptDir("roundtrip");
+    const SimJob job =
+        fastPair(UbenchId::CpuInt, UbenchId::LdintL2, 4, 4);
+    const SimResult cold = job.execute(nullptr);
+
+    {
+        CkptStore store(dir);
+        CkptManager mgr;
+        mgr.setStore(&store);
+        expectIdentical(cold.fame, job.execute(&mgr).fame);
+        EXPECT_EQ(mgr.warms(), 1u);
+        EXPECT_EQ(store.writes(), 1u);
+        EXPECT_TRUE(fileExists(
+            store.pathFor(ckptFingerprintHex(job.warmKey()))));
+    }
+
+    // A second process (fresh manager, fresh store handle) forks from
+    // disk instead of warming, with bit-identical stats.
+    {
+        CkptStore store(dir);
+        CkptManager mgr;
+        mgr.setStore(&store);
+        expectIdentical(cold.fame, job.execute(&mgr).fame);
+        EXPECT_EQ(mgr.warms(), 0u);
+        EXPECT_EQ(mgr.storeForks(), 1u);
+        EXPECT_EQ(store.hits(), 1u);
+    }
+}
+
+/** Write one checkpoint for @p job, then return its on-disk path. */
+std::string
+publishOne(const std::string &dir, const SimJob &job)
+{
+    CkptStore store(dir);
+    CkptManager mgr;
+    mgr.setStore(&store);
+    job.execute(&mgr);
+    return store.pathFor(ckptFingerprintHex(job.warmKey()));
+}
+
+TEST(CkptStoreTest, TruncatedCheckpointIsQuarantinedAndRewarmed)
+{
+    const std::string dir = freshCkptDir("truncated");
+    const SimJob job =
+        fastPair(UbenchId::CpuInt, UbenchId::BrHit, 4, 4);
+    const std::string path = publishOne(dir, job);
+    const SimResult cold = job.execute(nullptr);
+
+    // Truncate the payload (keep the header line intact).
+    {
+        std::ifstream is(path, std::ios::binary);
+        std::string header;
+        std::getline(is, header);
+        is.close();
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os << header << '\n' << "short";
+    }
+
+    CkptStore store(dir);
+    Checkpoint out;
+    EXPECT_FALSE(store.load(job.warmKey(), out));
+    EXPECT_EQ(store.quarantined(), 1u);
+    EXPECT_FALSE(fileExists(path));
+    EXPECT_TRUE(fileExists(path + ".bad"));
+
+    // End to end: the quarantined file is a miss, not an error — the
+    // manager warms inline, republishes, and stats stay identical.
+    CkptManager mgr;
+    mgr.setStore(&store);
+    expectIdentical(cold.fame, job.execute(&mgr).fame);
+    EXPECT_EQ(mgr.warms(), 1u);
+    EXPECT_TRUE(fileExists(path));
+}
+
+TEST(CkptStoreTest, CorruptPayloadFailsTheChecksumAndIsQuarantined)
+{
+    const std::string dir = freshCkptDir("corrupt");
+    const SimJob job =
+        fastPair(UbenchId::LdintL1, UbenchId::LdintMem, 4, 4);
+    const std::string path = publishOne(dir, job);
+
+    // Flip one payload byte; the size still matches, so only the
+    // checksum can catch it.
+    {
+        std::fstream f(path,
+                       std::ios::binary | std::ios::in | std::ios::out);
+        std::string header;
+        std::getline(f, header);
+        f.seekp(static_cast<std::streamoff>(header.size()) + 10);
+        f.put(static_cast<char>(0xa5));
+    }
+
+    CkptStore store(dir);
+    Checkpoint out;
+    EXPECT_FALSE(store.load(job.warmKey(), out));
+    EXPECT_EQ(store.quarantined(), 1u);
+    EXPECT_TRUE(fileExists(path + ".bad"));
+}
+
+TEST(CkptStoreTest, ForeignWarmKeyIsQuarantined)
+{
+    const std::string dir = freshCkptDir("foreign_key");
+    const SimJob a = fastPair(UbenchId::CpuInt, UbenchId::CpuFp, 4, 4);
+    const SimJob b =
+        fastPair(UbenchId::LdintL2, UbenchId::LdintL3, 4, 4);
+    const std::string path_a = publishOne(dir, a);
+
+    // Plant a's (internally valid) checkpoint at b's address: the
+    // embedded warm key betrays it.
+    CkptStore store(dir);
+    const std::string path_b =
+        store.pathFor(ckptFingerprintHex(b.warmKey()));
+    ::mkdir(path_b.substr(0, path_b.rfind('/')).c_str(), 0777);
+    {
+        std::ifstream is(path_a, std::ios::binary);
+        std::ofstream os(path_b, std::ios::binary);
+        ASSERT_TRUE(os.good());
+        os << is.rdbuf();
+    }
+
+    Checkpoint out;
+    EXPECT_FALSE(store.load(b.warmKey(), out));
+    EXPECT_EQ(store.quarantined(), 1u);
+    EXPECT_TRUE(fileExists(path_b + ".bad"));
+    // a's own copy is untouched and still loads.
+    EXPECT_TRUE(store.load(a.warmKey(), out));
+}
+
+TEST(CkptStoreDeath, ForeignFormatVersionIsRefused)
+{
+    const std::string dir = freshCkptDir("foreign_version");
+    { CkptStore store(dir); } // writes ckpt_meta.json
+    {
+        std::ofstream os(dir + "/ckpt_meta.json", std::ios::trunc);
+        os << "{\n  \"ckptVersion\": 99,\n  \"schemaVersion\": "
+           << config_schema_version << "\n}\n";
+    }
+    EXPECT_EXIT(CkptStore store(dir), ::testing::ExitedWithCode(1),
+                "format v99");
+}
+
+TEST(CkptStoreDeath, ForeignConfigSchemaIsRefused)
+{
+    const std::string dir = freshCkptDir("foreign_schema");
+    { CkptStore store(dir); }
+    {
+        std::ofstream os(dir + "/ckpt_meta.json", std::ios::trunc);
+        os << "{\n  \"ckptVersion\": " << ckpt_format_version
+           << ",\n  \"schemaVersion\": 99\n}\n";
+    }
+    EXPECT_EXIT(CkptStore store(dir), ::testing::ExitedWithCode(1),
+                "schema");
+}
+
+TEST(CkptManagerDeath, CheckpointCreatedUnderTheWrongKeyIsFatal)
+{
+    CkptManager mgr;
+    EXPECT_EXIT(mgr.acquire("warm|key-a",
+                            []() -> Checkpoint {
+                                Checkpoint ck;
+                                ck.warmKey = "warm|key-b";
+                                return ck;
+                            }),
+                ::testing::ExitedWithCode(1), "claimed as");
+}
+
+// --- checker re-arm ----------------------------------------------------
+
+/**
+ * A restored core must satisfy the p5check invariant checkers exactly
+ * like a warmed one: checkers baseline on their first observation, so
+ * attaching them to a forked core and measuring must record zero
+ * violations while actually checking cycles.
+ */
+TEST(CkptCheckers, ReArmCleanlyOnARestoredCore)
+{
+    const FameParams fame = fastFame();
+    const SyntheticProgram pp = makeUbench(UbenchId::CpuInt, 0.5);
+    const SyntheticProgram ps = makeUbench(UbenchId::LdintMem, 0.5);
+
+    // Warm a creator core and snapshot it.
+    Checkpoint ck;
+    {
+        CoreParams params;
+        SmtCore core(params);
+        core.attachThread(0, &pp, canonical_warm_priority);
+        core.attachThread(1, &ps, canonical_warm_priority);
+        FameRunner runner(fame);
+        runner.runWarmup(core);
+        ck.warmCycles = core.cycle();
+        CkptWriter w;
+        core.saveState(w);
+        ck.state = w.data();
+    }
+
+    // Fork it into a fresh core that carries the full checker suite
+    // (collect mode, so a violation fails the test instead of
+    // aborting) and run the measurement phase under their watch.
+    CoreParams params;
+    SmtCore core(params);
+    core.attachThread(0, &pp, canonical_warm_priority);
+    core.attachThread(1, &ps, canonical_warm_priority);
+    check::installStandardCheckers(core);
+    core.checks().setFatal(false);
+    {
+        CkptReader r(ck.state);
+        core.restoreState(r);
+        r.expectEnd();
+    }
+    core.setPriorityPair(6, 2);
+    FameRunner runner(fame);
+    const FameResult result = runner.measure(core, 0);
+
+    EXPECT_TRUE(result.thread[0].executions > 0);
+    EXPECT_EQ(core.checks().failureCount(), 0u)
+        << (core.checks().failures().empty()
+                ? ""
+                : core.checks().failures().front().describe());
+    EXPECT_GT(core.checks().cyclesChecked() +
+                  core.checks().cyclesSkipped(),
+              0u);
+}
+
+} // namespace
+} // namespace p5

@@ -419,7 +419,7 @@ TEST(ConfigCoverage, BoundStructSizesArePinned)
     EXPECT_EQ(sizeof(CoreParams), 376u);
     EXPECT_EQ(sizeof(FameParams), 48u);
     EXPECT_EQ(sizeof(SchedParams), 24u);
-    EXPECT_EQ(sizeof(ExpConfig), 544u);
+    EXPECT_EQ(sizeof(ExpConfig), 584u);
 }
 
 TEST(ConfigCoverage, BoundPathAndIdentityCountsArePinned)

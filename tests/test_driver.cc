@@ -624,14 +624,9 @@ TEST(Driver, ConcurrentShardInvocationsShareOneStore)
     ASSERT_EQ(r0.exitCode, 0);
     ASSERT_EQ(r1.exitCode, 0);
 
-    // Zero lost or duplicated points: all four product points are on
-    // disk exactly once, and both writers account for their half.
+    // Both writers account for their half of the product...
     const JsonValue report_0 = readReport(s0);
     const JsonValue report_1 = readReport(s1);
-    EXPECT_EQ(
-        report_0.find("data")->find("store")->find("entries")->asInt() +
-            0,
-        4);
     EXPECT_EQ(report_0.find("data")
                       ->find("store")
                       ->find("recomputed")
@@ -641,6 +636,28 @@ TEST(Driver, ConcurrentShardInvocationsShareOneStore)
                       ->find("recomputed")
                       ->asInt(),
               4);
+
+    // ...and zero points were lost or duplicated. Asserted after both
+    // shards have fully joined (a shard's own report may legitimately
+    // be written while its sibling is still publishing): a full resume
+    // pass sees all four points on disk and recomputes nothing.
+    const std::string full = tempPath("conc_full.json");
+    const Invocation rf = invokeWithInput(
+        {"sweep", "--fast", "--sweep", axis, "--sweep",
+         "core.walker_port_gap=1,3", "--store", dir.c_str(), "--resume",
+         ("--json=" + full).c_str()},
+        "");
+    ASSERT_EQ(rf.exitCode, 0);
+    const JsonValue report_full = readReport(full);
+    EXPECT_EQ(
+        report_full.find("data")->find("store")->find("entries")->asInt(),
+        4);
+    EXPECT_EQ(report_full.find("data")
+                  ->find("store")
+                  ->find("recomputed")
+                  ->asInt(),
+              0);
+    std::remove(full.c_str());
     std::remove(s0.c_str());
     std::remove(s1.c_str());
 }
@@ -772,6 +789,225 @@ TEST(DriverDeath, ServeRequiresAStore)
     EXPECT_EXIT(invoke({"serve", "--fast"}),
                 ::testing::ExitedWithCode(1),
                 "serve requires --store");
+}
+
+TEST(Driver, ServeAnswersMultiGetAndMget)
+{
+    const std::string dir = freshStoreDir("serve_mget");
+    FameParams fame;
+    fame.minRepetitions = 3;
+    fame.warmupRepetitions = 1;
+    fame.maiv = 0.05;
+    fame.warmupTolerance = 0.25;
+    const SimJob job_a = SimJob::famePair(
+        ProgramSpec::ubench(UbenchId::CpuInt, 0.5),
+        ProgramSpec::ubench(UbenchId::CpuInt, 0.5), 2, 6, CoreParams{},
+        fame);
+    const SimJob job_b = SimJob::famePair(
+        ProgramSpec::ubench(UbenchId::CpuInt, 0.5),
+        ProgramSpec::ubench(UbenchId::CpuInt, 0.5), 6, 2, CoreParams{},
+        fame);
+    const std::string fp_a = ResultStore::fingerprintHex(job_a);
+    const std::string fp_b = ResultStore::fingerprintHex(job_b);
+    {
+        ResultStore store(dir);
+        store.put(job_a, job_a.execute(), StoreProvenance{});
+        store.put(job_b, job_b.execute(), StoreProvenance{});
+    }
+
+    const Invocation serve = invokeWithInput(
+        {"serve", "--fast", "--store", dir.c_str()},
+        "get " + fp_a + " " + fp_b + " 0123456789abcdef\n" +
+            "mget " + fp_a + " 0123456789abcdef\n" + "mget\nquit\n");
+    ASSERT_EQ(serve.exitCode, 0);
+    std::istringstream lines(serve.out);
+    std::string line;
+
+    // Multi-get: one reply line per fingerprint, in request order,
+    // with misses as inline error lines that don't end the batch.
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_NE(line.find("\"fingerprint\": \"" + fp_a + "\""),
+              std::string::npos)
+        << line;
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_NE(line.find("\"fingerprint\": \"" + fp_b + "\""),
+              std::string::npos)
+        << line;
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_NE(line.find("no stored result"), std::string::npos) << line;
+
+    // mget: exactly one reply line; "results" parallels the request.
+    ASSERT_TRUE(std::getline(lines, line));
+    {
+        const JsonValue reply = parseJson(line);
+        const JsonValue *results = reply.find("results");
+        ASSERT_NE(results, nullptr);
+        ASSERT_TRUE(results->isArray());
+        ASSERT_EQ(results->elements().size(), 2u);
+        EXPECT_EQ(
+            results->elements()[0].find("fingerprint")->asString(),
+            fp_a);
+        ASSERT_NE(results->elements()[1].find("error"), nullptr);
+    }
+
+    // Zero fingerprints is a usage error, then the clean shutdown.
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_NE(line.find("mget expects"), std::string::npos) << line;
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_NE(line.find("\"ok\": true"), std::string::npos) << line;
+    EXPECT_FALSE(std::getline(lines, line)) << line;
+}
+
+// --- store-gc ----------------------------------------------------------
+
+TEST(Driver, StoreGcReclaimsDeadFilesOnlyOnApply)
+{
+    const std::string dir = freshStoreDir("store_gc");
+    ASSERT_EQ(invoke({"sweep", "--fast", "--sweep",
+                      "core.mem.dram_latency=215,275", "--store",
+                      dir.c_str()})
+                  .exitCode,
+              0);
+
+    // Plant every flavor of garbage next to the live entries.
+    std::string shard;
+    {
+        DIR *top = ::opendir(dir.c_str());
+        ASSERT_NE(top, nullptr);
+        while (const dirent *entry = ::readdir(top)) {
+            const std::string name = entry->d_name;
+            if (name == "." || name == ".." || name == "ckpt" ||
+                name.find('.') != std::string::npos)
+                continue;
+            shard = dir + "/" + name;
+            break;
+        }
+        ::closedir(top);
+    }
+    ASSERT_FALSE(shard.empty());
+    const std::string bad = shard + "/deadbeefdeadbeef-v1.json.bad";
+    const std::string temp = shard + "/feedfacefeedface-v1.json.tmp.7";
+    const std::string old_gen = shard + "/0123456789abcdef-v0.json";
+    for (const std::string &path : {bad, temp, old_gen})
+        std::ofstream(path) << "junk\n";
+
+    // Dry run (the default): candidates are listed, nothing deleted.
+    const Invocation dry =
+        invoke({"store-gc", "--store", dir.c_str()});
+    ASSERT_EQ(dry.exitCode, 0);
+    EXPECT_NE(dry.out.find("quarantined"), std::string::npos);
+    EXPECT_NE(dry.out.find("orphan temp"), std::string::npos);
+    EXPECT_NE(dry.out.find("superseded result schema"),
+              std::string::npos);
+    EXPECT_NE(dry.out.find("dry run"), std::string::npos);
+    for (const std::string &path : {bad, temp, old_gen}) {
+        std::ifstream is(path);
+        EXPECT_TRUE(is.good()) << path;
+    }
+
+    // Apply: the garbage goes, the live entries and meta stay.
+    const std::string gc_json = tempPath("store_gc.json");
+    const Invocation applied =
+        invoke({"store-gc", "--store", dir.c_str(), "--apply",
+                ("--json=" + gc_json).c_str()});
+    ASSERT_EQ(applied.exitCode, 0);
+    for (const std::string &path : {bad, temp, old_gen}) {
+        std::ifstream is(path);
+        EXPECT_FALSE(is.good()) << path;
+    }
+    {
+        std::ifstream is(dir + "/store_meta.json");
+        EXPECT_TRUE(is.good());
+        ResultStore reopened(dir);
+        EXPECT_EQ(reopened.countEntries(), 2u);
+    }
+    const JsonValue report = readReport(gc_json);
+    EXPECT_EQ(report.find("experiment")->asString(), "store-gc");
+    EXPECT_TRUE(report.find("applied")->asBool());
+    EXPECT_EQ(report.find("candidates")->asInt(), 3);
+    EXPECT_EQ(report.find("removed")->asInt(), 3);
+    EXPECT_GT(report.find("bytesReclaimed")->asInt(), 0);
+
+    // A clean store has nothing to collect.
+    const Invocation clean =
+        invoke({"store-gc", "--store", dir.c_str()});
+    ASSERT_EQ(clean.exitCode, 0);
+    EXPECT_NE(clean.out.find("0 candidates"), std::string::npos);
+    std::remove(gc_json.c_str());
+}
+
+TEST(DriverDeath, StoreGcRequiresAStore)
+{
+    EXPECT_EXIT(invoke({"store-gc"}), ::testing::ExitedWithCode(1),
+                "store-gc requires --store");
+}
+
+// --- checkpointed experiments ------------------------------------------
+
+/**
+ * Driver-level acceptance of the checkpoint/fork path: table3 runs
+ * that differ only in exp.seed share warm keys (the seed is
+ * measurement provenance, not warm identity), so the second process
+ * forks every warm-up from the first one's --checkpoint-dir — and both
+ * print byte-identical tables to a cold (--no-checkpoint) run's.
+ */
+TEST(Driver, CheckpointedTable3IsByteIdenticalAndAccounted)
+{
+    const std::string ck = freshStoreDir("ck_table3");
+    const std::string j1 = tempPath("ck_t3_1.json");
+    const std::string j2 = tempPath("ck_t3_2.json");
+    const std::string j3 = tempPath("ck_t3_3.json");
+
+    const Invocation r1 =
+        invoke({"table3", "--fast", "--seed", "1001",
+                ("--checkpoint-dir=" + ck).c_str(),
+                ("--json=" + j1).c_str()});
+    const Invocation r2 =
+        invoke({"table3", "--fast", "--seed", "1002",
+                ("--checkpoint-dir=" + ck).c_str(),
+                ("--json=" + j2).c_str()});
+    const Invocation r3 =
+        invoke({"table3", "--fast", "--seed", "1003", "--no-checkpoint",
+                ("--json=" + j3).c_str()});
+    ASSERT_EQ(r1.exitCode, 0);
+    ASSERT_EQ(r2.exitCode, 0);
+    ASSERT_EQ(r3.exitCode, 0);
+
+    // Checkpointing must be invisible in the table output.
+    EXPECT_EQ(r1.out, r3.out);
+    EXPECT_EQ(r2.out, r3.out);
+
+    // Accounting: run 1 warms everything; run 2 (fresh job keys, so no
+    // in-process cache hits) forks every warm key from the store.
+    const JsonValue report_1 = readReport(j1);
+    const JsonValue report_2 = readReport(j2);
+    const JsonValue report_3 = readReport(j3);
+    const JsonValue *ck1 =
+        report_1.find("provenance")->find("checkpoints");
+    const JsonValue *ck2 =
+        report_2.find("provenance")->find("checkpoints");
+    const JsonValue *ck3 =
+        report_3.find("provenance")->find("checkpoints");
+    ASSERT_NE(ck1, nullptr);
+    ASSERT_NE(ck2, nullptr);
+    ASSERT_NE(ck3, nullptr);
+    EXPECT_TRUE(ck1->find("enabled")->asBool());
+    const std::int64_t warmed = ck1->find("warms")->asInt();
+    EXPECT_GT(warmed, 0);
+    EXPECT_EQ(ck1->find("storeForks")->asInt(), 0);
+    EXPECT_EQ(ck2->find("warms")->asInt(), 0);
+    EXPECT_EQ(ck2->find("storeForks")->asInt(), warmed);
+    EXPECT_FALSE(ck3->find("enabled")->asBool());
+
+    // The accounting line goes to stderr, never stdout.
+    EXPECT_NE(r1.err.find("checkpoints:"), std::string::npos);
+    EXPECT_NE(r2.err.find("restored from store"), std::string::npos);
+    EXPECT_EQ(r3.err.find("checkpoints:"), std::string::npos);
+    EXPECT_EQ(r1.out.find("checkpoints:"), std::string::npos);
+
+    std::remove(j1.c_str());
+    std::remove(j2.c_str());
+    std::remove(j3.c_str());
 }
 
 // --- run ---------------------------------------------------------------

@@ -33,6 +33,10 @@ CASES = [
     ("good_seeded_rng.cc", None),
     ("bad_unbound_field.cc", "config_completeness"),
     ("good_bound_field.cc", None),
+    ("bad_serialize_unordered.cc", "determinism"),
+    ("good_serialize_ordered.cc", None),
+    ("bad_cold_on_hot.cc", "hot_path_no_alloc"),
+    ("good_cold_off_hot.cc", None),
 ]
 
 

@@ -21,7 +21,16 @@ Checks, per baseline case (matched by name):
     the busy-path overhaul the fast-forward engine must not cost wall
     clock on any workload, so a sub-parity case is a regression in its
     own right, whatever the committed baseline says (no re-baking
-    regressions into the baseline).
+    regressions into the baseline);
+  * checkpointed cases (marked ``"checkpointed": true``) compare the
+    checkpoint/fork path against the fast-forward-only path over a
+    priority matrix.  Their fork accounting (``warms``/``memForks``)
+    must match the baseline exactly, the two arms' stats must be
+    bit-identical, ``simCyclesMatrix`` must be within the relative
+    tolerance, and the speedup must clear both the relative floor and
+    an absolute 2.0x floor — amortizing one warm-up across the matrix
+    is the feature's reason to exist, so a sub-2x result means the
+    fork path has regressed, whatever the baseline says.
 
 The jitter margin exists because compute-bound cases sit at true
 parity (~1.00x): the engine neither skips nor probes there, and the
@@ -40,12 +49,52 @@ REL_TOLERANCE = 0.25
 SPEEDUP_FLOOR = 0.75
 SPEEDUP_ABS_FLOOR = 1.0
 JITTER_MARGIN = 0.07
+CKPT_SPEEDUP_ABS_FLOOR = 2.0
 
 
 def within(actual, expected, tolerance):
     if expected == 0:
         return actual == 0
     return abs(actual - expected) <= tolerance * abs(expected)
+
+
+def compare_checkpointed(name, base, case):
+    """Gate one checkpoint/fork matrix case against its baseline."""
+    errors = []
+    if not case.get("checkpointed"):
+        errors.append(f"{name}: baseline is checkpointed but the fresh "
+                      f"case is not")
+        return errors
+    if not case.get("identicalStats", False):
+        errors.append(f"{name}: stats deviate between the cold and "
+                      f"forked arms")
+    for member in ("pairs", "warms", "memForks"):
+        if case.get(member) != base[member]:
+            errors.append(
+                f"{name}: {member} {case.get(member)} != baseline "
+                f"{base[member]} — the fork path is not amortizing "
+                f"one warm-up across the matrix")
+    if not within(case["simCyclesMatrix"], base["simCyclesMatrix"],
+                  REL_TOLERANCE):
+        errors.append(
+            f"{name}: simCyclesMatrix {case['simCyclesMatrix']} "
+            f"outside {REL_TOLERANCE:.0%} of baseline "
+            f"{base['simCyclesMatrix']}")
+    if case["speedup"] < base["speedup"] * SPEEDUP_FLOOR:
+        errors.append(
+            f"{name}: speedup {case['speedup']:.2f}x below "
+            f"{SPEEDUP_FLOOR:.0%} of baseline {base['speedup']:.2f}x")
+    elif case["speedup"] < CKPT_SPEEDUP_ABS_FLOOR:
+        errors.append(
+            f"{name}: speedup {case['speedup']:.2f}x below the "
+            f"absolute {CKPT_SPEEDUP_ABS_FLOOR:.1f}x checkpoint floor "
+            f"— forking the warm state must at least halve the matrix "
+            f"wall clock")
+    else:
+        print(f"{name}: speedup {case['speedup']:.2f}x "
+              f"(baseline {base['speedup']:.2f}x, ckpt floor "
+              f"{CKPT_SPEEDUP_ABS_FLOOR:.1f}x) OK")
+    return errors
 
 
 def compare(baseline, fresh):
@@ -56,6 +105,9 @@ def compare(baseline, fresh):
         case = fresh_by_name.get(name)
         if case is None:
             errors.append(f"{name}: missing from fresh report")
+            continue
+        if base.get("checkpointed"):
+            errors.extend(compare_checkpointed(name, base, case))
             continue
         if not case.get("identicalStats", False):
             errors.append(f"{name}: stats deviate between engine modes")

@@ -11,14 +11,27 @@ Four rules, driven by the exported compile_commands.json:
                        members or globals.
   determinism          no iteration over unordered containers, no
                        pointer-keyed default sorts, no banned RNG/clock
-                       identifiers outside src/common/rng.hh.
+                       identifiers outside src/common/rng.hh.  Inside
+                       the reach of a P5_SERIALIZE_ROOT (checkpoint
+                       serialize/restore entry point) the unordered-
+                       iteration ban is absolute: P5_ALLOW(determinism)
+                       covers lookup-only access, which cannot be told
+                       apart from iteration feeding the serialized byte
+                       stream, so the exemption is void there.
   config_completeness  every field of a P5_CONFIG_STRUCT must be bound
                        by a bind* call in ConfigTree::bindAll().
 
+hot_path_no_alloc additionally rejects any P5_COLD function reachable
+from a hot root: P5_COLD documents a path (checkpoint restore, store
+I/O) as legitimately off the per-cycle path, and reaching one from a
+P5_HOT_PATH root contradicts that declaration outright, whatever the
+callee does.
+
 Annotations come from src/common/annotate.hh (P5_HOT_PATH,
-P5_PROBE_PURE, P5_CONFIG_STRUCT, P5_ALLOW(rule)).  P5_ALLOW placed on a
-declaration exempts the whole function/member from one rule; placed at
-the start of a statement it exempts that statement only.
+P5_PROBE_PURE, P5_CONFIG_STRUCT, P5_SERIALIZE_ROOT, P5_COLD,
+P5_ALLOW(rule)).  P5_ALLOW placed on a declaration exempts the whole
+function/member from one rule; placed at the start of a statement it
+exempts that statement only.
 
 Frontends:
   lex   (default) a self-contained C++ lexer/parser tuned to this
@@ -55,6 +68,8 @@ RULES = ("hot_path_no_alloc", "probe_purity", "determinism",
 ANNO_HOT = "hot_path"
 ANNO_PURE = "probe_pure"
 ANNO_CONFIG = "config_struct"
+ANNO_SERIALIZE = "serialize_root"
+ANNO_COLD = "cold"
 
 # Methods that (re)allocate when invoked on a std container or on an
 # unresolved receiver.  Resolved project-class methods are descended
@@ -259,6 +274,8 @@ ANNO_TOKENS = {
     "P5_HOT_PATH": ANNO_HOT,
     "P5_PROBE_PURE": ANNO_PURE,
     "P5_CONFIG_STRUCT": ANNO_CONFIG,
+    "P5_SERIALIZE_ROOT": ANNO_SERIALIZE,
+    "P5_COLD": ANNO_COLD,
 }
 
 DECL_QUALIFIERS = {"virtual", "static", "inline", "constexpr", "explicit",
@@ -951,7 +968,8 @@ def scan_body(model: Model, fn: Func):
                                    allows=set(stmt_allows), is_new=True))
             i += 2
             continue
-        if t.kind == "id" and i + 1 < n and body[i + 1].text == "(":
+        if t.kind == "id" and text != "for" and i + 1 < n and \
+                body[i + 1].text == "(":
             prev = body[i - 1].text if i > 0 else ""
             qual = ""
             recv_type = ""
@@ -1184,11 +1202,40 @@ class Analysis:
                         work.append(t)
         return reached
 
+    def reach_ignoring_allows(self, anno):
+        """BFS from annotated roots like reach(), but P5_ALLOW(rule)
+        neither stops the descent nor exempts a node: used where the
+        contract is absolute (serialize roots)."""
+        reached = {}
+        work = []
+        for r in self.roots(anno):
+            reached[id(r)] = (r, r.qname)
+            work.append(r)
+        while work:
+            fn = work.pop()
+            _, via = reached[id(fn)]
+            # "__no_rule__" so statement-level P5_ALLOW(rule) does not
+            # prune the call graph either.
+            resolved, _ = self.callees(fn, "__no_rule__")
+            for ev, targets in resolved:
+                for t in targets:
+                    if id(t) in reached:
+                        continue
+                    reached[id(t)] = (t, f"{via} -> {t.qname}")
+                    if t.body:
+                        work.append(t)
+        return reached
+
     # ---- rule 1: hot_path_no_alloc --------------------------------------
 
     def run_hot_path(self):
         rule = "hot_path_no_alloc"
         for fn, via in self.reach(ANNO_HOT, rule).values():
+            if ANNO_COLD in fn.annos:
+                self.add(fn.file, fn.qname, rule, fn.line,
+                         f"P5_COLD function reachable from a hot root "
+                         f"via {via} — restore/IO paths must stay off "
+                         f"the per-cycle path")
             if not fn.body:
                 continue
             _, leaves = self.callees(fn, rule)
@@ -1308,6 +1355,46 @@ class Analysis:
                              f"'{t.text}' is a nondeterminism source — "
                              "use p5::Rng (src/common/rng.hh)")
                     break
+
+        # Serialize roots (P5_SERIALIZE_ROOT: the checkpoint
+        # saveState/restoreState entry points). Everything in their
+        # reach feeds — or orders the reads of — the serialized byte
+        # stream, so unordered-container iteration is an error even
+        # under P5_ALLOW(determinism): the allow escape covers
+        # lookup-only access, which this audit cannot distinguish from
+        # iteration that emits bytes. Only occurrences the general
+        # pass exempted are reported here, so nothing is flagged
+        # twice.
+        for fn, via in self.reach_ignoring_allows(ANNO_SERIALIZE) \
+                .values():
+            if not fn.body:
+                continue
+            fn_exempt = fn.allows(rule)
+            events, _ = scan_body(self.model, fn)
+            for ev in events:
+                if isinstance(ev, tuple) and ev[0] == "range_for":
+                    _, rng_type, line, allows = ev
+                    if not (fn_exempt or rule in allows):
+                        continue
+                    if rng_type and UNORDERED_RE.search(rng_type):
+                        self.add(fn.file, fn.qname, rule, line,
+                                 "iterates an unordered container "
+                                 f"({rng_type.strip()}) inside a "
+                                 f"serialize root's reach (via {via}) "
+                                 "— P5_ALLOW(determinism) does not "
+                                 "apply to the serialized byte stream")
+                elif isinstance(ev, CallSite):
+                    if not (fn_exempt or rule in ev.allows):
+                        continue
+                    if ev.name in ("begin", "cbegin") and \
+                            ev.recv_type and \
+                            UNORDERED_RE.search(ev.recv_type):
+                        self.add(fn.file, fn.qname, rule, ev.line,
+                                 "iterates an unordered container "
+                                 f"({ev.recv_type.strip()}) inside a "
+                                 f"serialize root's reach (via {via}) "
+                                 "— P5_ALLOW(determinism) does not "
+                                 "apply to the serialized byte stream")
 
     # ---- rule 4: config_completeness ------------------------------------
 
