@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "common/log.hh"
+#include "common/parse.hh"
 
 namespace p5 {
 
@@ -746,22 +747,41 @@ class JsonParser
         if (pos_ == start || (text_[start] == '-' && pos_ == start + 1))
             error("invalid number");
         const std::string token(text_.substr(start, pos_ - start));
+        // JSON forbids leading zeros ("010"); parseInt64 would read
+        // them as octal, silently changing the value, so reject them
+        // here before delegating.
+        const std::size_t digit0 =
+            start + (text_[start] == '-' ? 1 : 0);
+        if (integral && text_[digit0] == '0' && pos_ > digit0 + 1) {
+            pos_ = start;
+            badNumber(token);
+        }
         if (integral) {
-            errno = 0;
-            char *end = nullptr;
-            const long long v = std::strtoll(token.c_str(), &end, 10);
-            if (errno == 0 && end && *end == '\0')
+            std::int64_t v = 0;
+            const ParseStatus st = parseInt64(token, v);
+            if (st == ParseStatus::Ok)
                 return JsonValue::makeInt(v);
+            if (st != ParseStatus::OutOfRange) {
+                pos_ = start;
+                badNumber(token);
+            }
             // Out-of-range integers fall through to double.
         }
-        errno = 0;
-        char *end = nullptr;
-        const double v = std::strtod(token.c_str(), &end);
-        if (end == token.c_str() || *end != '\0') {
+        double v = 0.0;
+        if (parseFloat64(token, v) != ParseStatus::Ok) {
             pos_ = start;
-            error("invalid number");
+            badNumber(token);
         }
         return JsonValue::makeDouble(v);
+    }
+
+    [[noreturn]] void
+    badNumber(const std::string &token)
+    {
+        char what[128];
+        std::snprintf(what, sizeof(what), "invalid number '%.80s'",
+                      token.c_str());
+        error(what);
     }
 
     std::string_view text_;

@@ -9,6 +9,7 @@
 #include "common/parse.hh"
 #include "common/rng.hh"
 #include "core/chip.hh"
+#include "program/trace.hh"
 #include "ubench/ubench.hh"
 
 namespace p5 {
@@ -271,6 +272,74 @@ ConfigTree::bindDouble(const std::string &path, double &ref, double lo,
     fields_.push_back(std::move(f));
 }
 
+void
+ConfigTree::bindTrace(const std::string &path_key,
+                      const std::string &fp_key, std::string &path_ref,
+                      std::string &fp_ref, const char *help)
+{
+    std::string *pp = &path_ref;
+    std::string *fp = &fp_ref;
+    {
+        // The path is where the bytes live, not what they are: it is
+        // execution-only. Assigning it reads the trace header (fatal on
+        // a missing or corrupt file) and derives the fingerprint field
+        // below, which carries the content identity.
+        Field f;
+        f.path = path_key;
+        f.help = help;
+        f.identity = false;
+        const std::string key = path_key;
+        auto assign = [pp, fp](const std::string &value) {
+            if (value.empty()) {
+                pp->clear();
+                fp->clear();
+                return;
+            }
+            *pp = value;
+            *fp = readTraceHeader(value).fingerprint();
+        };
+        f.get = [pp] { return *pp; };
+        f.set = assign;
+        f.writeValue = [pp](JsonWriter &w) { w.value(*pp); };
+        f.setFromJson = [assign, key](const JsonValue &v) {
+            if (!v.isString())
+                fatal("config key '%s' expects a JSON string",
+                      key.c_str());
+            assign(v.asString());
+        };
+        fields_.push_back(std::move(f));
+    }
+    {
+        Field f;
+        f.path = fp_key;
+        f.help = "content fingerprint of the companion trace path "
+                 "(derived; identity)";
+        f.identity = true;
+        const std::string key = fp_key;
+        auto assign = [fp, key](const std::string &value) {
+            if (!value.empty()) {
+                if (value.size() != 16 ||
+                    value.find_first_not_of("0123456789abcdef") !=
+                        std::string::npos)
+                    fatal("config key '%s' = '%s' is not a 16-digit "
+                          "lowercase hex fingerprint",
+                          key.c_str(), value.c_str());
+            }
+            *fp = value;
+        };
+        f.get = [fp] { return *fp; };
+        f.set = assign;
+        f.writeValue = [fp](JsonWriter &w) { w.value(*fp); };
+        f.setFromJson = [assign, key](const JsonValue &v) {
+            if (!v.isString())
+                fatal("config key '%s' expects a JSON string",
+                      key.c_str());
+            assign(v.asString());
+        };
+        fields_.push_back(std::move(f));
+    }
+}
+
 // --- the schema --------------------------------------------------------
 
 void
@@ -443,6 +512,17 @@ ConfigTree::bindAll()
             std::uint64_t{1} << 32, "cycles between allocation decisions");
     bindInt("sched.history_quanta", sched.historyQuanta, 1, 64,
             "per-thread counter samples the allocator may look back over");
+
+    bindTrace("workload.trace", "workload.trace_fingerprint",
+              config_.workloadTrace, config_.workloadTraceFp,
+              "trace file replayed as the primary thread's workload "
+              "('' = synthetic generator)");
+    bindTrace("workload.trace_secondary",
+              "workload.trace_secondary_fingerprint",
+              config_.workloadTraceSecondary,
+              config_.workloadTraceSecondaryFp,
+              "trace file replayed as the secondary thread's workload "
+              "('' = synthetic generator)");
 
     bindDouble("exp.ubench_scale", config_.ubenchScale, 0.001, 1000.0,
                "work multiplier per micro-benchmark repetition");
@@ -781,6 +861,34 @@ ConfigTree::stampTag()
 void
 ConfigTree::validate() const
 {
+    // Trace path/fingerprint coherence: the fingerprint is derived
+    // whenever the path is assigned, so a mismatch means the file
+    // changed underneath a keyed config (or the fingerprint was set by
+    // hand) — either way the identity is a lie and must not propagate
+    // into job keys. Checked before the set(get()) roundtrip below,
+    // which re-derives the fingerprint and would mask the mismatch.
+    auto checkTrace = [](const char *path_key, const std::string &path,
+                         const char *fp_key, const std::string &fp) {
+        if (path.empty()) {
+            if (!fp.empty())
+                fatal("config key '%s' is set but '%s' is empty: a "
+                      "trace fingerprint without a trace is "
+                      "meaningless", fp_key, path_key);
+            return;
+        }
+        const std::string actual = readTraceHeader(path).fingerprint();
+        if (fp != actual)
+            fatal("config key '%s' = '%s' does not match trace '%s' "
+                  "(fingerprint %s): the file changed since it was "
+                  "keyed", fp_key, fp.c_str(), path.c_str(),
+                  actual.c_str());
+    };
+    checkTrace("workload.trace", config_.workloadTrace,
+               "workload.trace_fingerprint", config_.workloadTraceFp);
+    checkTrace("workload.trace_secondary",
+               config_.workloadTraceSecondary,
+               "workload.trace_secondary_fingerprint",
+               config_.workloadTraceSecondaryFp);
     // Per-field ranges were enforced at set time; re-check them here so
     // a config mutated directly through the structs is covered too.
     for (const Field &f : fields_)

@@ -184,6 +184,17 @@ class ConfigTree
     void bindUnsigned(const std::string &path, unsigned &ref, unsigned lo,
                       unsigned hi, const char *help, bool identity = true);
 
+    /**
+     * Bind a trace path / trace fingerprint field pair. The path field
+     * is execution-only (where the bytes live); assigning it reads the
+     * trace header and derives the fingerprint field, which is the
+     * identity the config fingerprint folds in. Assigning "" clears
+     * both.
+     */
+    void bindTrace(const std::string &path_key, const std::string &fp_key,
+                   std::string &path_ref, std::string &fp_ref,
+                   const char *help);
+
     ExpConfig &config_;
     std::vector<Field> fields_;
 };

@@ -91,7 +91,7 @@ SmtCore::registerStats()
 // --- thread management ----------------------------------------------
 
 void
-SmtCore::attachThread(ThreadId tid, const SyntheticProgram *program,
+SmtCore::attachThread(ThreadId tid, const InstrSource *program,
                       int priority, PrivilegeLevel privilege)
 {
     if (tid < 0 || tid >= num_hw_threads)
@@ -669,7 +669,7 @@ SmtCore::commitStage()
         gct_.popOldest(t);
 
         const std::uint64_t execs =
-            ts.stream().program().executionsAt(ts.committed);
+            ts.stream().executionsAt(ts.committed);
         if (execs > ts.executionsCompleted) {
             ts.executionsCompleted = execs;
             ts.lastExecutionCycle = cycle_ + 1;

@@ -61,11 +61,12 @@ class SmtCore
     // --- thread management -------------------------------------------
 
     /**
-     * Bind @p program to hardware thread @p tid and give it priority
-     * @p priority. A freshly constructed core has both threads shut off
-     * (priority 0), so attaching a single thread yields ST mode.
+     * Bind @p program (any InstrSource: synthetic or trace replay) to
+     * hardware thread @p tid and give it priority @p priority. A
+     * freshly constructed core has both threads shut off (priority 0),
+     * so attaching a single thread yields ST mode.
      */
-    void attachThread(ThreadId tid, const SyntheticProgram *program,
+    void attachThread(ThreadId tid, const InstrSource *program,
                       int priority = default_priority,
                       PrivilegeLevel privilege = PrivilegeLevel::User);
 

@@ -5,12 +5,12 @@
 namespace p5 {
 
 void
-ThreadState::attach(const SyntheticProgram *program,
+ThreadState::attach(const InstrSource *source,
                     std::size_t window_capacity)
 {
-    if (!program)
-        panic("ThreadState::attach(null program)");
-    stream_ = std::make_unique<InstrStream>(program, tid_);
+    if (!source)
+        panic("ThreadState::attach(null source)");
+    stream_ = std::make_unique<InstrStream>(source, tid_);
     window.clear();
     if (window_capacity > 0) {
         window.reserve(window_capacity);

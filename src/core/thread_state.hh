@@ -83,12 +83,12 @@ class ThreadState
     explicit ThreadState(ThreadId tid) : tid_(tid) {}
 
     /**
-     * Bind a program; resets window, rename state and accounting.
-     * @p window_capacity pre-sizes the in-flight ring (the core passes
-     * its GCT bound) so the window never re-layouts mid-run; 0 keeps
-     * the current capacity and grows on demand.
+     * Bind an instruction source; resets window, rename state and
+     * accounting. @p window_capacity pre-sizes the in-flight ring (the
+     * core passes its GCT bound) so the window never re-layouts
+     * mid-run; 0 keeps the current capacity and grows on demand.
      */
-    void attach(const SyntheticProgram *program,
+    void attach(const InstrSource *source,
                 std::size_t window_capacity = 0);
 
     /** Unbind; the thread decodes nothing afterwards. */

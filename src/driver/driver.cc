@@ -28,6 +28,7 @@
 #include "exp/report.hh"
 #include "fame/fame.hh"
 #include "fame/sim_runner.hh"
+#include "program/trace.hh"
 #include "sched/alloc_engine.hh"
 #include "sched/monitor.hh"
 #include "sched/workload.hh"
@@ -98,6 +99,29 @@ writeReport(const DriverContext &ctx, const char *experiment,
     w.member("schemaVersion", config_schema_version);
     w.member("fingerprint", ctx.fingerprint);
     w.member("seed", config.seed);
+    // Trace-driven runs name their input: path is where the bytes
+    // lived, fingerprint is what they were, name is what recorded them.
+    if (!config.workloadTrace.empty() ||
+        !config.workloadTraceSecondary.empty()) {
+        auto traceBlock = [&w](const char *key, const std::string &path,
+                               const std::string &fp) {
+            if (path.empty())
+                return;
+            w.key(key);
+            w.beginObject();
+            w.member("path", path);
+            w.member("name", readTraceHeader(path).name);
+            w.member("fingerprint", fp);
+            w.endObject();
+        };
+        w.key("trace");
+        w.beginObject();
+        traceBlock("primary", config.workloadTrace,
+                   config.workloadTraceFp);
+        traceBlock("secondary", config.workloadTraceSecondary,
+                   config.workloadTraceSecondaryFp);
+        w.endObject();
+    }
     // Checkpoint accounting lives in provenance (and on stderr), never
     // in table output: a checkpointed run's stdout must stay
     // byte-identical to the cold run's.
@@ -489,19 +513,37 @@ cmdAblation(const Cli &, DriverContext &ctx, ExpConfig &base)
 int
 cmdRun(const Cli &cli, DriverContext &ctx, ExpConfig &config)
 {
-    const UbenchId primary = ubenchFromName(cli.str("primary"));
     const std::string secondary_name = cli.str("secondary");
     const bool has_secondary =
         !secondary_name.empty() && secondary_name != "none";
     const int prio_p = static_cast<int>(cli.integer("prio-p"));
     const int prio_s = static_cast<int>(cli.integer("prio-s"));
 
-    const SyntheticProgram prog_p =
-        makeUbench(primary, config.ubenchScale);
-    std::optional<SyntheticProgram> prog_s;
+    // workload.trace(_secondary) replaces the --primary/--secondary
+    // synthetic benchmark with a recorded trace.
+    const ProgramSpec spec_p =
+        !config.workloadTrace.empty()
+            ? ProgramSpec::trace(config.workloadTrace)
+            : ProgramSpec::ubench(ubenchFromName(cli.str("primary")),
+                                  config.ubenchScale);
+    ProgramSpec spec_s;
     if (has_secondary)
-        prog_s.emplace(makeUbench(ubenchFromName(secondary_name),
-                                  config.ubenchScale));
+        spec_s = !config.workloadTraceSecondary.empty()
+                     ? ProgramSpec::trace(config.workloadTraceSecondary)
+                     : ProgramSpec::ubench(
+                           ubenchFromName(secondary_name),
+                           config.ubenchScale);
+    const std::string name_p = spec_p.kind == ProgramSpec::Kind::Trace
+                                   ? spec_p.traceName
+                                   : cli.str("primary");
+    const std::string name_s =
+        !has_secondary ? std::string("none")
+        : spec_s.kind == ProgramSpec::Kind::Trace ? spec_s.traceName
+                                                  : secondary_name;
+
+    const std::unique_ptr<InstrSource> prog_p = spec_p.build();
+    const std::unique_ptr<InstrSource> prog_s =
+        has_secondary ? spec_s.build() : nullptr;
 
     // Canonical-warm protocol, inlined (this command keeps its own core
     // for the stats dump below): attach at the canonical priority, warm
@@ -509,9 +551,9 @@ cmdRun(const Cli &cli, DriverContext &ctx, ExpConfig &config)
     // requested pair at the measurement boundary — the same trajectory
     // runFame() drives, so the stats match the batch producers'.
     SmtCore core(config.core);
-    core.attachThread(0, &prog_p, canonical_warm_priority);
+    core.attachThread(0, prog_p.get(), canonical_warm_priority);
     if (prog_s)
-        core.attachThread(1, &*prog_s, canonical_warm_priority);
+        core.attachThread(1, prog_s.get(), canonical_warm_priority);
 
     // Sample the symbiosis-predictor inputs (per-thread IPC, L2
     // misses, GCT occupancy) once per sched.quantum; the series land
@@ -525,15 +567,11 @@ cmdRun(const Cli &cli, DriverContext &ctx, ExpConfig &config)
     if (config.checkpoints) {
         SimJob job;
         if (has_secondary) {
-            job = SimJob::famePair(
-                ProgramSpec::ubench(primary, config.ubenchScale),
-                ProgramSpec::ubench(ubenchFromName(secondary_name),
-                                    config.ubenchScale),
-                prio_p, prio_s, config.core, config.fame);
+            job = SimJob::famePair(spec_p, spec_s, prio_p, prio_s,
+                                   config.core, config.fame);
         } else {
-            job = SimJob::fameSingle(
-                ProgramSpec::ubench(primary, config.ubenchScale),
-                config.core, config.fame, prio_p);
+            job = SimJob::fameSingle(spec_p, config.core, config.fame,
+                                     prio_p);
         }
         job.configTag = config.configTag;
         job.warmTag = config.warmTag;
@@ -561,18 +599,17 @@ cmdRun(const Cli &cli, DriverContext &ctx, ExpConfig &config)
     core.setPriorityPair(prio_p, prog_s ? prio_s : 0);
     const FameResult result = runner.measure(core, 0);
 
-    Table t("p5sim run: " + std::string(ubenchName(primary)) + " + " +
-            (has_secondary ? secondary_name : std::string("none")) +
-            " at (" + std::to_string(prio_p) + "," +
-            std::to_string(prio_s) + ")");
+    Table t("p5sim run: " + name_p + " + " + name_s + " at (" +
+            std::to_string(prio_p) + "," + std::to_string(prio_s) +
+            ")");
     t.setColumns({"thread", "benchmark", "priority", "executions",
                   "avg exec cycles", "IPC"});
-    t.addRow({"P", ubenchName(primary), std::to_string(prio_p),
+    t.addRow({"P", name_p, std::to_string(prio_p),
               std::to_string(result.thread[0].executions),
               Table::fmt(result.thread[0].avgExecTime(), 1),
               Table::fmt(result.thread[0].avgIpc(), 3)});
     if (has_secondary)
-        t.addRow({"S", secondary_name, std::to_string(prio_s),
+        t.addRow({"S", name_s, std::to_string(prio_s),
                   std::to_string(result.thread[1].executions),
                   Table::fmt(result.thread[1].avgExecTime(), 1),
                   Table::fmt(result.thread[1].avgIpc(), 3)});
@@ -580,9 +617,8 @@ cmdRun(const Cli &cli, DriverContext &ctx, ExpConfig &config)
 
     writeReport(ctx, "run", config, [&](JsonWriter &w) {
         w.beginObject();
-        w.member("primary", ubenchName(primary));
-        w.member("secondary",
-                 has_secondary ? secondary_name.c_str() : "none");
+        w.member("primary", name_p);
+        w.member("secondary", name_s);
         w.member("prioP", prio_p);
         w.member("prioS", prio_s);
         w.member("converged", result.converged);
@@ -777,16 +813,27 @@ finishSweep(DriverContext &ctx, ExpConfig &base,
     std::vector<SimJob> batch;
     batch.reserve(points.size());
     for (const SweepPoint &pt : points) {
+        // Per-point specs: workload.trace(_secondary) — whether from
+        // the base config or swept as an axis — replaces the synthetic
+        // benchmark, and each point's trace fingerprint rides in its
+        // job key.
+        const ProgramSpec spec_p =
+            !pt.config.workloadTrace.empty()
+                ? ProgramSpec::trace(pt.config.workloadTrace)
+                : ProgramSpec::ubench(primary, pt.config.ubenchScale);
         SimJob job;
         if (has_secondary) {
-            job = SimJob::famePair(
-                ProgramSpec::ubench(primary, pt.config.ubenchScale),
-                ProgramSpec::ubench(secondary, pt.config.ubenchScale),
-                prio_p, prio_s, pt.config.core, pt.config.fame);
+            const ProgramSpec spec_s =
+                !pt.config.workloadTraceSecondary.empty()
+                    ? ProgramSpec::trace(
+                          pt.config.workloadTraceSecondary)
+                    : ProgramSpec::ubench(secondary,
+                                          pt.config.ubenchScale);
+            job = SimJob::famePair(spec_p, spec_s, prio_p, prio_s,
+                                   pt.config.core, pt.config.fame);
         } else {
-            job = SimJob::fameSingle(
-                ProgramSpec::ubench(primary, pt.config.ubenchScale),
-                pt.config.core, pt.config.fame, prio_p);
+            job = SimJob::fameSingle(spec_p, pt.config.core,
+                                     pt.config.fame, prio_p);
         }
         job.configTag = pt.config.configTag;
         // Warm identity: points that differ only in measurement knobs
@@ -823,8 +870,16 @@ finishSweep(DriverContext &ctx, ExpConfig &base,
     const std::vector<SimResult> results =
         runner.run(batch, store ? &provenance : nullptr);
 
-    Table t("p5sim sweep: " + std::string(ubenchName(primary)) + " + " +
-            (has_secondary ? ubenchName(secondary) : "none") + " at (" +
+    const std::string name_p =
+        base.workloadTrace.empty()
+            ? std::string(ubenchName(primary))
+            : readTraceHeader(base.workloadTrace).name;
+    const std::string name_s =
+        !has_secondary ? std::string("none")
+        : base.workloadTraceSecondary.empty()
+            ? std::string(ubenchName(secondary))
+            : readTraceHeader(base.workloadTraceSecondary).name;
+    Table t("p5sim sweep: " + name_p + " + " + name_s + " at (" +
             std::to_string(prio_p) + "," + std::to_string(prio_s) +
             "), " + std::to_string(points.size()) + " points");
     std::vector<std::string> columns;
@@ -873,9 +928,8 @@ finishSweep(DriverContext &ctx, ExpConfig &base,
 
     writeReport(ctx, "sweep", base, [&](JsonWriter &w) {
         w.beginObject();
-        w.member("primary", ubenchName(primary));
-        w.member("secondary",
-                 has_secondary ? ubenchName(secondary) : "none");
+        w.member("primary", name_p);
+        w.member("secondary", name_s);
         w.member("prioP", prio_p);
         w.member("prioS", prio_s);
         w.key("points");
@@ -1358,6 +1412,127 @@ cmdPerf(const Cli &cli, DriverContext &ctx, ExpConfig &)
           "--profile-stages");
 }
 
+// --- trace -------------------------------------------------------------
+
+const char *const trace_usage =
+    "usage: p5sim trace <verb> [args]\n"
+    "\n"
+    "verbs:\n"
+    "  dump   --benchmark NAME [--scale S] [--executions N] --out FILE\n"
+    "         record a synthetic micro-benchmark as a replayable trace\n"
+    "  info   FILE   print a trace's header and content fingerprint\n"
+    "  check  FILE   validate header, checksum and record bounds; a\n"
+    "                corrupt trace is quarantined to FILE.bad unless\n"
+    "                --keep is given\n"
+    "\n"
+    "Replay a dumped trace with --set workload.trace=FILE (or\n"
+    "workload.trace_secondary=FILE) on the run and sweep subcommands.\n";
+
+/** The positional FILE of an info/check verb (flags have no place to
+ *  put one, and "p5sim trace info foo.trace" must read naturally). */
+std::string
+tracePositional(int argc, const char *const *argv)
+{
+    if (argc < 4 || argv[3][0] == '-')
+        fatal("p5sim trace %s requires a trace file argument", argv[2]);
+    return argv[3];
+}
+
+int
+traceMain(int argc, const char *const *argv, std::ostream &out,
+          std::ostream &err)
+{
+    if (argc < 3) {
+        err << trace_usage;
+        return 1;
+    }
+    const std::string verb = argv[2];
+    if (verb == "help" || verb == "--help" || verb == "-h") {
+        out << trace_usage;
+        return 0;
+    }
+
+    if (verb == "dump") {
+        Cli cli;
+        cli.declare("benchmark", "cpu_int",
+                    "paper micro-benchmark to record");
+        cli.declare("scale", "1.0", "work multiplier per repetition");
+        cli.declare("executions", "8",
+                    "complete executions to record (replay wraps, so "
+                    "this bounds file size, not run length)");
+        cli.declare("out", "", "trace file to write (required)");
+        std::vector<const char *> args;
+        args.push_back(argv[0]);
+        for (int i = 3; i < argc; ++i)
+            args.push_back(argv[i]);
+        cli.parse(static_cast<int>(args.size()), args.data());
+        if (cli.str("out").empty())
+            fatal("p5sim trace dump requires --out FILE");
+        const std::int64_t executions = cli.integer("executions");
+        if (executions < 1)
+            fatal("--executions must be at least 1, got %lld",
+                  static_cast<long long>(executions));
+        const SyntheticProgram prog = makeUbench(
+            ubenchFromName(cli.str("benchmark")), cli.real("scale"));
+        dumpTrace(prog, static_cast<std::uint64_t>(executions),
+                  cli.str("out"));
+        const TraceHeader h = readTraceHeader(cli.str("out"));
+        out << "trace dump: " << h.name << ", " << h.records
+            << " records (" << h.executions << " executions of "
+            << h.instrsPerExecution << "), " << h.bytes
+            << " payload bytes, fingerprint " << h.fingerprint()
+            << " -> " << cli.str("out") << "\n";
+        return 0;
+    }
+
+    if (verb == "info") {
+        const std::string path = tracePositional(argc, argv);
+        const TraceHeader h = readTraceHeader(path);
+        out << "trace " << path << ":\n"
+            << "  name                   " << h.name << "\n"
+            << "  instructions/execution " << h.instrsPerExecution
+            << "\n"
+            << "  records                " << h.records << " ("
+            << h.executions << " executions)\n"
+            << "  payload bytes          " << h.bytes << "\n";
+        char sum[20];
+        std::snprintf(sum, sizeof(sum), "%016llx",
+                      static_cast<unsigned long long>(h.checksum));
+        out << "  checksum               " << sum << "\n"
+            << "  fingerprint            " << h.fingerprint() << "\n";
+        return 0;
+    }
+
+    if (verb == "check") {
+        const std::string path = tracePositional(argc, argv);
+        bool keep = false;
+        for (int i = 4; i < argc; ++i) {
+            const std::string flag = argv[i];
+            if (flag == "--keep")
+                keep = true;
+            else
+                fatal("p5sim trace check: unknown flag '%s'",
+                      flag.c_str());
+        }
+        std::unique_ptr<TraceProgram> prog;
+        std::string why;
+        if (tryLoadTrace(path, prog, &why)) {
+            out << "trace check: " << path << " ok (" << prog->records()
+                << " records, fingerprint "
+                << prog->header().fingerprint() << ")\n";
+            return 0;
+        }
+        err << "trace check: " << path << ": " << why << "\n";
+        if (!keep)
+            quarantineTrace(path); // warns with the .bad name
+        return 1;
+    }
+
+    err << "p5sim trace: unknown verb '" << verb << "'\n\n"
+        << trace_usage;
+    return 1;
+}
+
 // --- dispatch ----------------------------------------------------------
 
 using SubcommandFn = int (*)(const Cli &, DriverContext &, ExpConfig &);
@@ -1408,6 +1583,11 @@ constexpr Subcommand subcommands[] = {
      cmdStoreGc, false, false, false, false},
     {"perf", "simulator speedup report / per-stage profile", cmdPerf,
      false, false, false},
+    // trace takes a positional verb (dump/info/check), so driverMain
+    // routes it to traceMain before the flag parser; the null fn marks
+    // it as listing-only here.
+    {"trace", "dump/inspect/validate replayable workload traces",
+     nullptr, false, false, false, false},
 };
 
 std::string
@@ -1442,6 +1622,8 @@ driverMain(int argc, const char *const *argv, std::ostream &out,
         out << globalUsage();
         return 0;
     }
+    if (name == "trace")
+        return traceMain(argc, argv, out, err);
 
     const Subcommand *sub = nullptr;
     for (const Subcommand &s : subcommands)
@@ -1856,6 +2038,79 @@ writePerfReport(const std::string &path, std::ostream &err)
 
         err << c.name << ": " << slow.wallMs << " ms -> " << fast.wallMs
             << " ms (" << slow.wallMs / fast.wallMs << "x)"
+            << (identical ? "" : "  STATS DEVIATE") << '\n';
+    }
+
+    {
+        // Trace-replay case: the same pair driven from a dumped trace
+        // versus the synthetic generator, fast-forward on in both
+        // arms. The stream captures its fetch table at construction
+        // either way, so replay must hold generator parity in wall
+        // clock ("speedup" = synthetic/replay, gated by the parity
+        // floor) and stay bit-identical in stats. One recorded
+        // execution keeps the replay table the same size as the
+        // generator's body: the case gates the per-fetch dispatch
+        // cost of the InstrSource seam, not the (inherent, size-
+        // proportional) cache footprint of a deeply unrolled trace.
+        const char *trace_case_name = "trace:cpu_int+cpu_int@4,4";
+        const std::string trace_path = path + ".trace";
+        const SyntheticProgram sp = makeUbench(UbenchId::CpuInt);
+        dumpTrace(sp, 1, trace_path);
+        const std::unique_ptr<TraceProgram> tp = loadTrace(trace_path);
+        std::remove(trace_path.c_str());
+
+        CoreParams core;
+        core.fastForward = true;
+        const FameParams fame = endToEndFame();
+        auto timedArm = [&core, &fame](const InstrSource *prog) {
+            TimedRun run;
+            const auto t0 = std::chrono::steady_clock::now();
+            run.result = runFame(core, prog, prog, 4, 4, fame);
+            const auto t1 = std::chrono::steady_clock::now();
+            run.wallMs = std::chrono::duration<double, std::milli>(
+                             t1 - t0)
+                             .count();
+            return run;
+        };
+
+        timedArm(tp.get()); // first-touch warm
+        TimedRun synth, replay;
+        bool identical = true;
+        for (int rep = 0; rep < report_reps; ++rep) {
+            const bool synth_first = (rep % 2) == 0;
+            TimedRun s, r;
+            if (synth_first) {
+                s = timedArm(&sp);
+                r = timedArm(tp.get());
+            } else {
+                r = timedArm(tp.get());
+                s = timedArm(&sp);
+            }
+            identical =
+                identical && sameMeasurement(s.result, r.result);
+            if (rep == 0 || s.wallMs < synth.wallMs)
+                synth = s;
+            if (rep == 0 || r.wallMs < replay.wallMs)
+                replay = r;
+        }
+        all_identical = all_identical && identical;
+
+        w.beginObject();
+        w.member("name", trace_case_name);
+        w.member("simCyclesFast",
+                 static_cast<std::uint64_t>(replay.result.totalCycles));
+        w.member("simCyclesSlow",
+                 static_cast<std::uint64_t>(synth.result.totalCycles));
+        w.member("ipcTotal", replay.result.totalIpc());
+        w.member("wallMsFast", replay.wallMs);
+        w.member("wallMsSlow", synth.wallMs);
+        w.member("speedup", synth.wallMs / replay.wallMs);
+        w.member("identicalStats", identical);
+        w.endObject();
+
+        err << trace_case_name << ": " << synth.wallMs << " ms -> "
+            << replay.wallMs << " ms ("
+            << synth.wallMs / replay.wallMs << "x)"
             << (identical ? "" : "  STATS DEVIATE") << '\n';
     }
 

@@ -45,6 +45,28 @@ struct P5_CONFIG_STRUCT ExpConfig
     std::vector<UbenchId> benchmarks = presentedUbench();
 
     /**
+     * Path to a recorded trace replayed as the primary thread's
+     * workload ("" keeps the synthetic generator). The path itself is
+     * a location, not an identity — the companion fingerprint below is
+     * what enters the config identity.
+     */
+    std::string workloadTrace;
+
+    /**
+     * Content fingerprint of workloadTrace ("" when unset). Derived by
+     * the config layer whenever workload.trace is assigned; identity —
+     * folded into the config fingerprint so a trace-driven run can
+     * never alias a synthetic one in the result or checkpoint stores.
+     */
+    std::string workloadTraceFp;
+
+    /** Like workloadTrace, for the secondary thread. */
+    std::string workloadTraceSecondary;
+
+    /** Content fingerprint of workloadTraceSecondary ("" when unset). */
+    std::string workloadTraceSecondaryFp;
+
+    /**
      * Simulation worker threads per producer batch; 0 selects the
      * hardware concurrency. Results are bit-identical for any value.
      */

@@ -41,7 +41,7 @@ struct RepTracker
         const Cycle now_cycle = core.lastExecutionCycleOf(tid);
         const std::uint64_t instrs =
             (execs - lastExecs) *
-            core.thread(tid).stream().program().instrsPerExecution();
+            core.thread(tid).stream().instrsPerExecution();
         const Cycle window = now_cycle - lastExecCycle;
         const double ipc =
             window ? static_cast<double>(instrs) /
@@ -175,7 +175,7 @@ FameRunner::measure(SmtCore &core, Cycle start)
                 core.lastExecutionCycleOf(t) - base[ti].cycle;
             const double avg =
                 acc ? static_cast<double>(
-                          reps * core.thread(t).stream().program()
+                          reps * core.thread(t).stream()
                                      .instrsPerExecution()) /
                           static_cast<double>(acc)
                     : 0.0;
@@ -220,14 +220,14 @@ FameRunner::measure(SmtCore &core, Cycle start)
             core.lastExecutionCycleOf(t) - base[ti].cycle;
         m.accountedInstrs =
             m.executions *
-            core.thread(t).stream().program().instrsPerExecution();
+            core.thread(t).stream().instrsPerExecution();
     }
     return res;
 }
 
 FameResult
-runFame(const CoreParams &core_params, const SyntheticProgram *prog_p,
-        const SyntheticProgram *prog_s, int prio_p, int prio_s,
+runFame(const CoreParams &core_params, const InstrSource *prog_p,
+        const InstrSource *prog_s, int prio_p, int prio_s,
         const FameParams &fame_params, CkptManager *ckpts,
         const std::string &warm_key)
 {

@@ -178,8 +178,8 @@ constexpr int canonical_warm_priority = 4;
  * core. Checkpointed and cold paths produce bit-identical results.
  */
 FameResult runFame(const CoreParams &core_params,
-                   const SyntheticProgram *prog_p,
-                   const SyntheticProgram *prog_s, int prio_p, int prio_s,
+                   const InstrSource *prog_p,
+                   const InstrSource *prog_s, int prio_p, int prio_s,
                    const FameParams &fame_params = FameParams{},
                    CkptManager *ckpts = nullptr,
                    const std::string &warm_key = std::string());

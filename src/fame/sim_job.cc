@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "program/trace.hh"
 #include "sched/alloc_engine.hh"
 #include "sched/workload.hh"
 
@@ -156,14 +157,40 @@ ProgramSpec::spec(SpecProxyId id, double scale)
     return s;
 }
 
-SyntheticProgram
+ProgramSpec
+ProgramSpec::trace(const std::string &path)
+{
+    const TraceHeader h = readTraceHeader(path);
+    ProgramSpec s;
+    s.kind = Kind::Trace;
+    s.tracePath = path;
+    s.traceFingerprint = h.fingerprint();
+    s.traceName = h.name;
+    return s;
+}
+
+std::unique_ptr<InstrSource>
 ProgramSpec::build() const
 {
     switch (kind) {
       case Kind::Ubench:
-        return makeUbench(static_cast<UbenchId>(id), scale);
+        return std::make_unique<SyntheticProgram>(
+            makeUbench(static_cast<UbenchId>(id), scale));
       case Kind::SpecProxy:
-        return makeSpecProxy(static_cast<SpecProxyId>(id), scale);
+        return std::make_unique<SyntheticProgram>(
+            makeSpecProxy(static_cast<SpecProxyId>(id), scale));
+      case Kind::Trace: {
+        std::unique_ptr<TraceProgram> prog = loadTrace(tracePath);
+        // A swapped file under the same path must not impersonate the
+        // identity this spec (and any cached result) was keyed under.
+        if (prog->header().fingerprint() != traceFingerprint)
+            fatal("trace '%s' changed since it was keyed "
+                  "(fingerprint %s, expected %s)",
+                  tracePath.c_str(),
+                  prog->header().fingerprint().c_str(),
+                  traceFingerprint.c_str());
+        return prog;
+      }
       case Kind::None:
         break;
     }
@@ -183,6 +210,10 @@ ProgramSpec::key() const
       case Kind::SpecProxy:
         out = "spec:";
         break;
+      case Kind::Trace:
+        // The content fingerprint alone: the path is a location, not
+        // an identity.
+        return "trace:fp=" + traceFingerprint + ";";
     }
     kv(out, "id", id);
     kv(out, "scale", scale);
@@ -347,14 +378,17 @@ SimJob::execute(CkptManager *ckpts) const
     switch (kind) {
       case SimJobKind::FamePair: {
         const std::string warm_key = ckpts ? warmKey() : std::string();
-        const SyntheticProgram prog_p = primary.build();
+        const std::unique_ptr<InstrSource> prog_p = primary.build();
         if (secondary.present()) {
-            const SyntheticProgram prog_s = secondary.build();
-            res.fame = runFame(core, &prog_p, &prog_s, prioPrimary,
-                               prioSecondary, fame, ckpts, warm_key);
+            const std::unique_ptr<InstrSource> prog_s =
+                secondary.build();
+            res.fame =
+                runFame(core, prog_p.get(), prog_s.get(), prioPrimary,
+                        prioSecondary, fame, ckpts, warm_key);
         } else {
-            res.fame = runFame(core, &prog_p, nullptr, prioPrimary,
-                               prioSecondary, fame, ckpts, warm_key);
+            res.fame =
+                runFame(core, prog_p.get(), nullptr, prioPrimary,
+                        prioSecondary, fame, ckpts, warm_key);
         }
         break;
       }

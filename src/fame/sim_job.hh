@@ -22,6 +22,7 @@
 #define P5SIM_FAME_SIM_JOB_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -35,23 +36,43 @@
 
 namespace p5 {
 
-/** Recipe for building one synthetic program inside a job. */
+/** Recipe for building one instruction source inside a job. */
 struct ProgramSpec
 {
-    enum class Kind { None, Ubench, SpecProxy };
+    enum class Kind { None, Ubench, SpecProxy, Trace };
 
     Kind kind = Kind::None;
     int id = 0; ///< UbenchId / SpecProxyId, per kind
     double scale = 1.0;
 
+    /** Kind::Trace: where the trace lives (not part of the identity). */
+    std::string tracePath;
+
+    /**
+     * Kind::Trace: the trace's 16-hex content fingerprint (the
+     * identity — two paths to byte-identical traces coalesce, while a
+     * re-dumped trace at the same path never aliases stale results).
+     */
+    std::string traceFingerprint;
+
+    /** Kind::Trace: recorded workload name (labels only). */
+    std::string traceName;
+
     static ProgramSpec none() { return ProgramSpec{}; }
     static ProgramSpec ubench(UbenchId id, double scale = 1.0);
     static ProgramSpec spec(SpecProxyId id, double scale = 1.0);
 
+    /**
+     * A replayed trace. Reads only the header (cheap), to pin the
+     * content fingerprint at spec-creation time; fatal() when the file
+     * is missing or its header is invalid.
+     */
+    static ProgramSpec trace(const std::string &path);
+
     bool present() const { return kind != Kind::None; }
 
-    /** Materialize the program; fatal() for Kind::None. */
-    SyntheticProgram build() const;
+    /** Materialize the source; fatal() for Kind::None. */
+    std::unique_ptr<InstrSource> build() const;
 
     /** Stable textual identity (part of SimJob::key()). */
     std::string key() const;

@@ -118,6 +118,17 @@ SyntheticProgram::materialize(SeqNum seq, ThreadId tid) const
     return di;
 }
 
+std::vector<InstrSource::PhaseGeom>
+SyntheticProgram::phaseGeometry() const
+{
+    std::vector<PhaseGeom> geom;
+    geom.reserve(phases_.size());
+    for (std::size_t p = 0; p < phases_.size(); ++p)
+        geom.push_back({phases_[p].body.size(), phases_[p].iterations,
+                        flatStart_[p]});
+    return geom;
+}
+
 std::vector<std::uint64_t>
 SyntheticProgram::opClassMix() const
 {

@@ -22,6 +22,7 @@
 #include "isa/instruction.hh"
 #include "isa/static_instr.hh"
 #include "program/pattern.hh"
+#include "program/source.hh"
 
 namespace p5 {
 
@@ -39,26 +40,29 @@ struct ProgramPhase
 };
 
 /** A complete synthetic program. */
-class SyntheticProgram
+class SyntheticProgram : public InstrSource
 {
   public:
     SyntheticProgram(std::string name, std::vector<ProgramPhase> phases,
                      std::vector<MemPattern> mem_patterns,
                      std::vector<BranchPattern> branch_patterns);
 
-    const std::string &name() const { return name_; }
+    const std::string &name() const override { return name_; }
     const std::vector<ProgramPhase> &phases() const { return phases_; }
-    const std::vector<MemPattern> &memPatterns() const
+    const std::vector<MemPattern> &memPatterns() const override
     {
         return memPatterns_;
     }
-    const std::vector<BranchPattern> &branchPatterns() const
+    const std::vector<BranchPattern> &branchPatterns() const override
     {
         return branchPatterns_;
     }
 
     /** Dynamic instructions in one execution (all phases once). */
-    std::uint64_t instrsPerExecution() const { return instrsPerExec_; }
+    std::uint64_t instrsPerExecution() const override
+    {
+        return instrsPerExec_;
+    }
 
     /** Number of complete executions contained in @p seq instructions. */
     std::uint64_t
@@ -77,17 +81,8 @@ class SyntheticProgram
      */
     DynInstr materialize(SeqNum seq, ThreadId tid) const;
 
-    /** Decomposition of a global index into program coordinates. */
-    struct Cursor
-    {
-        std::uint64_t exec = 0;    ///< completed executions before seq
-        std::size_t phase = 0;     ///< phase containing seq
-        std::uint64_t iter = 0;    ///< loop iteration within the phase
-        std::size_t bodyIdx = 0;   ///< position within the loop body
-    };
-
     /** Locate global index @p seq (the materialize() arithmetic). */
-    Cursor locate(SeqNum seq) const;
+    Cursor locate(SeqNum seq) const override;
 
     /**
      * The pre-decoded fetch table: one slot per static instruction, in
@@ -96,7 +91,7 @@ class SyntheticProgram
      * from here instead of re-deriving every DynInstr field.
      */
     const std::vector<PredecodedInstr> &
-    fetchTable() const
+    fetchTable() const override
     {
         return fetchTable_;
     }
@@ -107,6 +102,8 @@ class SyntheticProgram
     {
         return flatStart_;
     }
+
+    std::vector<PhaseGeom> phaseGeometry() const override;
 
     /** Instruction-mix census over one execution (per op class). */
     std::vector<std::uint64_t> opClassMix() const;

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Instruction-source abstraction behind InstrStream.
+ *
+ * An InstrSource is anything that can supply the infinite, rewindable
+ * dynamic instruction sequence of one software thread: the synthetic
+ * generator (SyntheticProgram) or a recorded trace replayed from disk
+ * (TraceProgram). The interface is deliberately cold: InstrStream calls
+ * it at construction to capture the pre-decoded fetch table, the pattern
+ * tables and the phase geometry, and afterwards only on rewinds/seeks
+ * (locate()). The per-fetch hot path never makes a virtual call —
+ * dispatch happens once, at stream-construction time.
+ */
+
+#ifndef P5SIM_PROGRAM_SOURCE_HH
+#define P5SIM_PROGRAM_SOURCE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "program/pattern.hh"
+
+namespace p5 {
+
+/** Abstract supplier of a thread's dynamic instruction sequence. */
+class InstrSource
+{
+  public:
+    virtual ~InstrSource() = default;
+
+    /** Decomposition of a global index into source coordinates. */
+    struct Cursor
+    {
+        std::uint64_t exec = 0;  ///< completed executions before seq
+        std::size_t phase = 0;   ///< phase containing seq
+        std::uint64_t iter = 0;  ///< loop iteration within the phase
+        std::size_t bodyIdx = 0; ///< position within the loop body
+    };
+
+    /**
+     * Shape of one phase as the stream's incremental cursor needs it:
+     * body length, iteration count and the phase's offset into the flat
+     * fetch table. Captured once per stream; the fetch/advance hot path
+     * walks these values without consulting the source again.
+     */
+    struct PhaseGeom
+    {
+        std::size_t bodySize = 0;
+        std::uint64_t iterations = 0;
+        std::size_t flatStart = 0;
+    };
+
+    virtual const std::string &name() const = 0;
+
+    /**
+     * Dynamic instructions in one FAME execution (repetition). For a
+     * trace this is the *generator's* per-execution count recorded in
+     * the header, so replayed runs account repetitions identically.
+     */
+    virtual std::uint64_t instrsPerExecution() const = 0;
+
+    /** Locate global index @p seq (rewind/seek path only — may be
+     *  virtual-dispatched; never called per fetch). */
+    virtual Cursor locate(SeqNum seq) const = 0;
+
+    /** Pre-decoded fetch table, phase order (see PredecodedInstr). */
+    virtual const std::vector<PredecodedInstr> &fetchTable() const = 0;
+
+    /** Memory patterns the fetch table's memPattern ids index (may be
+     *  empty when every slot carries its address in the prototype). */
+    virtual const std::vector<MemPattern> &memPatterns() const = 0;
+
+    /** Branch patterns the fetch table's branchPattern ids index. */
+    virtual const std::vector<BranchPattern> &branchPatterns() const = 0;
+
+    /** Per-phase geometry, phase order (size >= 1). */
+    virtual std::vector<PhaseGeom> phaseGeometry() const = 0;
+};
+
+} // namespace p5
+
+#endif // P5SIM_PROGRAM_SOURCE_HH

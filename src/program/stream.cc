@@ -4,30 +4,23 @@
 
 namespace p5 {
 
-InstrStream::InstrStream(const SyntheticProgram *program, ThreadId tid)
-    : program_(program), tid_(tid)
+InstrStream::InstrStream(const InstrSource *source, ThreadId tid)
+    : source_(source), tid_(tid)
 {
-    if (!program_)
-        panic("InstrStream constructed with null program");
+    if (!source_)
+        panic("InstrStream constructed with null source");
+    table_ = source_->fetchTable().data();
+    memPats_ = source_->memPatterns().data();
+    branchPats_ = source_->branchPatterns().data();
+    geom_ = source_->phaseGeometry();
+    instrsPerExec_ = source_->instrsPerExecution();
+    if (geom_.empty())
+        panic("InstrStream source '%s' has no phases",
+              source_->name().c_str());
+    if (instrsPerExec_ == 0)
+        panic("InstrStream source '%s' has no instructions",
+              source_->name().c_str());
     reposition(0);
-}
-
-DynInstr
-InstrStream::materializeAtCursor() const
-{
-    const PredecodedInstr &ps = program_->fetchTable()[flatIdx_];
-    DynInstr di = ps.proto;
-    di.tid = tid_;
-    di.seq = pos_;
-
-    // Dynamic occurrence count of this static instruction.
-    const std::uint64_t k = exec_ * iterations_ + iter_;
-    if (ps.memPattern >= 0)
-        di.addr = program_->memPatterns()[ps.memPattern].addressAt(k);
-    if (ps.branchPattern >= 0)
-        di.branchTaken =
-            program_->branchPatterns()[ps.branchPattern].directionAt(k);
-    return di;
 }
 
 void
@@ -43,7 +36,7 @@ InstrStream::advance()
         return;
     iter_ = 0;
     flatIdx_ += bodySize_;
-    if (++phase_ == program_->phases().size()) {
+    if (++phase_ == geom_.size()) {
         phase_ = 0;
         flatIdx_ = 0;
         ++exec_;
@@ -54,21 +47,20 @@ InstrStream::advance()
 void
 InstrStream::loadPhase()
 {
-    const ProgramPhase &phase = program_->phases()[phase_];
-    bodySize_ = phase.body.size();
-    iterations_ = phase.iterations;
+    bodySize_ = geom_[phase_].bodySize;
+    iterations_ = geom_[phase_].iterations;
 }
 
 void
 InstrStream::reposition(SeqNum seq)
 {
-    const SyntheticProgram::Cursor cur = program_->locate(seq);
+    const InstrSource::Cursor cur = source_->locate(seq);
     pos_ = seq;
     exec_ = cur.exec;
     phase_ = cur.phase;
     iter_ = cur.iter;
     bodyIdx_ = cur.bodyIdx;
-    flatIdx_ = program_->flatStart()[phase_] + bodyIdx_;
+    flatIdx_ = geom_[phase_].flatStart + bodyIdx_;
     loadPhase();
 }
 

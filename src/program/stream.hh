@@ -5,30 +5,32 @@
  * The core's decode stage pulls dynamic instructions from an InstrStream.
  * On a branch mispredict or balancer flush the core rewinds the stream to
  * the sequence number following the last surviving instruction; because
- * programs are pure functions of the index, re-fetched instructions are
+ * sources are pure functions of the index, re-fetched instructions are
  * identical to the squashed ones.
  *
  * Fetch is memoized: the stream keeps an incremental cursor (phase,
- * iteration, body position) into the program's pre-decoded fetch table,
+ * iteration, body position) into the source's pre-decoded fetch table,
  * so the common-path fetch is a prototype copy plus the two pattern
- * evaluations — no per-fetch division back into program coordinates.
- * Rewinds (and only rewinds) re-derive the cursor arithmetically, so
- * mispredict-heavy replay hits the memoized table too.
+ * evaluations — no per-fetch division back into source coordinates.
+ * The stream captures the source's fetch table, pattern tables and
+ * phase geometry at construction, so the hot path never makes a
+ * virtual call either; only rewinds (and only rewinds) go back to the
+ * source's virtual locate() to re-derive the cursor.
  */
 
 #ifndef P5SIM_PROGRAM_STREAM_HH
 #define P5SIM_PROGRAM_STREAM_HH
 
-#include "program/program.hh"
+#include "program/source.hh"
 
 namespace p5 {
 
-/** A thread's position in its (infinitely repeating) program. */
+/** A thread's position in its (infinitely repeating) source. */
 class InstrStream
 {
   public:
-    /** @param program must outlive the stream. */
-    InstrStream(const SyntheticProgram *program, ThreadId tid);
+    /** @param source must outlive the stream. */
+    InstrStream(const InstrSource *source, ThreadId tid);
 
     /** Materialize the instruction at the current position and advance. */
     DynInstr
@@ -59,19 +61,38 @@ class InstrStream
      */
     void seekTo(SeqNum seq);
 
-    /** Completed program executions within the first @p seq instrs. */
+    /** Completed source executions within the first @p seq instrs
+     *  (captured divisor — no virtual call; commit-path safe). */
     std::uint64_t
     executionsAt(SeqNum seq) const
     {
-        return program_->executionsAt(seq);
+        return seq / instrsPerExec_;
     }
 
-    const SyntheticProgram &program() const { return *program_; }
+    /** Dynamic instructions per FAME execution (captured). */
+    std::uint64_t instrsPerExecution() const { return instrsPerExec_; }
+
+    const InstrSource &source() const { return *source_; }
     ThreadId tid() const { return tid_; }
 
   private:
     /** Build the DynInstr at the cursor (no divisions, no advance). */
-    DynInstr materializeAtCursor() const;
+    DynInstr
+    materializeAtCursor() const
+    {
+        const PredecodedInstr &ps = table_[flatIdx_];
+        DynInstr di = ps.proto;
+        di.tid = tid_;
+        di.seq = pos_;
+
+        // Dynamic occurrence count of this static instruction.
+        const std::uint64_t k = exec_ * iterations_ + iter_;
+        if (ps.memPattern >= 0)
+            di.addr = memPats_[ps.memPattern].addressAt(k);
+        if (ps.branchPattern >= 0)
+            di.branchTaken = branchPats_[ps.branchPattern].directionAt(k);
+        return di;
+    }
 
     /** Step the cursor one instruction forward. */
     void advance();
@@ -82,12 +103,20 @@ class InstrStream
     /** Refresh the cached per-phase constants after a phase change. */
     void loadPhase();
 
-    const SyntheticProgram *program_;
+    const InstrSource *source_;
     ThreadId tid_;
     SeqNum pos_ = 0;
 
+    // Captured at construction: the source's tables and geometry, so
+    // fetch/advance never dispatch through the source.
+    const PredecodedInstr *table_ = nullptr;
+    const MemPattern *memPats_ = nullptr;
+    const BranchPattern *branchPats_ = nullptr;
+    std::vector<InstrSource::PhaseGeom> geom_;
+    std::uint64_t instrsPerExec_ = 0;
+
     // Memoized decode cursor: invariant flatIdx_ ==
-    // program_->flatStart()[phase_] + bodyIdx_.
+    // geom_[phase_].flatStart + bodyIdx_.
     std::uint64_t exec_ = 0;
     std::size_t phase_ = 0;
     std::uint64_t iter_ = 0;

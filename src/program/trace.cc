@@ -1,0 +1,490 @@
+#include "program/trace.hh"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "ckpt/ckpt_io.hh"
+#include "common/json.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "program/stream.hh"
+
+namespace p5 {
+
+namespace {
+
+/** Distinct chain constant: trace identities never collide with the
+ *  checkpoint or config fingerprint domains. */
+constexpr std::uint64_t trace_fp_chain = 0x7eace0de5eedc0deULL;
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return std::string(buf);
+}
+
+/** Unsigned LEB128 append. */
+void
+putVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t
+unzigzag(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1);
+}
+
+/** Bounds-checked payload cursor; every read reports underrun. */
+struct ByteReader
+{
+    const std::uint8_t *data;
+    std::size_t size;
+    std::size_t pos = 0;
+
+    bool
+    u8(std::uint8_t &out)
+    {
+        if (pos >= size)
+            return false;
+        out = data[pos++];
+        return true;
+    }
+
+    bool
+    varint(std::uint64_t &out)
+    {
+        out = 0;
+        for (int shift = 0; shift < 64; shift += 7) {
+            std::uint8_t byte = 0;
+            if (!u8(byte))
+                return false;
+            out |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+            if (!(byte & 0x80))
+                return true;
+        }
+        return false; // > 10 continuation bytes: malformed
+    }
+};
+
+bool
+failLoad(std::string *error, const std::string &why)
+{
+    if (error)
+        *error = why;
+    return false;
+}
+
+/** Source-register wire encoding: 0 none, even = producer distance,
+ *  odd = literal live-in register. */
+std::uint64_t
+encodeSrc(RegIndex reg, const std::vector<SeqNum> &producer_of,
+          std::uint64_t idx)
+{
+    if (reg == invalid_reg)
+        return 0;
+    const SeqNum prod = producer_of[static_cast<std::size_t>(reg)];
+    if (prod != static_cast<SeqNum>(-1))
+        return (idx - prod) << 1;
+    return ((static_cast<std::uint64_t>(reg) + 1) << 1) | 1;
+}
+
+bool
+decodeSrc(std::uint64_t wire, const std::vector<PredecodedInstr> &table,
+          std::uint64_t idx, RegIndex &out, std::string *error)
+{
+    if (wire == 0) {
+        out = invalid_reg;
+        return true;
+    }
+    const std::uint64_t payload = wire >> 1;
+    if (wire & 1) { // literal live-in register
+        if (payload == 0 ||
+            payload > static_cast<std::uint64_t>(num_arch_regs))
+            return failLoad(error, "source register out of range");
+        out = static_cast<RegIndex>(payload - 1);
+        return true;
+    }
+    // Backward distance to the producer record.
+    if (payload == 0 || payload > idx)
+        return failLoad(error, "dependence distance out of bounds");
+    const RegIndex dst =
+        table[static_cast<std::size_t>(idx - payload)].proto.dst;
+    if (dst == invalid_reg)
+        return failLoad(error,
+                        "dependence distance points at a non-producer");
+    out = dst;
+    return true;
+}
+
+bool
+readFileText(const std::string &path, std::string &out)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+std::uint64_t
+headerU64(const JsonValue &hdr, const char *field, bool &ok)
+{
+    const JsonValue *v = hdr.find(field);
+    if (!v || !v->isInt() || v->asInt() < 0) {
+        ok = false;
+        return 0;
+    }
+    return static_cast<std::uint64_t>(v->asInt());
+}
+
+/** Parse + validate the header line (without touching the payload). */
+bool
+parseHeaderLine(const std::string &line, const std::string &path,
+                TraceHeader &out, std::string *error)
+{
+    JsonValue hdr;
+    std::string parse_error;
+    if (!tryParseJson(line, hdr, &parse_error, path))
+        return failLoad(error, "bad trace header: " + parse_error);
+    if (!hdr.isObject())
+        return failLoad(error, "trace header is not a JSON object");
+
+    const JsonValue *magic = hdr.find("magic");
+    if (!magic || !magic->isString() ||
+        magic->asString() != trace_magic)
+        return failLoad(error, "not a p5sim trace (bad magic)");
+    const JsonValue *version = hdr.find("version");
+    if (!version || !version->isInt() ||
+        version->asInt() != trace_format_version)
+        return failLoad(error, "unsupported trace format version");
+    const JsonValue *name = hdr.find("name");
+    if (!name || !name->isString() || name->asString().empty())
+        return failLoad(error, "trace header has no name");
+
+    TraceHeader h;
+    h.name = name->asString();
+    bool ok = true;
+    h.instrsPerExecution = headerU64(hdr, "instrsPerExecution", ok);
+    h.records = headerU64(hdr, "records", ok);
+    h.executions = headerU64(hdr, "executions", ok);
+    h.bytes = headerU64(hdr, "bytes", ok);
+    if (!ok)
+        return failLoad(error, "trace header has a bad count field");
+    const JsonValue *checksum = hdr.find("checksum");
+    if (!checksum || !checksum->isString() ||
+        checksum->asString().size() != 16)
+        return failLoad(error, "trace header has a bad checksum field");
+    std::uint64_t sum = 0;
+    for (char c : checksum->asString()) {
+        sum <<= 4;
+        if (c >= '0' && c <= '9')
+            sum |= static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            sum |= static_cast<std::uint64_t>(c - 'a' + 10);
+        else
+            return failLoad(error,
+                            "trace header has a bad checksum field");
+    }
+    h.checksum = sum;
+
+    if (h.instrsPerExecution == 0 || h.executions == 0 ||
+        h.records == 0)
+        return failLoad(error, "trace header has a zero count");
+    if (h.records != h.executions * h.instrsPerExecution)
+        return failLoad(error,
+                        "trace records != executions * instrsPerExecution");
+    out = h;
+    return true;
+}
+
+} // namespace
+
+std::string
+TraceHeader::fingerprint() const
+{
+    std::uint64_t h = hashMix(trace_fp_chain ^ name.size());
+    for (char c : name)
+        h = hashCombine(h, static_cast<unsigned char>(c));
+    h = hashCombine(h, instrsPerExecution);
+    h = hashCombine(h, records);
+    h = hashCombine(h, executions);
+    h = hashCombine(h, checksum);
+    return hex16(h);
+}
+
+TraceProgram::TraceProgram(TraceHeader header,
+                           std::vector<PredecodedInstr> table)
+    : header_(std::move(header)), table_(std::move(table))
+{
+    if (table_.empty())
+        fatal("trace '%s' has no records", header_.name.c_str());
+    if (table_.size() != header_.records)
+        fatal("trace '%s' table/header record mismatch",
+              header_.name.c_str());
+}
+
+InstrSource::Cursor
+TraceProgram::locate(SeqNum seq) const
+{
+    // One phase of `records` single-iteration records: replay wraps
+    // modulo the recorded span.
+    const std::uint64_t span = header_.records;
+    Cursor cur;
+    cur.exec = seq / span;
+    cur.phase = 0;
+    cur.iter = 0;
+    cur.bodyIdx = static_cast<std::size_t>(seq % span);
+    return cur;
+}
+
+std::vector<InstrSource::PhaseGeom>
+TraceProgram::phaseGeometry() const
+{
+    return {{table_.size(), 1, 0}};
+}
+
+void
+dumpTrace(const InstrSource &source, std::uint64_t executions,
+          const std::string &path)
+{
+    if (executions == 0)
+        fatal("dumpTrace: at least one execution is required");
+    const std::uint64_t ipe = source.instrsPerExecution();
+    const std::uint64_t n = executions * ipe;
+
+    // Record the dynamic sequence through the same stream the core
+    // would fetch from, so replay is bit-for-bit what a core saw.
+    InstrStream stream(&source, 0);
+
+    std::vector<std::uint8_t> payload;
+    payload.reserve(static_cast<std::size_t>(n) * 6);
+    std::vector<SeqNum> producer_of(num_arch_regs,
+                                    static_cast<SeqNum>(-1));
+    Addr prev_pc = 0;
+    Addr prev_addr = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const DynInstr di = stream.fetch();
+        const auto op = static_cast<std::uint8_t>(di.op);
+        payload.push_back(op | (di.branchTaken ? 0x80 : 0));
+        putVarint(payload,
+                  di.dst == invalid_reg
+                      ? 0
+                      : static_cast<std::uint64_t>(di.dst) + 1);
+        putVarint(payload, encodeSrc(di.src0, producer_of, i));
+        putVarint(payload, encodeSrc(di.src1, producer_of, i));
+        if (di.op == OpClass::PrioNop)
+            putVarint(payload,
+                      static_cast<std::uint64_t>(di.prioNopReg));
+        putVarint(payload, zigzag(static_cast<std::int64_t>(
+                               di.pc - prev_pc)));
+        prev_pc = di.pc;
+        if (isMemOp(di.op)) {
+            putVarint(payload, zigzag(static_cast<std::int64_t>(
+                                   di.addr - prev_addr)));
+            prev_addr = di.addr;
+        }
+        if (di.dst != invalid_reg)
+            producer_of[static_cast<std::size_t>(di.dst)] = i;
+    }
+
+    TraceHeader h;
+    h.name = source.name();
+    h.instrsPerExecution = ipe;
+    h.records = n;
+    h.executions = executions;
+    h.bytes = payload.size();
+    h.checksum = CkptWriter::ckptChecksum(payload.data(), payload.size());
+
+    std::ostringstream header_line;
+    {
+        JsonWriter w(header_line, -1); // compact: one line
+        w.beginObject();
+        w.member("magic", trace_magic);
+        w.member("version", trace_format_version);
+        w.member("name", h.name);
+        w.member("instrsPerExecution", h.instrsPerExecution);
+        w.member("records", h.records);
+        w.member("executions", h.executions);
+        w.member("bytes", h.bytes);
+        w.member("checksum", hex16(h.checksum));
+        w.endObject();
+    }
+
+    // Atomic publication: write a temp file, then rename into place.
+    static std::atomic<std::uint64_t> temp_counter{0};
+    const std::string temp =
+        path + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(temp_counter.fetch_add(1));
+    {
+        std::ofstream os(temp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            fatal("cannot write trace temp file '%s'", temp.c_str());
+        os << header_line.str() << '\n';
+        os.write(reinterpret_cast<const char *>(payload.data()),
+                 static_cast<std::streamsize>(payload.size()));
+        os.flush();
+        if (!os)
+            fatal("short write to trace temp file '%s'", temp.c_str());
+    }
+    if (std::rename(temp.c_str(), path.c_str()) != 0)
+        fatal("cannot publish trace '%s'", path.c_str());
+}
+
+bool
+tryReadTraceHeader(const std::string &path, TraceHeader &out,
+                   std::string *error)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return failLoad(error, "cannot open trace '" + path + "'");
+    std::string line;
+    if (!std::getline(is, line) || line.empty())
+        return failLoad(error,
+                        "trace '" + path + "' has no header line");
+    return parseHeaderLine(line, path, out, error);
+}
+
+TraceHeader
+readTraceHeader(const std::string &path)
+{
+    TraceHeader h;
+    std::string error;
+    if (!tryReadTraceHeader(path, h, &error))
+        fatal("%s", error.c_str());
+    return h;
+}
+
+bool
+tryLoadTrace(const std::string &path,
+             std::unique_ptr<TraceProgram> &out, std::string *error)
+{
+    std::string blob;
+    if (!readFileText(path, blob))
+        return failLoad(error, "cannot open trace '" + path + "'");
+    const std::size_t nl = blob.find('\n');
+    if (nl == std::string::npos)
+        return failLoad(error,
+                        "trace '" + path + "' has no header line");
+    TraceHeader h;
+    if (!parseHeaderLine(blob.substr(0, nl), path, h, error))
+        return false;
+
+    const auto *payload =
+        reinterpret_cast<const std::uint8_t *>(blob.data()) + nl + 1;
+    const std::size_t payload_size = blob.size() - nl - 1;
+    if (payload_size != h.bytes)
+        return failLoad(error, "trace payload is " +
+                                   std::to_string(payload_size) +
+                                   " bytes, header says " +
+                                   std::to_string(h.bytes));
+    if (CkptWriter::ckptChecksum(payload, payload_size) != h.checksum)
+        return failLoad(error, "trace payload checksum mismatch");
+
+    std::vector<PredecodedInstr> table;
+    table.reserve(static_cast<std::size_t>(h.records));
+    ByteReader r{payload, payload_size};
+    Addr prev_pc = 0;
+    Addr prev_addr = 0;
+    for (std::uint64_t i = 0; i < h.records; ++i) {
+        std::uint8_t op_byte = 0;
+        std::uint64_t dst = 0, src0 = 0, src1 = 0;
+        if (!r.u8(op_byte) || !r.varint(dst) || !r.varint(src0) ||
+            !r.varint(src1))
+            return failLoad(error, "trace payload truncated");
+        const std::uint8_t op_raw = op_byte & 0x7f;
+        if (op_raw >= static_cast<std::uint8_t>(OpClass::NumOpClasses))
+            return failLoad(error, "trace record has a bad op class");
+        const auto op = static_cast<OpClass>(op_raw);
+        if ((op_byte & 0x80) && op != OpClass::Branch)
+            return failLoad(error,
+                            "taken bit set on a non-branch record");
+        if (dst > static_cast<std::uint64_t>(num_arch_regs))
+            return failLoad(error,
+                            "destination register out of range");
+
+        PredecodedInstr ps;
+        ps.proto.op = op;
+        ps.proto.dst =
+            dst == 0 ? invalid_reg : static_cast<RegIndex>(dst - 1);
+        ps.proto.branchTaken = (op_byte & 0x80) != 0;
+        if (!decodeSrc(src0, table, i, ps.proto.src0, error) ||
+            !decodeSrc(src1, table, i, ps.proto.src1, error))
+            return false;
+        if (op == OpClass::PrioNop) {
+            std::uint64_t prio_reg = 0;
+            if (!r.varint(prio_reg))
+                return failLoad(error, "trace payload truncated");
+            if (prio_reg >= static_cast<std::uint64_t>(num_arch_regs))
+                return failLoad(error,
+                                "PrioNop register out of range");
+            ps.proto.prioNopReg = static_cast<int>(prio_reg);
+        }
+        std::uint64_t pc_delta = 0;
+        if (!r.varint(pc_delta))
+            return failLoad(error, "trace payload truncated");
+        ps.proto.pc =
+            prev_pc + static_cast<Addr>(unzigzag(pc_delta));
+        prev_pc = ps.proto.pc;
+        if (isMemOp(op)) {
+            std::uint64_t addr_delta = 0;
+            if (!r.varint(addr_delta))
+                return failLoad(error, "trace payload truncated");
+            ps.proto.addr =
+                prev_addr + static_cast<Addr>(unzigzag(addr_delta));
+            prev_addr = ps.proto.addr;
+        }
+        table.push_back(ps);
+    }
+    if (r.pos != r.size)
+        return failLoad(error,
+                        "trace payload has trailing bytes after the "
+                        "last record");
+
+    out = std::make_unique<TraceProgram>(h, std::move(table));
+    return true;
+}
+
+std::unique_ptr<TraceProgram>
+loadTrace(const std::string &path)
+{
+    std::unique_ptr<TraceProgram> prog;
+    std::string error;
+    if (!tryLoadTrace(path, prog, &error))
+        fatal("%s", error.c_str());
+    return prog;
+}
+
+std::string
+quarantineTrace(const std::string &path)
+{
+    const std::string bad = path + ".bad";
+    if (std::rename(path.c_str(), bad.c_str()) != 0)
+        fatal("cannot quarantine corrupt trace '%s'", path.c_str());
+    warn("quarantined corrupt trace to '%s'", bad.c_str());
+    return bad;
+}
+
+} // namespace p5

@@ -34,8 +34,7 @@ Workload::add(ProgramSpec spec, int priority)
     t.spec = spec;
     t.priority = priority;
     threads_.push_back(t);
-    programs_.push_back(
-        std::make_unique<SyntheticProgram>(spec.build()));
+    programs_.push_back(spec.build());
     return t.id;
 }
 
@@ -60,7 +59,7 @@ Workload::thread(int id) const
     return threads_[static_cast<std::size_t>(id)];
 }
 
-const SyntheticProgram &
+const InstrSource &
 Workload::program(int id) const
 {
     if (id < 0 || id >= size())
@@ -77,6 +76,8 @@ Workload::describe() const
             out += '+';
         if (t.spec.kind == ProgramSpec::Kind::Ubench)
             out += ubenchName(static_cast<UbenchId>(t.spec.id));
+        else if (t.spec.kind == ProgramSpec::Kind::Trace)
+            out += t.spec.traceName;
         else
             out += t.spec.key();
     }

@@ -60,7 +60,7 @@ class Workload
     const RunnableThread &thread(int id) const;
 
     /** The materialized program of thread @p id (stable address). */
-    const SyntheticProgram &program(int id) const;
+    const InstrSource &program(int id) const;
 
     /** "name+name+..." of the mix (labels and job keys). */
     std::string describe() const;
@@ -69,7 +69,7 @@ class Workload
     std::vector<RunnableThread> threads_;
 
     /** unique_ptr keeps addresses stable across threads_ growth. */
-    std::vector<std::unique_ptr<SyntheticProgram>> programs_;
+    std::vector<std::unique_ptr<InstrSource>> programs_;
 };
 
 } // namespace p5

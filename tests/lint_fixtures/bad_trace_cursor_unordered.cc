@@ -1,0 +1,42 @@
+// p5lint fixture — analysis-only, never compiled.
+// BAD: a trace reader's checkpoint path feeds hash-order bytes into
+// the stream.  The replay cursor keeps per-thread resume positions in
+// an unordered_map under P5_ALLOW(determinism) (fine for the
+// lookup-only replay path), but the P5_SERIALIZE_ROOT saveState walks
+// that map to emit the cursors — inside a serialize root's reach the
+// exemption is void, so p5lint must flag determinism and nothing else.
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Sink
+{
+    void put(std::uint64_t v);
+};
+
+struct TraceReplayCursor
+{
+    P5_ALLOW(determinism) // lookup-only while replaying
+    std::unordered_map<int, std::uint64_t> resumeSeq_;
+
+    P5_ALLOW(determinism) void dumpCursors(Sink &sink) const;
+
+    P5_SERIALIZE_ROOT void saveState(Sink &sink) const;
+};
+
+void
+TraceReplayCursor::dumpCursors(Sink &sink) const
+{
+    for (const auto &kv : resumeSeq_) // hash-order bytes
+        sink.put(kv.second);
+}
+
+void
+TraceReplayCursor::saveState(Sink &sink) const
+{
+    dumpCursors(sink); // reach makes the allow above void
+}
+
+} // namespace fixture

@@ -1,0 +1,39 @@
+// p5lint fixture — analysis-only, never compiled.
+// GOOD twin of bad_trace_cursor_unordered.cc: the replay cursor keeps
+// per-thread resume positions in a vector indexed by thread id, so the
+// serialize root emits them in thread order — stable checkpoint bytes,
+// no findings.
+
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Sink
+{
+    void put(std::uint64_t v);
+};
+
+struct TraceReplayCursor
+{
+    std::vector<std::uint64_t> resumeSeq_; // indexed by thread id
+
+    void dumpCursors(Sink &sink) const;
+
+    P5_SERIALIZE_ROOT void saveState(Sink &sink) const;
+};
+
+void
+TraceReplayCursor::dumpCursors(Sink &sink) const
+{
+    for (std::uint64_t seq : resumeSeq_) // thread-order: deterministic
+        sink.put(seq);
+}
+
+void
+TraceReplayCursor::saveState(Sink &sink) const
+{
+    dumpCursors(sink);
+}
+
+} // namespace fixture

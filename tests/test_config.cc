@@ -15,9 +15,29 @@
 #include "common/json.hh"
 #include "config/config.hh"
 #include "exp/experiments.hh"
+#include "program/trace.hh"
+#include "ubench/ubench.hh"
 
 namespace p5 {
 namespace {
+
+/**
+ * Path of the small real trace some tests bind workload.trace to
+ * (assigning a trace path reads the file's header at set time, so the
+ * file must exist). Dumped on first use, reused after.
+ */
+const char *const config_guard_trace = "config_guard.trace";
+
+void
+ensureGuardTrace()
+{
+    static bool dumped = false;
+    if (dumped)
+        return;
+    const SyntheticProgram prog = makeUbench(UbenchId::CpuInt, 0.05);
+    dumpTrace(prog, 2, config_guard_trace);
+    dumped = true;
+}
 
 // --- JsonValue / parser -----------------------------------------------
 
@@ -84,6 +104,26 @@ TEST(JsonValue, ParseErrorsAreFatalWithPosition)
 TEST(JsonValue, TrailingGarbageIsFatal)
 {
     EXPECT_EXIT(parseJson("1 2"), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(JsonValue, MalformedNumbersAreFatalWithTheOffendingToken)
+{
+    // Leading zeros are rejected (the shared integer parser would read
+    // them as octal, silently changing the value).
+    EXPECT_EXIT(parseJson("010", "doc"), ::testing::ExitedWithCode(1),
+                "invalid number '010'");
+    EXPECT_EXIT(parseJson("-010", "doc"), ::testing::ExitedWithCode(1),
+                "invalid number '-010'");
+    EXPECT_EXIT(parseJson("1.2.3", "doc"), ::testing::ExitedWithCode(1),
+                "invalid number '1.2.3'");
+    EXPECT_EXIT(parseJson("1e", "doc"), ::testing::ExitedWithCode(1),
+                "invalid number '1e'");
+    // Sane numbers are untouched by the strict path.
+    EXPECT_EQ(parseJson("0").asInt(), 0);
+    EXPECT_EQ(parseJson("-0").asInt(), 0);
+    EXPECT_DOUBLE_EQ(parseJson("0.5").asDouble(), 0.5);
+    // Integers too wide for 64 bits degrade to double, not garbage.
+    EXPECT_TRUE(parseJson("123456789012345678901234567890").isDouble());
 }
 
 TEST(FormatDouble, ShortestRoundTrip)
@@ -205,6 +245,10 @@ const std::pair<const char *, const char *> non_default_values[] = {
     {"sched.policy", "symbiosis"},
     {"sched.quantum", "8192"},
     {"sched.history_quanta", "8"},
+    {"workload.trace", config_guard_trace},
+    {"workload.trace_fingerprint", "0123456789abcdef"},
+    {"workload.trace_secondary", config_guard_trace},
+    {"workload.trace_secondary_fingerprint", "fedcba9876543210"},
     {"exp.ubench_scale", "0.75"},
     {"exp.seed", "12345678901234567"},
     {"exp.jobs", "3"},
@@ -213,6 +257,7 @@ const std::pair<const char *, const char *> non_default_values[] = {
 
 TEST(ConfigTree, FullySerializedRoundTripReproducesEveryField)
 {
+    ensureGuardTrace();
     ExpConfig config;
     ConfigTree tree(config);
     ExpConfig defaults_config;
@@ -397,6 +442,60 @@ TEST(ConfigTree, CanonicalFormIsSchemaVersionedPathValueLines)
     // Non-identity fields never appear.
     EXPECT_EQ(canonical.find("exp.jobs"), std::string::npos);
     EXPECT_EQ(canonical.find("exp.benchmarks"), std::string::npos);
+    // The trace *path* is a location, not an identity...
+    EXPECT_EQ(canonical.find("workload.trace="), std::string::npos);
+    // ...but the derived fingerprint is.
+    EXPECT_NE(canonical.find("workload.trace_fingerprint=\n"),
+              std::string::npos);
+}
+
+// --- workload.trace binding --------------------------------------------
+
+TEST(ConfigTrace, AssigningPathDerivesFingerprint)
+{
+    ensureGuardTrace();
+    ExpConfig config;
+    ConfigTree tree(config);
+    const std::string base = tree.fingerprintHex();
+
+    tree.set("workload.trace", config_guard_trace);
+    EXPECT_EQ(config.workloadTrace, config_guard_trace);
+    const std::string fp =
+        readTraceHeader(config_guard_trace).fingerprint();
+    EXPECT_EQ(config.workloadTraceFp, fp);
+    EXPECT_EQ(tree.get("workload.trace_fingerprint"), fp);
+
+    // The trace content re-keys the config...
+    EXPECT_NE(tree.fingerprintHex(), base);
+    // ...and the warm phase (a trace shapes the warm trajectory).
+    tree.validate();
+
+    // Clearing the path clears the derived identity with it.
+    tree.set("workload.trace", "");
+    EXPECT_TRUE(config.workloadTrace.empty());
+    EXPECT_TRUE(config.workloadTraceFp.empty());
+    EXPECT_EQ(tree.fingerprintHex(), base);
+}
+
+TEST(ConfigTraceDeath, MissingFileAndBrokenIdentityAreFatal)
+{
+    ensureGuardTrace();
+    ExpConfig config;
+    ConfigTree tree(config);
+    EXPECT_DEATH(tree.set("workload.trace", "no_such.trace"),
+                 "no_such.trace");
+    EXPECT_DEATH(tree.set("workload.trace_fingerprint", "xyz"),
+                 "hex fingerprint");
+
+    // A fingerprint without a trace is meaningless...
+    config.workloadTraceFp = "0123456789abcdef";
+    EXPECT_DEATH(tree.validate(), "without a trace");
+    config.workloadTraceFp.clear();
+
+    // ...and a stale fingerprint (file changed since keying) is a lie.
+    tree.set("workload.trace", config_guard_trace);
+    config.workloadTraceFp = "0123456789abcdef";
+    EXPECT_DEATH(tree.validate(), "changed since it was keyed");
 }
 
 // --- coverage guard ----------------------------------------------------
@@ -419,21 +518,23 @@ TEST(ConfigCoverage, BoundStructSizesArePinned)
     EXPECT_EQ(sizeof(CoreParams), 376u);
     EXPECT_EQ(sizeof(FameParams), 48u);
     EXPECT_EQ(sizeof(SchedParams), 24u);
-    EXPECT_EQ(sizeof(ExpConfig), 584u);
+    EXPECT_EQ(sizeof(ExpConfig), 712u);
 }
 
 TEST(ConfigCoverage, BoundPathAndIdentityCountsArePinned)
 {
     ExpConfig config;
     ConfigTree tree(config);
-    EXPECT_EQ(tree.paths().size(), 62u);
+    EXPECT_EQ(tree.paths().size(), 66u);
 
-    // Identity fields = everything except exp.jobs / exp.benchmarks.
+    // Identity fields = everything except exp.jobs / exp.benchmarks and
+    // the two workload trace *paths* (their fingerprints carry the
+    // identity).
     std::size_t identity_lines = 0;
     const std::string canonical = tree.canonical();
     for (char c : canonical)
         identity_lines += (c == '\n');
-    EXPECT_EQ(identity_lines, 1u /* schema line */ + 60u);
+    EXPECT_EQ(identity_lines, 1u /* schema line */ + 62u);
 }
 
 TEST(ConfigCoverage, EveryPathIsUniqueAndWellFormed)

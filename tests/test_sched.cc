@@ -95,7 +95,7 @@ TEST(Workload, ProgramAddressesStableAcrossGrowth)
     Workload w;
     const int id0 = w.add(ProgramSpec::ubench(UbenchId::CpuInt, 1.0));
     EXPECT_EQ(id0, 0);
-    const SyntheticProgram *p0 = &w.program(0);
+    const InstrSource *p0 = &w.program(0);
     for (int i = 0; i < 8; ++i)
         w.add(ProgramSpec::ubench(UbenchId::LdintMem, 1.0), 5);
     EXPECT_EQ(p0, &w.program(0));
